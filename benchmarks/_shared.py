@@ -1,0 +1,58 @@
+"""Shared plumbing for the figure/table benchmarks.
+
+Every bench regenerates one of the paper's tables or figures: the
+benchmark fixture times the full regeneration, and the bench prints the
+same rows/series the paper reports (run with ``-s`` to see them).
+Absolute numbers differ from the 2001 testbed — EXPERIMENTS.md records
+paper-vs-measured side by side — but each bench asserts the paper's
+qualitative claims so a regression in *shape* fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Time one deterministic regeneration of a figure."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_curves(result, width: int = 48) -> None:
+    """ASCII rendering of the four scalability curves (Figs 6–8 style)."""
+    rows = result.rows
+    peak = max(max(r.max_worker_ms, r.parallel_ms, r.planning_ms,
+                   r.aggregation_ms) for r in rows)
+    if peak <= 0:
+        return
+    print(f"curves (x = workers, bar ∝ ms, full bar = {peak:.0f} ms)")
+    for label, get in (
+        ("max worker", lambda r: r.max_worker_ms),
+        ("parallel", lambda r: r.parallel_ms),
+        ("planning", lambda r: r.planning_ms),
+        ("aggregation", lambda r: r.aggregation_ms),
+    ):
+        print(f"  {label}:")
+        for row in rows:
+            bar = "#" * int(round(get(row) / peak * width))
+            print(f"    {row.workers:>3} |{bar}")
+
+
+def print_series(title: str, history: list[tuple[float, float, float]],
+                 width: int = 60, t_max: float | None = None) -> None:
+    """ASCII rendering of a CPU-usage history (the Figs 9–11(a) panels)."""
+    if not history:
+        return
+    end = t_max if t_max is not None else history[-1][0]
+    print(title)
+    print(f"{'t (s)':>7} {'CPU %':>6}  0%{' ' * (width - 6)}100%")
+    step = end / 40.0
+    t = 0.0
+    index = 0
+    while t <= end:
+        while index + 1 < len(history) and history[index + 1][0] <= t:
+            index += 1
+        level = history[index][1]
+        bar = "#" * int(round(level / 100.0 * width))
+        print(f"{t / 1000.0:>7.1f} {level:>6.0f}  |{bar}")
+        t += step

@@ -1,0 +1,60 @@
+"""Ablation — master uplink bandwidth vs task distribution.
+
+The paper's framework favours tasks with "small input/output sizes"; the
+pre-fetching app ships ~84 KB matrix strips per task, all through the
+master's uplink (workers fetch tasks from the space hosted there).  With
+the egress-contention model enabled, a slower master link serializes the
+strip downloads and stretches the whole run — quantifying the paper's
+small-payload design guidance.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import run_once
+from repro.apps.prefetch import PrefetchApplication
+from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
+from repro.experiments.harness import run_simulation
+from repro.net.latency import LatencyModel
+from repro.node.cluster import Cluster
+from repro.node.machine import FAST_PC
+from repro.sim.rng import RandomStreams
+
+#: KB/ms: None = uncontended (calibration default); 10 ≈ 80 Mb/s;
+#: 0.25 ≈ 2 Mb/s (a saturated late-90s shared segment).
+LINKS = [None, 10.0, 0.25]
+
+
+def run_with_link(egress_kb_per_ms):
+    def body(runtime):
+        cluster = Cluster(
+            runtime,
+            latency=LatencyModel(base_ms=0.3, jitter_ms=0.0, per_kb_ms=0.0,
+                                 egress_kb_per_ms=egress_kb_per_ms),
+            streams=RandomStreams(0),
+        )
+        cluster.add_workers(5, FAST_PC)
+        framework = AdaptiveClusterFramework(
+            runtime, cluster, PrefetchApplication(),
+            FrameworkConfig(compute_real=False),
+        )
+        framework.start()
+        report = framework.run()
+        framework.shutdown()
+        return report.parallel_ms
+
+    return run_simulation(body)
+
+
+def test_ablation_master_uplink_bandwidth(benchmark):
+    times = run_once(benchmark, lambda: [run_with_link(link) for link in LINKS])
+    print()
+    print(f"{'uplink (KB/ms)':>15} {'parallel (ms)':>14}")
+    for link, parallel in zip(LINKS, times):
+        label = "∞ (off)" if link is None else f"{link:g}"
+        print(f"{label:>15} {parallel:>14.0f}")
+
+    unconstrained, fast_link, slow_link = times
+    # A fast LAN link barely matters; a saturated one visibly stretches
+    # the run (strip downloads serialize on the master's uplink).
+    assert fast_link < unconstrained * 1.05
+    assert slow_link > unconstrained * 1.3

@@ -1,0 +1,46 @@
+"""Ablation — task granularity for the pre-fetching application.
+
+The paper: "The segment size of the strips, and hence the task size can
+be further optimized to improve scalability."  This sweep varies the
+strip size (4 → 100 rows) at the full 5-worker cluster and regenerates
+the parallel-time curve, exposing the granularity sweet spot between
+per-task overhead (fine strips) and load imbalance (coarse strips).
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import run_once
+from repro.apps.prefetch import PrefetchApplication
+from repro.experiments import prefetch_cluster, scalability_experiment
+
+STRIP_SIZES = [4, 10, 20, 50, 100]
+
+
+def sweep():
+    rows = []
+    for strip in STRIP_SIZES:
+        result = scalability_experiment(
+            lambda strip=strip: PrefetchApplication(strip_size=strip),
+            prefetch_cluster,
+            worker_counts=[5],
+        )
+        rows.append((strip, 500 // strip, result.rows[0].parallel_ms,
+                     result.rows[0].aggregation_ms))
+    return rows
+
+
+def test_ablation_granularity(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print(f"{'strip rows':>10} {'tasks':>6} {'parallel (ms)':>14} {'aggregation (ms)':>17}")
+    for strip, tasks, parallel, aggregation in rows:
+        print(f"{strip:>10} {tasks:>6} {parallel:>14.0f} {aggregation:>17.0f}")
+
+    times = {strip: parallel for strip, _, parallel, _ in rows}
+    best = min(times, key=times.get)
+    # The sweet spot is interior: both extremes lose.
+    assert best not in (STRIP_SIZES[0], STRIP_SIZES[-1])
+    # Very fine strips pay per-task overhead (125 fixed aggregation hits).
+    assert times[4] > times[best]
+    # Very coarse strips (5 tasks on 5 workers) lose pipelining/balance.
+    assert times[100] > times[best]

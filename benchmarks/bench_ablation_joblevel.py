@@ -1,0 +1,82 @@
+"""Ablation — adaptive parallelism vs job-level parallelism (Table 1).
+
+The paper positions its adaptive (bag-of-tasks) approach against
+Condor-style job-level parallelism.  This bench runs the same ray-tracing
+workload under both schedulers on the same cluster, with one worker
+taken over by an interactive user mid-run, and compares completion time,
+migrations and lost work.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import run_once
+from repro.apps.raytrace import RayTracingApplication
+from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
+from repro.core.joblevel import JobLevelConfig, JobLevelScheduler
+from repro.experiments.harness import run_simulation
+from repro.node.cluster import testbed_small
+from repro.node.loadgen import LoadSimulator2
+from repro.sim.rng import RandomStreams
+
+WORKERS = 4
+LOAD_ON_MS = 6_000.0
+LOAD_OFF_MS = 16_000.0
+
+
+def _with_load(runtime, cluster) -> None:
+    hog = LoadSimulator2(runtime, cluster.workers[0])
+
+    def loader():
+        runtime.sleep(LOAD_ON_MS)
+        hog.start()
+        runtime.sleep(LOAD_OFF_MS - LOAD_ON_MS)
+        hog.stop()
+
+    runtime.spawn(loader, name="loader")
+
+
+def run_adaptive():
+    def body(runtime):
+        cluster = testbed_small(runtime, workers=WORKERS,
+                                streams=RandomStreams(0))
+        _with_load(runtime, cluster)
+        framework = AdaptiveClusterFramework(
+            runtime, cluster, RayTracingApplication(),
+            FrameworkConfig(poll_interval_ms=500.0, compute_real=False),
+        )
+        framework.start()
+        report = framework.run()
+        framework.shutdown()
+        return report.parallel_ms
+
+    return run_simulation(body)
+
+
+def run_joblevel():
+    def body(runtime):
+        cluster = testbed_small(runtime, workers=WORKERS,
+                                streams=RandomStreams(0))
+        _with_load(runtime, cluster)
+        scheduler = JobLevelScheduler(
+            runtime, cluster, RayTracingApplication(),
+            JobLevelConfig(poll_interval_ms=500.0), compute_real=False,
+        )
+        report = scheduler.run()
+        return report.parallel_ms, report.migrations, scheduler.lost_work_ms
+
+    return run_simulation(body)
+
+
+def test_ablation_adaptive_vs_joblevel(benchmark):
+    adaptive_ms, (joblevel_ms, migrations, lost_ms) = run_once(
+        benchmark, lambda: (run_adaptive(), run_joblevel())
+    )
+    print()
+    print(f"adaptive parallelism : {adaptive_ms:>9.0f} ms")
+    print(f"job-level parallelism: {joblevel_ms:>9.0f} ms "
+          f"({migrations} migrations, {lost_ms:.0f} ms work lost)")
+
+    # The adaptive framework rebalances task-by-task; the static job
+    # partition stalls behind the evicted node's share.
+    assert adaptive_ms < joblevel_ms
+    assert migrations >= 1

@@ -1,0 +1,51 @@
+"""Ablation — SNMP monitoring interval: responsiveness vs overhead.
+
+The network management module polls each worker every ``poll_interval``.
+Short intervals react faster to load (less intrusion on the node's owner)
+but cost more SNMP traffic.  This sweep quantifies both sides.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import run_once
+from repro.experiments import (
+    adaptation_experiment,
+    make_raytrace_app,
+    raytrace_cluster,
+)
+
+INTERVALS_MS = [250.0, 1000.0, 4000.0]
+LOADSIM2_ONSET_MS = 8_000.0
+
+
+def sweep():
+    rows = []
+    for interval in INTERVALS_MS:
+        result = adaptation_experiment(
+            make_raytrace_app, raytrace_cluster, poll_interval_ms=interval
+        )
+        stop = result.reaction_for("stop")
+        rows.append(
+            (interval, stop.at_ms - LOADSIM2_ONSET_MS, result.snmp_polls,
+             result.snmp_datagrams)
+        )
+    return rows
+
+
+def test_ablation_monitor_interval(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print(f"{'interval (ms)':>14} {'stop delay (ms)':>16} {'polls':>6} {'datagrams':>10}")
+    for interval, delay, polls, datagrams in rows:
+        print(f"{interval:>14.0f} {delay:>16.0f} {polls:>6} {datagrams:>10}")
+
+    delays = {interval: delay for interval, delay, _, _ in rows}
+    polls = {interval: p for interval, _, p, _ in rows}
+    # Faster polling detects the load sooner…
+    assert delays[250.0] < delays[1000.0] <= delays[4000.0] + 1e-9
+    # …at proportionally higher monitoring traffic.
+    assert polls[250.0] > 2.5 * polls[1000.0]
+    assert polls[1000.0] > 2.5 * polls[4000.0]
+    # Detection latency is bounded by one poll period (+ sampling window).
+    for interval, delay, _, _ in rows:
+        assert delay <= interval + 1500.0

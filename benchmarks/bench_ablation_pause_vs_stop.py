@@ -1,0 +1,54 @@
+"""Ablation — the value of the Pause/Resume states.
+
+The paper's design argument: transient load should Pause (classes stay in
+memory) rather than Stop (classes dropped), "bypassing the overhead
+associated with remote node configuration".  This ablation removes the
+pause band (everything above the idle threshold Stops) and measures the
+extra class reloads and the slower return to work.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import run_once
+from repro.core.signals import ThresholdPolicy
+from repro.experiments import (
+    adaptation_experiment,
+    make_raytrace_app,
+    raytrace_cluster,
+)
+
+#: Degenerate policy: no pause band — 25 %+ load goes straight to Stop.
+STOP_ONLY = ThresholdPolicy(idle_below=25.0, stop_above=25.0)
+
+
+def run_both():
+    with_pause = adaptation_experiment(make_raytrace_app, raytrace_cluster)
+    stop_only = adaptation_experiment(
+        make_raytrace_app, raytrace_cluster, policy=STOP_ONLY
+    )
+    return with_pause, stop_only
+
+
+def test_ablation_pause_vs_stop(benchmark):
+    with_pause, stop_only = run_once(benchmark, run_both)
+    print()
+    print("with pause band :", with_pause.signals_in_order,
+          f"class loads = {with_pause.class_loads}")
+    print("stop-only policy:", stop_only.signals_in_order,
+          f"class loads = {stop_only.class_loads}")
+
+    # Baseline: the transient (load sim 1) episode is absorbed by
+    # Pause/Resume with no class reload.
+    assert with_pause.class_loads == 2
+    assert "pause" in with_pause.signals_in_order
+    # Ablated: the same transient forces a Stop and a third class load.
+    assert "pause" not in stop_only.signals_in_order
+    assert stop_only.signals_in_order.count("stop") >= 2
+    assert stop_only.class_loads >= 3
+
+    # Returning to work after the transient costs a full class reload in
+    # the ablated policy, versus a near-instant Resume.
+    resume = with_pause.reaction_for("resume")
+    restart = stop_only.reaction_for("start", occurrence=2)
+    assert resume.worker_ms < 10.0
+    assert restart.worker_ms > 500.0

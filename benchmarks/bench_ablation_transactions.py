@@ -1,0 +1,69 @@
+"""Ablation — the cost of crash-safe (transactional) task takes.
+
+Transactional takes buy fault tolerance (see the fault-injection tests)
+at the price of extra space-server round trips per task (txn create +
+commit).  This bench measures that overhead on a clean run and shows the
+payoff under a worker crash.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import run_once
+from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
+from repro.experiments.harness import run_simulation
+from repro.node.cluster import testbed_small
+from repro.sim.rng import RandomStreams
+from tests.core.toyapp import SumOfSquares
+
+
+def run_clean(transactional: bool) -> float:
+    def body(runtime):
+        cluster = testbed_small(runtime, workers=3, streams=RandomStreams(0))
+        framework = AdaptiveClusterFramework(
+            runtime, cluster, SumOfSquares(n=30, task_cost=200.0),
+            FrameworkConfig(transactional_takes=transactional),
+        )
+        framework.start()
+        report = framework.run()
+        framework.shutdown()
+        return report.parallel_ms
+
+    return run_simulation(body)
+
+
+def run_with_crash(transactional: bool):
+    def body(runtime):
+        cluster = testbed_small(runtime, workers=3, streams=RandomStreams(0))
+        framework = AdaptiveClusterFramework(
+            runtime, cluster, SumOfSquares(n=30, task_cost=200.0),
+            FrameworkConfig(transactional_takes=transactional),
+        )
+
+        def killer():
+            runtime.sleep(2_500.0)
+            framework.worker_hosts[0].crash()
+
+        framework.start()
+        runtime.spawn(killer, name="killer")
+        report = framework.run()
+        framework.shutdown()
+        return report.solution
+
+    return run_simulation(body)
+
+
+def test_ablation_transactional_takes(benchmark):
+    plain_ms, txn_ms, crash_solution = run_once(
+        benchmark,
+        lambda: (run_clean(False), run_clean(True), run_with_crash(True)),
+    )
+    overhead = (txn_ms - plain_ms) / plain_ms
+    print()
+    print(f"plain takes         : {plain_ms:>8.0f} ms")
+    print(f"transactional takes : {txn_ms:>8.0f} ms  (+{overhead:.1%})")
+    print(f"crash run solution  : {crash_solution} (correct despite crash)")
+
+    assert crash_solution == sum(i * i for i in range(30))
+    # Overhead exists but stays modest for coarse-grained tasks.
+    assert txn_ms >= plain_ms
+    assert overhead < 0.30

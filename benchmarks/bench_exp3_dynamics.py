@@ -1,0 +1,59 @@
+"""Experiment 3 (§5.2.3) — dynamic worker behaviour under varying load.
+
+Three runs per application: load simulator 2 on 0 %, 25 % and 50 % of the
+workers; measures Max Worker Time, Max Master Overhead, Task Planning and
+Aggregation Time, and Total Parallel Time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import run_once
+from repro.experiments import (
+    dynamics_experiment,
+    make_options_app,
+    make_prefetch_app,
+    make_raytrace_app,
+    options_cluster,
+    prefetch_cluster,
+    raytrace_cluster,
+)
+
+
+def test_exp3_dynamics_raytrace(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: dynamics_experiment(make_raytrace_app, raytrace_cluster, workers=4),
+    )
+    print()
+    print(result.format_table())
+    times = [r.total_parallel_ms for r in result.rows]
+    assert times[0] < times[1] < times[2]
+    # Master overhead stays constant across load conditions.
+    overheads = [r.max_master_overhead_ms for r in result.rows]
+    assert max(overheads) == pytest.approx(min(overheads), rel=0.2)
+
+
+def test_exp3_dynamics_options(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: dynamics_experiment(make_options_app, options_cluster, workers=8),
+    )
+    print()
+    print(result.format_table())
+    # Planning-bound app: losing workers barely moves total parallel time
+    # (8 → 4 workers is still past the Fig. 6 knee).
+    times = [r.total_parallel_ms for r in result.rows]
+    assert times[2] < times[0] * 1.3
+
+
+def test_exp3_dynamics_prefetch(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: dynamics_experiment(make_prefetch_app, prefetch_cluster, workers=4),
+    )
+    print()
+    print(result.format_table())
+    times = [r.total_parallel_ms for r in result.rows]
+    assert times[0] <= times[1] <= times[2]

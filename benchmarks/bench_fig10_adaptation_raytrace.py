@@ -1,0 +1,36 @@
+"""Figure 10 — adaptation protocol analysis, ray tracing application."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import print_series, run_once
+from repro.experiments import (
+    adaptation_experiment,
+    make_raytrace_app,
+    raytrace_cluster,
+)
+
+
+def test_fig10_adaptation_raytrace(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: adaptation_experiment(make_raytrace_app, raytrace_cluster),
+    )
+    print()
+    print_series("Fig 10(a) — worker CPU usage (ray tracing)", result.cpu_history,
+                 t_max=44_000.0)
+    print()
+    print(result.format_table())
+
+    assert result.signals_in_order == ["start", "stop", "start", "pause", "resume"]
+    # "the first peak is at 42% CPU usage … due to the remote loading"
+    start = result.reaction_for("start")
+    spike = result.peak_cpu(start.at_ms, start.at_ms + start.worker_ms - 1.0)
+    assert spike == pytest.approx(42.0, abs=3.0)
+    # "The Ray Tracing application is resource intensive as illustrated by
+    #  the various intermittent peaks at 78 to 100% CPU usage … when the
+    #  task is being computed at the worker node."
+    assert result.peak_cpu(start.at_ms + start.worker_ms, 7_900.0) >= 78.0
+    assert result.class_loads == 2
+    assert result.reaction_for("resume").worker_ms < 10.0

@@ -1,0 +1,33 @@
+"""Figure 11 — adaptation protocol analysis, web page pre-fetching."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import print_series, run_once
+from repro.experiments import (
+    adaptation_experiment,
+    make_prefetch_app,
+    prefetch_cluster,
+)
+
+
+def test_fig11_adaptation_prefetch(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: adaptation_experiment(make_prefetch_app, prefetch_cluster),
+    )
+    print()
+    print_series("Fig 11(a) — worker CPU usage (web pre-fetching)",
+                 result.cpu_history, t_max=44_000.0)
+    print()
+    print(result.format_table())
+
+    assert result.signals_in_order == ["start", "stop", "start", "pause", "resume"]
+    # "the first peak is at 75% CPU usage … due to the remote loading"
+    start = result.reaction_for("start")
+    spike = result.peak_cpu(start.at_ms, start.at_ms + start.worker_ms - 1.0)
+    assert spike == pytest.approx(75.0, abs=3.0)
+    assert result.peak_cpu(9_000.0, 16_000.0) == 100.0
+    assert result.class_loads == 2
+    assert result.reaction_for("resume").worker_ms < 10.0

@@ -1,0 +1,43 @@
+"""Figure 6 — scalability analysis, option pricing application.
+
+Regenerates the four curves (Max Worker Time, Parallel Time, Task
+Planning, Task Aggregation) for 1–13 workers on the paper's thirteen-PC
+300 MHz testbed and asserts the figure's qualitative claims.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import print_curves, run_once
+from repro.experiments import (
+    make_options_app,
+    options_cluster,
+    scalability_experiment,
+)
+
+WORKER_COUNTS = list(range(1, 14))
+
+
+def test_fig6_scalability_options(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: scalability_experiment(make_options_app, options_cluster,
+                                       WORKER_COUNTS),
+    )
+    print()
+    print(result.format_table())
+    print_curves(result)
+    print("speedups:", [(w, round(s, 2)) for w, s in result.speedups()])
+
+    rows = {r.workers: r for r in result.rows}
+    speedups = dict(result.speedups())
+
+    # "there is an initial speedup as the number of workers is increased to 4"
+    assert speedups[4] > 3.0
+    # "The speedup deteriorates after that" — no meaningful gain 4 → 13.
+    assert speedups[13] < speedups[4] * 1.15
+    # "the Task Planning Time now dominates Parallel Time"
+    assert rows[13].planning_ms > 0.8 * rows[13].parallel_ms
+    # "the initial part of the Parallel Time curve (up to 4 processors)
+    #  closely follows the Maximum Worker Time curve"
+    for n in (1, 2, 4):
+        assert abs(rows[n].parallel_ms - rows[n].max_worker_ms) < 0.25 * rows[n].parallel_ms

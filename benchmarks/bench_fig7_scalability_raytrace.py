@@ -1,0 +1,47 @@
+"""Figure 7 — scalability analysis, parallel ray tracing application.
+
+1–5 workers on the five-PC 800 MHz testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import print_curves, run_once
+from repro.experiments import (
+    make_raytrace_app,
+    raytrace_cluster,
+    scalability_experiment,
+)
+
+WORKER_COUNTS = [1, 2, 3, 4, 5]
+
+
+def test_fig7_scalability_raytrace(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: scalability_experiment(make_raytrace_app, raytrace_cluster,
+                                       WORKER_COUNTS),
+    )
+    print()
+    print(result.format_table())
+    print_curves(result)
+    print("speedups:", [(w, round(s, 2)) for w, s in result.speedups()])
+
+    rows = {r.workers: r for r in result.rows}
+
+    # "Max Worker Time scales reasonably well for this application."
+    for n in (2, 3, 4, 5):
+        assert rows[n].max_worker_ms == pytest.approx(
+            rows[1].max_worker_ms / n, rel=0.20
+        )
+    # "The Parallel Time is dominated by the maximum worker time"
+    for row in result.rows:
+        assert row.max_worker_ms > 0.75 * row.parallel_ms
+    # "the Task Planning Time curve is constant at 500 ms"
+    plannings = [r.planning_ms for r in result.rows]
+    assert max(plannings) - min(plannings) < 50.0
+    assert 300.0 < plannings[0] < 700.0
+    # "The Task Aggregation Time curve follows the Max Worker Time curve"
+    for row in result.rows:
+        assert row.aggregation_ms == pytest.approx(row.max_worker_ms, rel=0.35)

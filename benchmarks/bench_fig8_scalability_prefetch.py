@@ -1,0 +1,41 @@
+"""Figure 8 — scalability analysis, web page pre-fetching application.
+
+1–5 workers on the five-PC 800 MHz testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import print_curves, run_once
+from repro.experiments import (
+    make_prefetch_app,
+    prefetch_cluster,
+    scalability_experiment,
+)
+
+WORKER_COUNTS = [1, 2, 3, 4, 5]
+
+
+def test_fig8_scalability_prefetch(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: scalability_experiment(make_prefetch_app, prefetch_cluster,
+                                       WORKER_COUNTS),
+    )
+    print()
+    print(result.format_table())
+    print_curves(result)
+    print("speedups:", [(w, round(s, 2)) for w, s in result.speedups()])
+
+    rows = {r.workers: r for r in result.rows}
+    speedups = dict(result.speedups())
+
+    # "the application scales up to 4 processors"
+    assert speedups[4] > 2.5
+    assert speedups[5] == pytest.approx(speedups[4], rel=0.10)
+    # "This application has a low task planning overhead."
+    for row in result.rows:
+        assert row.planning_ms < 0.05 * row.parallel_ms
+    # "Task Aggregation Time dominates the Parallel Time in this case."
+    assert rows[5].aggregation_ms > 0.8 * rows[5].parallel_ms

@@ -1,0 +1,24 @@
+"""Table 2 — classification of the evaluated applications (measured)."""
+
+from __future__ import annotations
+
+from benchmarks._shared import run_once
+from repro.experiments.classify import classify_applications, format_table
+
+
+def test_table2_classification(benchmark):
+    rows = run_once(benchmark, classify_applications)
+    print()
+    print(format_table(rows))
+
+    by_app = {r.app_id: r for r in rows}
+    # The paper's grades, reproduced from measurements:
+    assert by_app["option-pricing"].scalability == "Medium"
+    assert by_app["ray-tracing"].scalability == "High"
+    assert by_app["web-prefetch"].scalability == "Low"
+    assert by_app["option-pricing"].cpu == "Adaptable"
+    assert by_app["ray-tracing"].cpu == "High"
+    assert by_app["web-prefetch"].cpu == "Low"
+    assert not by_app["option-pricing"].task_dependency
+    assert not by_app["ray-tracing"].task_dependency
+    assert by_app["web-prefetch"].task_dependency

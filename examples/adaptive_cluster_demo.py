@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Adaptive worker management demo (the Figs 9–11 experiment, live).
+
+Drives one ray-tracing worker through the paper's full signal cycle —
+Start (remote class-loading spike), Stop under a saturating interactive
+load, Start again, Pause under transient 30–50 % traffic, Resume — and
+prints the CPU-usage history as ASCII plus the signal reaction table.
+
+Run:  python examples/adaptive_cluster_demo.py [option-pricing|ray-tracing|web-prefetch]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    adaptation_experiment,
+    APP_FACTORIES,
+    CLUSTER_FACTORIES,
+)
+
+
+def ascii_history(history, width: int = 56, t_max: float = 44_000.0) -> str:
+    lines = [f"{'t (s)':>6} {'CPU %':>6}  0%{' ' * (width - 6)}100%"]
+    step = t_max / 44.0
+    t, index = 0.0, 0
+    while t <= t_max:
+        while index + 1 < len(history) and history[index + 1][0] <= t:
+            index += 1
+        level = history[index][1]
+        bar = "#" * int(round(level / 100.0 * width))
+        lines.append(f"{t / 1000.0:>6.1f} {level:>6.0f}  |{bar}")
+        t += step
+    return "\n".join(lines)
+
+
+def main() -> None:
+    app_id = sys.argv[1] if len(sys.argv) > 1 else "ray-tracing"
+    if app_id not in APP_FACTORIES:
+        raise SystemExit(f"unknown app {app_id!r}; pick from {sorted(APP_FACTORIES)}")
+
+    print(f"adaptation protocol analysis — {app_id}")
+    print("load script: t=8s loadsim2 on (100%), t=16s off, "
+          "t=26s loadsim1 on (30–50%), t=34s off")
+    print()
+    result = adaptation_experiment(APP_FACTORIES[app_id], CLUSTER_FACTORIES[app_id])
+
+    print("worker CPU usage history (total %):")
+    print(ascii_history(result.cpu_history))
+    print()
+    print(result.format_table())
+    print()
+    print(f"signal cycle : {' → '.join(result.signals_in_order)}")
+    print(f"class loads  : {result.class_loads} "
+          "(reload after Stop, none on Resume)")
+    print(f"SNMP polls   : {result.snmp_polls}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Parallel ray tracing on the five-PC cluster (§5.1.2).
+
+Renders the 600×600 benchmark scene (three spheres over a checkered
+floor, shadows + reflections) in 24 scanline strips distributed through
+the framework, verifies the composition against a sequential render, and
+writes the image as a PPM file.
+
+Run:  python examples/ray_tracing.py [output.ppm]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.apps.raytrace import RayTracingApplication, render_image
+from repro.core.framework import AdaptiveClusterFramework
+from repro.experiments.harness import run_simulation
+from repro.node.cluster import testbed_small
+
+
+def write_ppm(path: str, image: np.ndarray) -> None:
+    height, width, _ = image.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{width} {height}\n255\n".encode())
+        fh.write(image.tobytes())
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "raytrace_out.ppm"
+    app = RayTracingApplication()
+
+    def body(runtime):
+        cluster = testbed_small(runtime)  # 5 × 800 MHz
+        framework = AdaptiveClusterFramework(runtime, cluster, app)
+        framework.start()
+        report = framework.run()
+        framework.shutdown()
+        return report
+
+    print(f"rendering {app.width}x{app.height} in {app.n_strips} strips "
+          f"of {app.strip_rows} rows on 5 workers…")
+    report = run_simulation(body)
+    image = report.solution
+
+    reference = render_image(app.scene, app.camera, app.width, app.height,
+                             app.max_depth)
+    identical = np.array_equal(image, reference)
+
+    write_ppm(output, image)
+    print(f"image written to {output} ({image.nbytes:,} bytes)")
+    print(f"parallel composition matches sequential render: {identical}")
+    print(f"virtual parallel time : {report.parallel_ms:,.0f} ms")
+    print(f"  task planning       : {report.planning_ms:,.0f} ms (constant, small)")
+    print(f"  result aggregation  : {report.aggregation_ms:,.0f} ms")
+    print("strips per worker     :",
+          dict(sorted(report.results_by_worker.items())))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "A Framework for Adaptive Cluster Computing
+using JavaSpaces" (Batheja & Parashar, CLUSTER 2001).
+
+Layered architecture (bottom → top):
+
+* :mod:`repro.sim` / :mod:`repro.runtime` — deterministic virtual-time
+  kernel and the runtime abstraction (simulated vs. threaded).
+* :mod:`repro.net` — simulated network (datagram/multicast/stream).
+* :mod:`repro.tuplespace` — JavaSpaces-style tuple space (entries,
+  templates, leases, transactions, notify).
+* :mod:`repro.jini` — discovery/lookup/join substrate.
+* :mod:`repro.snmp` — SNMP manager/agent over a HOST-RESOURCES-style MIB.
+* :mod:`repro.node` — cluster machines, processor-sharing CPU model,
+  load simulators.
+* :mod:`repro.core` — the paper's framework: master/worker modules,
+  network management module (monitoring agent + inference engine +
+  rule-base protocol), remote node configuration engine.
+* :mod:`repro.apps` — the three evaluated applications (option pricing,
+  ray tracing, PageRank-based web prefetching).
+* :mod:`repro.experiments` — harnesses regenerating every table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,13 @@
+"""The paper's three evaluated applications.
+
+* :mod:`repro.apps.options` — parallel Monte Carlo stock-option pricing
+  (Broadie–Glasserman high/low estimators), §5.1.1;
+* :mod:`repro.apps.raytrace` — parallel ray tracing (600×600 image in 24
+  scanline strips), §5.1.2;
+* :mod:`repro.apps.prefetch` — PageRank-based web-page pre-fetching
+  (strip-parallel power iteration), §5.1.3.
+
+Each package contains the real algorithm (usable standalone) plus an
+``app`` module adapting it to :class:`repro.core.Application` with the
+calibrated cost model (see DESIGN.md §5).
+"""

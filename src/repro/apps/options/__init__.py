@@ -1,0 +1,29 @@
+"""Stock-option pricing by parallel Monte Carlo simulation.
+
+The paper prices options with "Monte Carlo simulations, based on the
+Broadie and Glasserman MC algorithm" — the stochastic-tree method for
+American-style options that produces a *high* (upper-biased) and a *low*
+(lower-biased) estimator bracketing the true price.  Includes GBM path
+simulation, a European MC pricer and the Black–Scholes closed form for
+validation.
+"""
+
+from repro.apps.options.model import OptionContract, OptionType
+from repro.apps.options.black_scholes import black_scholes_price
+from repro.apps.options.mc import european_mc_price, simulate_gbm_terminal
+from repro.apps.options.broadie_glasserman import (
+    BGEstimate,
+    bg_tree_estimate,
+)
+from repro.apps.options.app import OptionPricingApplication
+
+__all__ = [
+    "OptionContract",
+    "OptionType",
+    "black_scholes_price",
+    "european_mc_price",
+    "simulate_gbm_terminal",
+    "BGEstimate",
+    "bg_tree_estimate",
+    "OptionPricingApplication",
+]

@@ -1,0 +1,56 @@
+"""Black–Scholes closed form (validation reference for the MC pricers)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.options.model import OptionContract, OptionType
+
+__all__ = ["black_scholes_price", "black_scholes_greeks"]
+
+
+def _norm_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def black_scholes_price(contract: OptionContract) -> float:
+    """European price under Black–Scholes.
+
+    Only valid for ``exercise_dates == 1``; used to validate the Monte
+    Carlo machinery (a Bermudan price must lie at or above it for calls
+    on non-dividend stock, equal in fact).
+    """
+    s, k = contract.spot, contract.strike
+    r, sigma, t = contract.rate, contract.volatility, contract.maturity_years
+    if sigma == 0.0:
+        forward = s * math.exp(r * t)
+        intrinsic = max(forward - k, 0.0) if contract.option_type == OptionType.CALL \
+            else max(k - forward, 0.0)
+        return math.exp(-r * t) * intrinsic
+    d1 = (math.log(s / k) + (r + 0.5 * sigma * sigma) * t) / (sigma * math.sqrt(t))
+    d2 = d1 - sigma * math.sqrt(t)
+    if contract.option_type == OptionType.CALL:
+        return s * _norm_cdf(d1) - k * math.exp(-r * t) * _norm_cdf(d2)
+    return k * math.exp(-r * t) * _norm_cdf(-d2) - s * _norm_cdf(-d1)
+
+
+def _norm_pdf(x: float) -> float:
+    return math.exp(-0.5 * x * x) / math.sqrt(2.0 * math.pi)
+
+
+def black_scholes_greeks(contract: OptionContract) -> dict[str, float]:
+    """Closed-form delta and vega (validation for the pathwise MC Greeks)."""
+    s, k = contract.spot, contract.strike
+    r, sigma, t = contract.rate, contract.volatility, contract.maturity_years
+    if sigma == 0.0:
+        raise ValueError("greeks undefined at zero volatility in this form")
+    d1 = (math.log(s / k) + (r + 0.5 * sigma * sigma) * t) / (sigma * math.sqrt(t))
+    delta = _norm_cdf(d1)
+    if contract.option_type == OptionType.PUT:
+        delta -= 1.0
+    vega = s * math.sqrt(t) * _norm_pdf(d1)
+    return {
+        "price": black_scholes_price(contract),
+        "delta": delta,
+        "vega": vega,
+    }

@@ -1,0 +1,66 @@
+"""Option contract model.
+
+"A stock option is defined by the underlying security, the option type
+(call or put), the strike price, and an expiration date.  Furthermore,
+factors such as interest rate and volatility affect the pricing."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class OptionType(enum.Enum):
+    """Call (right to buy) or put (right to sell)."""
+
+    CALL = "call"
+    PUT = "put"
+
+
+@dataclass(frozen=True)
+class OptionContract:
+    """An option on a single underlying following GBM."""
+
+    option_type: OptionType
+    spot: float              # current underlying price S0
+    strike: float            # K
+    rate: float              # risk-free rate r (annualized, cont. comp.)
+    volatility: float        # sigma (annualized)
+    maturity_years: float    # T
+    exercise_dates: int = 1  # 1 = European; >1 = Bermudan/American-style
+
+    def __post_init__(self) -> None:
+        if self.spot <= 0 or self.strike <= 0:
+            raise ValueError("spot and strike must be positive")
+        if self.volatility < 0 or self.maturity_years <= 0:
+            raise ValueError("volatility must be >=0 and maturity positive")
+        if self.exercise_dates < 1:
+            raise ValueError("need at least one exercise date")
+
+    def payoff(self, prices: np.ndarray) -> np.ndarray:
+        """Exercise value at the given underlying prices (vectorized)."""
+        prices = np.asarray(prices, dtype=float)
+        if self.option_type == OptionType.CALL:
+            return np.maximum(prices - self.strike, 0.0)
+        return np.maximum(self.strike - prices, 0.0)
+
+    def step_discount(self) -> float:
+        """Discount factor for one inter-exercise-date interval."""
+        dt = self.maturity_years / self.exercise_dates
+        return float(np.exp(-self.rate * dt))
+
+
+#: The contract priced in the experiments (an at-the-money Bermudan call
+#: with three exercise dates — the canonical Broadie–Glasserman setting).
+PAPER_CONTRACT = OptionContract(
+    option_type=OptionType.CALL,
+    spot=100.0,
+    strike=100.0,
+    rate=0.05,
+    volatility=0.2,
+    maturity_years=1.0,
+    exercise_dates=3,
+)

@@ -1,0 +1,53 @@
+"""PageRank-based web page pre-fetching (paper §5.1.3).
+
+"The overall objective … is to optimize access time experienced by the
+web user by pre-fetching web pages that are likely to be requested."
+The page-rank-based approach scores the pages a requested page links to
+and pre-fetches the most important ones.
+
+Pieces:
+
+* :mod:`webgraph` — synthetic web-page clusters with link structure and
+  the paper's stochastic-matrix construction;
+* :mod:`pagerank` — power-iteration eigenvector computation, full and
+  strip-parallel;
+* :mod:`cache` / :mod:`predictor` — the LRU pre-fetch cache and the
+  rank-driven prefetcher that consumes the computed ranks;
+* :mod:`app` — the framework adapter (500×500 matrix, strips of 20 →
+  25 tasks).
+"""
+
+from repro.apps.prefetch.webgraph import WebPage, WebPageCluster, generate_cluster
+from repro.apps.prefetch.pagerank import (
+    matvec_strip,
+    pagerank_power,
+    power_iteration_step,
+    stochastic_matrix,
+)
+from repro.apps.prefetch.cache import PrefetchCache
+from repro.apps.prefetch.predictor import PageRankPrefetcher
+from repro.apps.prefetch.app import PrefetchApplication
+from repro.apps.prefetch.distributed import DistributedPageRank, PageRankRun
+from repro.apps.prefetch.server import (
+    ServerTimings,
+    WebServerModel,
+    simulate_browsing_session,
+)
+
+__all__ = [
+    "WebPage",
+    "WebPageCluster",
+    "generate_cluster",
+    "stochastic_matrix",
+    "pagerank_power",
+    "power_iteration_step",
+    "matvec_strip",
+    "PrefetchCache",
+    "PageRankPrefetcher",
+    "PrefetchApplication",
+    "DistributedPageRank",
+    "PageRankRun",
+    "ServerTimings",
+    "WebServerModel",
+    "simulate_browsing_session",
+]

@@ -1,0 +1,37 @@
+"""Parallel ray tracing (paper §5.1.2).
+
+A vectorized Whitted-style ray tracer: rays are traced in NumPy batches
+(one batch per scanline strip), with Phong shading, hard shadows and
+specular reflections.  "In our experiments the 600×600 image plane was
+divided into rectangular slices of 25×600 thus creating 24 independent
+tasks" — the replicated-worker pattern the application adapter exposes.
+"""
+
+from repro.apps.raytrace.geometry import CheckerPlane, Material, Sphere
+from repro.apps.raytrace.scene import Light, Scene, default_scene
+from repro.apps.raytrace.camera import Camera
+from repro.apps.raytrace.render import render_image, render_rows
+from repro.apps.raytrace.sceneio import (
+    load_scene,
+    save_scene,
+    scene_from_dict,
+    scene_to_dict,
+)
+from repro.apps.raytrace.app import RayTracingApplication
+
+__all__ = [
+    "Material",
+    "Sphere",
+    "CheckerPlane",
+    "Light",
+    "Scene",
+    "default_scene",
+    "Camera",
+    "render_rows",
+    "render_image",
+    "scene_to_dict",
+    "scene_from_dict",
+    "load_scene",
+    "save_scene",
+    "RayTracingApplication",
+]

@@ -1,0 +1,49 @@
+"""Pinhole camera generating primary rays per scanline strip."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Camera"]
+
+
+@dataclass(frozen=True)
+class Camera:
+    """Axis-aligned pinhole camera looking down +z."""
+
+    position: tuple[float, float, float] = (0.0, 1.2, -2.5)
+    fov_degrees: float = 60.0
+
+    def rays_for_rows(
+        self,
+        y0: int,
+        y1: int,
+        width: int,
+        height: int,
+        offset: tuple[float, float] = (0.5, 0.5),
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Origins/directions for pixel rows ``y0 ≤ y < y1``.
+
+        Returns arrays of shape ``((y1-y0)*width, 3)``, row-major —
+        exactly one strip task's primary rays.  ``offset`` is the
+        sub-pixel sample position in [0, 1)² (anti-aliasing shoots
+        several offsets per pixel and averages).
+        """
+        if not (0 <= y0 < y1 <= height):
+            raise ValueError(f"bad row range [{y0}, {y1}) for height {height}")
+        ox, oy = offset
+        aspect = width / height
+        half = np.tan(np.radians(self.fov_degrees) / 2.0)
+        xs = (2.0 * (np.arange(width) + ox) / width - 1.0) * half * aspect
+        ys = (1.0 - 2.0 * (np.arange(y0, y1) + oy) / height) * half
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        directions = np.stack(
+            [grid_x.ravel(), grid_y.ravel(), np.ones(grid_x.size)], axis=1
+        )
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        origins = np.broadcast_to(
+            np.asarray(self.position, dtype=float), directions.shape
+        ).copy()
+        return origins, directions

@@ -1,0 +1,80 @@
+"""Scene description and the benchmark scene."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.apps.raytrace.geometry import CheckerPlane, Material, Sphere
+
+__all__ = ["Light", "Scene", "default_scene"]
+
+Primitive = Union[Sphere, CheckerPlane]
+
+
+@dataclass(frozen=True)
+class Light:
+    """A point light."""
+
+    position: tuple[float, float, float]
+    intensity: float = 1.0
+
+
+@dataclass(frozen=True)
+class Scene:
+    objects: tuple[Primitive, ...]
+    lights: tuple[Light, ...]
+    ambient: float = 0.08
+    background: tuple[float, float, float] = (0.15, 0.18, 0.30)
+
+    def nearest_hit(
+        self, origins: np.ndarray, directions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-ray nearest object index (−1 = miss) and hit distance."""
+        n = origins.shape[0]
+        best_t = np.full(n, np.inf)
+        best_obj = np.full(n, -1, dtype=int)
+        for index, obj in enumerate(self.objects):
+            t = obj.intersect(origins, directions)
+            closer = t < best_t
+            best_t[closer] = t[closer]
+            best_obj[closer] = index
+        return best_obj, best_t
+
+    def occluded(
+        self, points: np.ndarray, directions: np.ndarray, max_dist: np.ndarray
+    ) -> np.ndarray:
+        """Shadow test: is anything between each point and its light?"""
+        blocked = np.zeros(points.shape[0], dtype=bool)
+        for obj in self.objects:
+            t = obj.intersect(points, directions)
+            blocked |= t < max_dist
+            if blocked.all():
+                break
+        return blocked
+
+
+def default_scene() -> Scene:
+    """The benchmark scene: three spheres over a checkered floor."""
+    red = Material(color=(0.95, 0.25, 0.20), diffuse=0.9, specular=0.8,
+                   shininess=120.0, reflectivity=0.25)
+    green = Material(color=(0.20, 0.80, 0.30), diffuse=0.9, specular=0.4,
+                     shininess=40.0, reflectivity=0.15)
+    mirror = Material(color=(0.85, 0.85, 0.95), diffuse=0.3, specular=1.0,
+                      shininess=300.0, reflectivity=0.65)
+    floor = Material(color=(0.9, 0.9, 0.9), diffuse=0.9, specular=0.1,
+                     shininess=10.0, reflectivity=0.1)
+    return Scene(
+        objects=(
+            Sphere(center=(0.0, 1.0, 4.0), radius=1.0, material=mirror),
+            Sphere(center=(-1.9, 0.6, 3.0), radius=0.6, material=red),
+            Sphere(center=(1.8, 0.8, 3.2), radius=0.8, material=green),
+            CheckerPlane(height=0.0, material=floor),
+        ),
+        lights=(
+            Light(position=(-4.0, 6.0, 0.0), intensity=0.9),
+            Light(position=(3.0, 4.0, -1.0), intensity=0.5),
+        ),
+    )

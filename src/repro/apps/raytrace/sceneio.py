@@ -1,0 +1,113 @@
+"""Scene (de)serialization: plain-dict / JSON scene descriptions.
+
+Lets users author scenes in JSON files and feed them to the distributed
+renderer without writing Python:
+
+    {"objects": [{"type": "sphere", "center": [0,1,4], "radius": 1,
+                  "material": {"color": [1,0,0], "reflectivity": 0.3}}],
+     "lights": [{"position": [-4,6,0], "intensity": 0.9}]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.apps.raytrace.geometry import CheckerPlane, Material, Sphere
+from repro.apps.raytrace.scene import Light, Scene
+
+__all__ = ["scene_to_dict", "scene_from_dict", "load_scene", "save_scene"]
+
+_MATERIAL_FIELDS = ("diffuse", "specular", "shininess", "reflectivity",
+                    "transparency", "refractive_index")
+
+
+def _material_to_dict(material: Material) -> dict[str, Any]:
+    out: dict[str, Any] = {"color": list(material.color)}
+    defaults = Material(color=(0, 0, 0))
+    for field in _MATERIAL_FIELDS:
+        value = getattr(material, field)
+        if value != getattr(defaults, field):
+            out[field] = value
+    return out
+
+
+def _material_from_dict(data: dict[str, Any]) -> Material:
+    kwargs = {k: data[k] for k in _MATERIAL_FIELDS if k in data}
+    return Material(color=tuple(data["color"]), **kwargs)
+
+
+def scene_to_dict(scene: Scene) -> dict[str, Any]:
+    """A JSON-serializable description of ``scene``."""
+    objects = []
+    for obj in scene.objects:
+        if isinstance(obj, Sphere):
+            objects.append({
+                "type": "sphere",
+                "center": list(obj.center),
+                "radius": obj.radius,
+                "material": _material_to_dict(obj.material),
+            })
+        elif isinstance(obj, CheckerPlane):
+            objects.append({
+                "type": "checker-plane",
+                "height": obj.height,
+                "square": obj.square,
+                "alt_color": list(obj.alt_color),
+                "material": _material_to_dict(obj.material),
+            })
+        else:  # pragma: no cover - future primitive types
+            raise ValueError(f"cannot serialize {type(obj).__name__}")
+    return {
+        "objects": objects,
+        "lights": [
+            {"position": list(light.position), "intensity": light.intensity}
+            for light in scene.lights
+        ],
+        "ambient": scene.ambient,
+        "background": list(scene.background),
+    }
+
+
+def scene_from_dict(data: dict[str, Any]) -> Scene:
+    """Rebuild a scene from :func:`scene_to_dict` output (or hand-written
+    JSON of the same shape)."""
+    objects = []
+    for spec in data.get("objects", []):
+        kind = spec.get("type")
+        material = _material_from_dict(spec["material"])
+        if kind == "sphere":
+            objects.append(Sphere(center=tuple(spec["center"]),
+                                  radius=float(spec["radius"]),
+                                  material=material))
+        elif kind == "checker-plane":
+            objects.append(CheckerPlane(
+                height=float(spec.get("height", 0.0)),
+                material=material,
+                alt_color=tuple(spec.get("alt_color", (0.1, 0.1, 0.1))),
+                square=float(spec.get("square", 1.0)),
+            ))
+        else:
+            raise ValueError(f"unknown object type {kind!r}")
+    lights = tuple(
+        Light(position=tuple(spec["position"]),
+              intensity=float(spec.get("intensity", 1.0)))
+        for spec in data.get("lights", [])
+    )
+    return Scene(
+        objects=tuple(objects),
+        lights=lights,
+        ambient=float(data.get("ambient", 0.08)),
+        background=tuple(data.get("background", (0.15, 0.18, 0.30))),
+    )
+
+
+def save_scene(scene: Scene, path: Union[str, Path]) -> None:
+    """Write ``scene`` as indented JSON to ``path``."""
+    Path(path).write_text(json.dumps(scene_to_dict(scene), indent=2))
+
+
+def load_scene(path: Union[str, Path]) -> Scene:
+    """Read a scene from a JSON file produced by :func:`save_scene`."""
+    return scene_from_dict(json.loads(Path(path).read_text()))

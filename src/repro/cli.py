@@ -1,0 +1,244 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Examples::
+
+    python -m repro fig7                 # ray-tracing scalability table
+    python -m repro fig9 --ascii         # adaptation run with CPU plot
+    python -m repro table2               # measured classification
+    python -m repro exp3 --app ray-tracing
+    python -m repro all                  # the full evaluation (§5)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.experiments import (
+    APP_FACTORIES,
+    CLUSTER_FACTORIES,
+    MAX_WORKERS,
+    adaptation_experiment,
+    dynamics_experiment,
+    scalability_experiment,
+)
+from repro.experiments.classify import classify_applications, format_table
+
+_FIGURE_APPS = {
+    "fig6": "option-pricing",
+    "fig7": "ray-tracing",
+    "fig8": "web-prefetch",
+    "fig9": "option-pricing",
+    "fig10": "ray-tracing",
+    "fig11": "web-prefetch",
+}
+
+
+def _ascii_history(history, width: int = 56, t_max: float = 44_000.0) -> str:
+    lines = [f"{'t (s)':>6} {'CPU %':>6}  0%{' ' * (width - 6)}100%"]
+    step = t_max / 44.0
+    t, index = 0.0, 0
+    while t <= t_max:
+        while index + 1 < len(history) and history[index + 1][0] <= t:
+            index += 1
+        level = history[index][1]
+        lines.append(
+            f"{t / 1000.0:>6.1f} {level:>6.0f}  "
+            f"|{'#' * int(round(level / 100.0 * width))}"
+        )
+        t += step
+    return "\n".join(lines)
+
+
+def _scalability(app_id: str, workers: Optional[int]) -> None:
+    sweep = scalability_experiment(
+        APP_FACTORIES[app_id],
+        CLUSTER_FACTORIES[app_id],
+        list(range(1, (workers or MAX_WORKERS[app_id]) + 1)),
+    )
+    print(sweep.format_table())
+    print("speedups:", [(w, round(s, 2)) for w, s in sweep.speedups()])
+
+
+def _adaptation(app_id: str, ascii_plot: bool) -> None:
+    result = adaptation_experiment(APP_FACTORIES[app_id], CLUSTER_FACTORIES[app_id])
+    if ascii_plot:
+        print(_ascii_history(result.cpu_history))
+        print()
+    print(result.format_table())
+    print(f"signal cycle: {' → '.join(result.signals_in_order)}; "
+          f"class loads: {result.class_loads}")
+
+
+def _dynamics(app_id: str, workers: Optional[int]) -> None:
+    result = dynamics_experiment(
+        APP_FACTORIES[app_id], CLUSTER_FACTORIES[app_id],
+        workers=workers or (8 if app_id == "option-pricing" else 4),
+    )
+    print(result.format_table())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation of 'Adaptive Cluster "
+                    "Computing using JavaSpaces' (CLUSTER 2001).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fig in ("fig6", "fig7", "fig8"):
+        p = sub.add_parser(fig, help=f"scalability figure ({_FIGURE_APPS[fig]})")
+        p.add_argument("--workers", type=int, default=None,
+                       help="sweep 1..N workers (default: the paper's testbed)")
+    for fig in ("fig9", "fig10", "fig11"):
+        p = sub.add_parser(fig, help=f"adaptation figure ({_FIGURE_APPS[fig]})")
+        p.add_argument("--ascii", action="store_true",
+                       help="render the CPU-usage history as ASCII")
+    sub.add_parser("table2", help="measured application classification")
+    p = sub.add_parser("exp3", help="dynamic worker behaviour (0/25/50 % loaded)")
+    p.add_argument("--app", choices=sorted(APP_FACTORIES), default="ray-tracing")
+    p.add_argument("--workers", type=int, default=None)
+    sub.add_parser("all", help="regenerate the full evaluation")
+
+    # The paper: "Input parameters are fed in using a simple GUI" — here,
+    # a CLI: price an arbitrary option on the simulated cluster.
+    p = sub.add_parser("price", help="price an option on the 13-PC cluster")
+    p.add_argument("--type", choices=["call", "put"], default="call")
+    p.add_argument("--spot", type=float, default=100.0)
+    p.add_argument("--strike", type=float, default=100.0)
+    p.add_argument("--rate", type=float, default=0.05)
+    p.add_argument("--volatility", type=float, default=0.2)
+    p.add_argument("--maturity", type=float, default=1.0, help="years")
+    p.add_argument("--exercise-dates", type=int, default=3)
+    p.add_argument("--simulations", type=int, default=10_000)
+    p.add_argument("--workers", type=int, default=13)
+
+    p = sub.add_parser("render", help="render a JSON scene on the cluster")
+    p.add_argument("scene", nargs="?", default=None,
+                   help="scene JSON file (default: the built-in scene)")
+    p.add_argument("--output", default="render_out.ppm")
+    p.add_argument("--size", type=int, default=600)
+    p.add_argument("--aa", type=int, default=1, help="AA samples per axis")
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command in ("fig6", "fig7", "fig8"):
+        _scalability(_FIGURE_APPS[command], args.workers)
+    elif command in ("fig9", "fig10", "fig11"):
+        _adaptation(_FIGURE_APPS[command], args.ascii)
+    elif command == "table2":
+        print(format_table(classify_applications()))
+    elif command == "exp3":
+        _dynamics(args.app, args.workers)
+    elif command == "all":
+        from repro.experiments.report import run_full_evaluation
+
+        report = run_full_evaluation(
+            progress=lambda msg: print(f"  … {msg}", file=sys.stderr)
+        )
+        print(report.render())
+    elif command == "price":
+        _price(args)
+    elif command == "render":
+        _render(args)
+    return 0
+
+
+def _price(args) -> None:
+    from repro.apps.options import (
+        OptionContract,
+        OptionPricingApplication,
+        OptionType,
+    )
+    from repro.core.framework import AdaptiveClusterFramework
+    from repro.experiments.harness import run_simulation
+    from repro.node.cluster import testbed_large
+
+    contract = OptionContract(
+        option_type=OptionType(args.type),
+        spot=args.spot,
+        strike=args.strike,
+        rate=args.rate,
+        volatility=args.volatility,
+        maturity_years=args.maturity,
+        exercise_dates=args.exercise_dates,
+    )
+    app = OptionPricingApplication(contract=contract,
+                                   n_simulations=args.simulations)
+
+    def body(runtime):
+        cluster = testbed_large(runtime, workers=args.workers)
+        framework = AdaptiveClusterFramework(runtime, cluster, app)
+        framework.start()
+        report = framework.run()
+        framework.shutdown()
+        return report
+
+    report = run_simulation(body)
+    solution = report.solution
+    print(f"{args.type} S={args.spot:g} K={args.strike:g} r={args.rate:g} "
+          f"σ={args.volatility:g} T={args.maturity:g}y "
+          f"({args.exercise_dates} exercise dates, "
+          f"{args.simulations} simulations, {args.workers} workers)")
+    print(f"price    : {solution['price']:.4f}")
+    print(f"interval : [{solution['ci_low']:.4f}, {solution['ci_high']:.4f}]")
+    print(f"parallel : {report.parallel_ms:,.0f} virtual ms")
+
+
+def _render(args) -> None:
+    import numpy as np
+
+    from repro.apps.raytrace import RayTracingApplication, load_scene
+    from repro.core.framework import AdaptiveClusterFramework
+    from repro.experiments.harness import run_simulation
+    from repro.node.cluster import testbed_small
+
+    scene = load_scene(args.scene) if args.scene else None
+    size = args.size
+    strip = max(1, size // 24)
+    while size % strip:
+        strip -= 1
+    app = RayTracingApplication(scene=scene, width=size, height=size,
+                                strip_rows=strip, max_depth=3)
+    if args.aa > 1:
+        app.max_depth = 3  # AA handled below via render args in execute
+    app_samples = args.aa
+
+    original_execute = app.execute
+
+    def execute_with_aa(payload):
+        from repro.apps.raytrace.render import render_rows
+
+        x0, y0, x1, y1 = payload["region"]
+        return render_rows(app.scene, app.camera, y0, y1, app.width,
+                           app.height, app.max_depth,
+                           samples_per_axis=app_samples)
+
+    app.execute = execute_with_aa  # type: ignore[method-assign]
+
+    def body(runtime):
+        cluster = testbed_small(runtime)
+        framework = AdaptiveClusterFramework(runtime, cluster, app)
+        framework.start()
+        report = framework.run()
+        framework.shutdown()
+        return report
+
+    report = run_simulation(body)
+    image = report.solution
+    with open(args.output, "wb") as fh:
+        fh.write(f"P6\n{image.shape[1]} {image.shape[0]}\n255\n".encode())
+        fh.write(image.tobytes())
+    print(f"wrote {args.output} ({image.nbytes:,} bytes, "
+          f"{app.n_strips} strips, AA {args.aa}x{args.aa})")
+    print(f"parallel: {report.parallel_ms:,.0f} virtual ms")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The adaptive cluster-computing framework (the paper's contribution).
+
+Three modules, as in Fig. 3 of the paper:
+
+* **Master module** (:mod:`repro.core.master`) — hosts the JavaSpaces
+  service, decomposes the application into tasks, writes them into the
+  space, collects and aggregates results.
+* **Worker module** (:mod:`repro.core.worker`) — a thin, remotely
+  configured process that takes tasks, computes, writes results back;
+  its lifecycle obeys the Fig. 5 state machine.
+* **Network management module** (:mod:`repro.core.netmgmt`) — monitors
+  worker state over SNMP, applies threshold policies in the inference
+  engine, and drives workers through the rule-base protocol (Fig. 4)
+  with Start/Stop/Pause/Resume signals.
+
+:class:`~repro.core.framework.AdaptiveClusterFramework` wires everything
+together on a :class:`~repro.node.Cluster`.
+"""
+
+from repro.core.signals import Signal, ThresholdPolicy
+from repro.core.states import WorkerState, WorkerStateMachine
+from repro.core.inference import InferenceEngine
+from repro.core.entries import ResultEntry, TaskEntry
+from repro.core.application import Application
+from repro.core.metrics import Metrics
+from repro.core.master import Master, MasterReport
+from repro.core.worker import WorkerHost
+from repro.core.netmgmt import NetworkManagementModule
+from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
+
+__all__ = [
+    "Signal",
+    "ThresholdPolicy",
+    "WorkerState",
+    "WorkerStateMachine",
+    "InferenceEngine",
+    "TaskEntry",
+    "ResultEntry",
+    "Application",
+    "Metrics",
+    "Master",
+    "MasterReport",
+    "WorkerHost",
+    "NetworkManagementModule",
+    "AdaptiveClusterFramework",
+    "FrameworkConfig",
+]

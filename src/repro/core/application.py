@@ -1,0 +1,87 @@
+"""Application abstraction: what the framework needs from an app.
+
+The paper targets applications "divisible into relatively coarse-grained
+subtasks that can be solved independently, and where the subtasks have
+small input/output sizes".  An :class:`Application` supplies:
+
+* the decomposition (``plan``), the real computation (``execute``) and
+  the recomposition (``aggregate``) — these produce *real results*, used
+  unchanged on the threaded runtime;
+* a cost model (``task_cost_ms`` / ``planning_cost_ms`` /
+  ``aggregation_cost_ms``) in **reference milliseconds** (time at 100 %
+  of an 800 MHz CPU), which drives virtual time in simulation — results
+  are real, time is modelled (see DESIGN.md §5);
+* a class-loading profile: how much CPU the remote-node-configuration
+  download spike costs on a worker (the Figs 9–11 startup peaks differ
+  per application).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ClassLoadProfile:
+    """Cost of dynamically loading the worker implementation."""
+
+    work_ref_ms: float       # CPU work of unpacking/verifying classes
+    demand_percent: float    # height of the CPU spike it causes
+    bundle_bytes: int        # jar size transferred from the code server
+
+
+@dataclass(frozen=True)
+class Task:
+    """A planned unit of work (becomes a ``TaskEntry`` payload)."""
+
+    task_id: int
+    payload: Any
+
+
+class Application(ABC):
+    """A master–worker application runnable on the framework."""
+
+    #: unique identifier; used in space templates and metrics
+    app_id: str = "app"
+
+    # -- functional behaviour ----------------------------------------------------
+
+    @abstractmethod
+    def plan(self) -> list[Task]:
+        """Decompose the problem into independent tasks."""
+
+    @abstractmethod
+    def execute(self, payload: Any) -> Any:
+        """Compute one task's result (pure; runs on the worker)."""
+
+    @abstractmethod
+    def aggregate(self, results: dict[int, Any]) -> Any:
+        """Combine ``{task_id: result}`` into the final solution."""
+
+    # -- cost model (reference ms on an unloaded 800 MHz CPU) -----------------------
+
+    @abstractmethod
+    def task_cost_ms(self, task: Task) -> float:
+        """Worker CPU cost of computing ``task``."""
+
+    def planning_cost_ms(self, task: Task) -> float:
+        """Master CPU cost of creating/serializing one task entry."""
+        return 5.0
+
+    def aggregation_cost_ms(self, task_id: int, result: Any) -> float:
+        """Master CPU cost of folding one result into the solution."""
+        return 5.0
+
+    def classload_profile(self) -> ClassLoadProfile:
+        """CPU/network profile of loading this app's worker classes."""
+        return ClassLoadProfile(work_ref_ms=1000.0, demand_percent=80.0,
+                                bundle_bytes=200_000)
+
+    # -- conveniences -------------------------------------------------------------
+
+    def run_sequential(self) -> Any:
+        """Reference single-machine execution (used by correctness tests)."""
+        results = {task.task_id: self.execute(task.payload) for task in self.plan()}
+        return self.aggregate(results)

@@ -1,0 +1,96 @@
+"""Code server: the "web server residing at the master" (paper §4.3).
+
+Worker classes are packaged as executable bundles ("jar files") and
+downloaded at runtime by the remote node configuration engine.  The
+transfer pays real network cost (bundle bytes through the latency model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConnectionClosedError, FrameworkError
+from repro.core.application import ClassLoadProfile
+from repro.net.address import Address
+from repro.net.network import Network, StreamSocket
+from repro.runtime.base import Runtime
+
+__all__ = ["CodeServer", "CODE_SERVER_PORT"]
+
+CODE_SERVER_PORT = 8088
+
+
+class CodeServer:
+    """Serves application code bundles over stream connections."""
+
+    def __init__(self, runtime: Runtime, network: Network, host: str,
+                 port: int = CODE_SERVER_PORT) -> None:
+        self.runtime = runtime
+        self.network = network
+        self.address = Address(host, port)
+        self._bundles: dict[str, ClassLoadProfile] = {}
+        self._listener = None
+        self._running = False
+        self.stats = {"downloads": 0, "bytes_served": 0}
+
+    def publish(self, app_id: str, profile: ClassLoadProfile) -> None:
+        """Make an application's worker bundle downloadable."""
+        self._bundles[app_id] = profile
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._listener = self.network.listen(self.address)
+        self.runtime.spawn(self._accept_loop, name=f"code-server:{self.address.host}")
+
+    def stop(self) -> None:
+        self._running = False
+        if self._listener is not None:
+            self._listener.close()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn = self._listener.accept(timeout_ms=None)
+            except ConnectionClosedError:
+                return
+            if conn is None:
+                continue
+            self.runtime.spawn(lambda c=conn: self._serve(c), name="code-conn")
+
+    def _serve(self, conn: StreamSocket) -> None:
+        try:
+            request = conn.receive(timeout_ms=None)
+            if not isinstance(request, dict) or "app_id" not in request:
+                conn.send({"ok": False, "error": "bad request"})
+                return
+            profile = self._bundles.get(request["app_id"])
+            if profile is None:
+                conn.send({"ok": False, "error": f"no bundle for {request['app_id']!r}"})
+                return
+            self.stats["downloads"] += 1
+            self.stats["bytes_served"] += profile.bundle_bytes
+            # The bundle body itself rides the network so the latency model
+            # charges for its size, exactly like a real jar download.
+            conn.send({"ok": True, "profile": profile, "jar": b"\x00" * profile.bundle_bytes})
+        except ConnectionClosedError:
+            pass
+        finally:
+            conn.close()
+
+
+def download_bundle(
+    network: Network, host: str, server: Address, app_id: str
+) -> ClassLoadProfile:
+    """Client half: fetch a bundle; returns its class-load profile."""
+    conn = network.connect(host, server)
+    try:
+        conn.send({"app_id": app_id})
+        reply = conn.receive(timeout_ms=None)
+        if reply is None or not reply.get("ok"):
+            error = (reply or {}).get("error", "no reply")
+            raise FrameworkError(f"bundle download failed: {error}")
+        return reply["profile"]
+    finally:
+        conn.close()

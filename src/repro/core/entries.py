@@ -1,0 +1,47 @@
+"""Space entries exchanged between master and workers.
+
+"Each task object is identified by a unique ID and the space in which it
+resides" — here: ``(app_id, task_id)``.  Workers use a wildcard template
+on ``TaskEntry`` (value-based lookup), the master collects ``ResultEntry``
+objects back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.tuplespace.entry import Entry
+
+__all__ = ["TaskEntry", "ResultEntry"]
+
+
+class TaskEntry(Entry):
+    """One independent unit of application work."""
+
+    def __init__(
+        self,
+        app_id: Optional[str] = None,
+        task_id: Optional[int] = None,
+        payload: Any = None,
+    ) -> None:
+        self.app_id = app_id
+        self.task_id = task_id
+        self.payload = payload
+
+
+class ResultEntry(Entry):
+    """The computed output for one task."""
+
+    def __init__(
+        self,
+        app_id: Optional[str] = None,
+        task_id: Optional[int] = None,
+        payload: Any = None,
+        worker: Optional[str] = None,
+        compute_ms: Optional[float] = None,
+    ) -> None:
+        self.app_id = app_id
+        self.task_id = task_id
+        self.payload = payload
+        self.worker = worker
+        self.compute_ms = compute_ms

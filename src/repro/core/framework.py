@@ -1,0 +1,253 @@
+"""Top-level assembly: the adaptive cluster-computing framework.
+
+Wires the paper's three modules onto a :class:`~repro.node.Cluster`:
+
+* master node: JavaSpaces service (+ its network server), Jini lookup
+  service + join, the code server, the network management module, and
+  the master process;
+* every worker node: a :class:`~repro.core.worker.WorkerHost` (SNMP agent
+  + rule-base client + remote-configuration engine).
+
+Workers are recruited by the monitoring loop: an idle node's first SNMP
+poll produces a Start signal, so an unloaded cluster spins up within one
+poll interval — no manual management, the paper's key contribution over
+the systems in its Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.application import Application
+from repro.core.codeserver import CODE_SERVER_PORT, CodeServer
+from repro.core.master import Master, MasterReport
+from repro.core.metrics import Metrics
+from repro.core.netmgmt import RULEBASE_PORT, NetworkManagementModule
+from repro.core.signals import ThresholdPolicy
+from repro.core.worker import WorkerHost
+from repro.errors import ConfigurationError
+from repro.jini.discovery import DiscoveryClient
+from repro.jini.join import JoinManager, LookupClient
+from repro.jini.lookup import LookupService, ServiceItem
+from repro.net.address import Address
+from repro.node.cluster import Cluster
+from repro.runtime.base import Runtime
+from repro.tuplespace.lease import FOREVER
+from repro.tuplespace.proxy import SpaceServer
+from repro.tuplespace.space import JavaSpace
+
+__all__ = ["AdaptiveClusterFramework", "FrameworkConfig"]
+
+SPACE_PORT = 4155
+LOOKUP_PORT = 4162
+
+#: Modelled footprints of the master-side services — the paper: "Due to
+#: the high memory requirements of the Jini infrastructure, the master
+#: module … runs on an 800 MHz … PC with 256 MB RAM."
+JINI_FOOTPRINT_MB = 48
+SPACE_FOOTPRINT_MB = 64
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """Knobs for one framework deployment."""
+
+    poll_interval_ms: float = 1000.0        # SNMP monitoring period
+    worker_poll_ms: float = 250.0           # worker take() poll / signal check
+    thresholds: ThresholdPolicy = field(default_factory=ThresholdPolicy)
+    community: str = "public"               # SNMP community string
+    monitoring: bool = True                 # network management module on/off
+    use_jini: bool = True                   # discover the space via lookup
+    compute_real: bool = True               # actually run app.execute on workers
+    load_metric: str = "external"           # what the inference engine polls
+    transactional_takes: bool = False       # crash-safe task takes (see worker)
+    monitoring_mode: str = "poll"           # "poll" (paper) or "trap" (extension)
+    port_offset: int = 0                    # shift all service ports so several
+                                            # deployments can share one cluster
+    eager_scheduling: bool = False          # replicate straggling tasks
+    straggler_timeout_ms: float = 5_000.0   # quiet period before replication
+
+
+class AdaptiveClusterFramework:
+    """One deployment of the framework on a cluster, for one application."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        cluster: Cluster,
+        app: Application,
+        config: Optional[FrameworkConfig] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.cluster = cluster
+        self.app = app
+        self.config = config if config is not None else FrameworkConfig()
+        self.metrics = metrics if metrics is not None else Metrics(runtime)
+        # Cost models charge virtual CPU only under simulation; on the
+        # threaded runtime the real computation already takes real time.
+        from repro.runtime import SimulatedRuntime
+
+        self._model_time = isinstance(runtime, SimulatedRuntime)
+        self.space = JavaSpace(runtime, name=f"space:{app.app_id}")
+        offset = self.config.port_offset
+        self.space_address = Address(cluster.master.hostname, SPACE_PORT + offset)
+        self.space_server: Optional[SpaceServer] = None
+        self.code_server: Optional[CodeServer] = None
+        self.lookup: Optional[LookupService] = None
+        self.netmgmt: Optional[NetworkManagementModule] = None
+        self.master = Master(
+            runtime, cluster.master, self.space, app, self.metrics,
+            eager_scheduling=self.config.eager_scheduling,
+            straggler_timeout_ms=self.config.straggler_timeout_ms,
+            model_time=self._model_time,
+        )
+        self.worker_hosts: list[WorkerHost] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bring up all services and worker hosts (no tasks planned yet)."""
+        if self._started:
+            raise ConfigurationError("framework already started")
+        self._started = True
+        runtime, cluster, config = self.runtime, self.cluster, self.config
+        network = cluster.network
+        master_host = cluster.master.hostname
+
+        # The master must fit the service stack in RAM (the paper's reason
+        # for the 256 MB master even on the 64 MB-worker testbed).
+        from repro.errors import OutOfMemoryError
+
+        try:
+            cluster.master.memory.allocate(
+                f"javaspaces:{self.app.app_id}", SPACE_FOOTPRINT_MB * 1024
+            )
+            if config.use_jini:
+                cluster.master.memory.allocate(
+                    "jini-infrastructure", JINI_FOOTPRINT_MB * 1024
+                )
+        except OutOfMemoryError as exc:
+            raise ConfigurationError(
+                f"master node {master_host!r} ({cluster.master.spec}) cannot "
+                f"host the Jini/JavaSpaces services: {exc}"
+            ) from exc
+
+        # JavaSpaces service at the master.
+        self.space_server = SpaceServer(
+            runtime, self.space, network, self.space_address
+        )
+        self.space_server.start()
+        offset = config.port_offset
+
+        # Code server for remote node configuration.
+        self.code_server = CodeServer(runtime, network, master_host,
+                                      port=CODE_SERVER_PORT + offset)
+        self.code_server.publish(self.app.app_id, self.app.classload_profile())
+        self.code_server.start()
+
+        # Jini substrate: the master registers its JavaSpaces service.
+        space_address = self.space_address
+        if config.use_jini:
+            self.lookup = LookupService(
+                runtime, network, Address(master_host, LOOKUP_PORT + offset)
+            )
+            self.lookup.start()
+            JoinManager(
+                runtime, network, master_host,
+                Address(master_host, LOOKUP_PORT + offset),
+                ServiceItem(
+                    f"javaspaces:{self.app.app_id}", self.space_address,
+                    {"type": "JavaSpaces", "app": self.app.app_id},
+                ),
+                lease_ms=FOREVER,
+            ).start()
+
+        # Network management module on the master host.
+        if config.monitoring:
+            self.netmgmt = NetworkManagementModule(
+                runtime, network, master_host, self.metrics,
+                policy=config.thresholds,
+                poll_interval_ms=config.poll_interval_ms,
+                community=config.community,
+                load_metric=config.load_metric,
+                mode=config.monitoring_mode,
+                port=RULEBASE_PORT + offset,
+                trap_port=None if offset == 0 else 162 + offset,
+            )
+            self.netmgmt.start()
+
+        # Worker hosts on every worker node.
+        netmgmt_address = self.netmgmt.address if self.netmgmt else None
+        for node in cluster.workers:
+            node.snmp_community = config.community
+            host = WorkerHost(
+                runtime, node, self.app,
+                space_address=space_address,
+                code_server=Address(master_host, CODE_SERVER_PORT + offset),
+                netmgmt_address=netmgmt_address,
+                metrics=self.metrics,
+                worker_poll_ms=config.worker_poll_ms,
+                compute_real=config.compute_real,
+                transactional=config.transactional_takes,
+                model_time=self._model_time,
+            )
+            host.start()
+            self.worker_hosts.append(host)
+
+    def resolve_space_via_jini(self, from_host: str) -> Address:
+        """Exercise discovery + lookup to find the space service."""
+        registrars = DiscoveryClient(self.runtime, self.cluster.network, from_host).discover(
+            timeout_ms=50.0, expected=1
+        )
+        if not registrars:
+            raise ConfigurationError("no lookup service discovered")
+        client = LookupClient(self.cluster.network, from_host, registrars[0])
+        try:
+            items = client.lookup({"type": "JavaSpaces", "app": self.app.app_id})
+            if not items:
+                raise ConfigurationError("JavaSpaces service not registered")
+            return items[0].service
+        finally:
+            client.close()
+
+    def start_all_workers(self) -> None:
+        """Manually Start every worker (used when monitoring is off)."""
+        from repro.core.signals import Signal
+
+        for host in self.worker_hosts:
+            host.handle_signal(Signal.START)
+
+    def run(self) -> MasterReport:
+        """Run the master to completion (call from a runtime process)."""
+        if not self._started:
+            self.start()
+        if self.netmgmt is None:
+            self.start_all_workers()
+        report = self.master.run()
+        return report
+
+    def shutdown(self) -> None:
+        """Stop every loop so a simulated run drains its event heap."""
+        for host in self.worker_hosts:
+            host.stop()
+        if self.netmgmt is not None:
+            self.netmgmt.stop()
+        if self.lookup is not None:
+            self.lookup.stop()
+        if self.code_server is not None:
+            self.code_server.stop()
+        if self.space_server is not None:
+            self.space_server.stop()
+
+    # -- observation -----------------------------------------------------------------------
+
+    def worker_times_ms(self) -> dict[str, Optional[float]]:
+        """Per-worker computation time (first take → last result)."""
+        return {h.node.hostname: h.worker_time_ms() for h in self.worker_hosts}
+
+    def max_worker_time_ms(self) -> float:
+        times = [t for t in self.worker_times_ms().values() if t is not None]
+        return max(times) if times else 0.0

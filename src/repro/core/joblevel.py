@@ -1,0 +1,214 @@
+"""Job-level parallelism baseline (Condor-style; paper §2).
+
+The paper contrasts *adaptive parallelism* (bag-of-tasks through the
+space) with *job-level parallelism*: "entire application jobs are
+allocated to available idle resources … if a resource becomes
+unavailable, the job(s) executing on it are migrated to a different
+resource", which "require[s] … check-pointing the state of an
+application job on one machine and restoring the state on a different
+machine".
+
+This module quantifies that comparison.  The application's tasks are
+partitioned statically into one *job* per worker; each job runs whole on
+its node, checkpointing after every task.  When the monitoring loop
+evicts a node (load above the stop threshold), the job migrates — its
+checkpoint (completed task results) transfers to an idle node and the
+job resumes from the last checkpoint.  Costs charged: checkpoint CPU per
+task, checkpoint-size-dependent transfer on migration, restart latency.
+
+Differences from the adaptive framework that the ablation bench surfaces:
+
+* static partitioning → no load balancing (the slowest/most-evicted node
+  dominates);
+* migration moves the whole job state instead of letting 100-ms tasks
+  drain naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.application import Application, Task
+from repro.core.signals import ThresholdPolicy
+from repro.node.cluster import Cluster
+from repro.node.machine import Node
+from repro.runtime.base import Runtime
+from repro.util.serialization import serialized_size
+
+__all__ = ["JobLevelScheduler", "JobLevelReport", "JobLevelConfig"]
+
+
+@dataclass(frozen=True)
+class JobLevelConfig:
+    checkpoint_cost_ms: float = 40.0       # CPU per checkpoint write
+    restart_cost_ms: float = 400.0         # process restart on the new node
+    transfer_ms_per_kb: float = 0.4        # checkpoint state transfer
+    poll_interval_ms: float = 1000.0       # eviction monitoring period
+    thresholds: ThresholdPolicy = field(default_factory=ThresholdPolicy)
+
+
+@dataclass
+class JobLevelReport:
+    app_id: str
+    parallel_ms: float
+    migrations: int
+    checkpoints: int
+    solution: Any
+    per_job_ms: dict[str, float] = field(default_factory=dict)
+
+
+class _Job:
+    """One statically assigned chunk of the application."""
+
+    def __init__(self, job_id: int, tasks: list[Task]) -> None:
+        self.job_id = job_id
+        self.tasks = tasks
+        self.completed: dict[int, Any] = {}   # the "checkpoint"
+        self.done = False
+
+    @property
+    def next_index(self) -> int:
+        return len(self.completed)
+
+    def checkpoint_bytes(self) -> int:
+        return serialized_size(self.completed)
+
+
+class JobLevelScheduler:
+    """Runs an application with static jobs + eviction-driven migration."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        cluster: Cluster,
+        app: Application,
+        config: Optional[JobLevelConfig] = None,
+        compute_real: bool = True,
+    ) -> None:
+        self.runtime = runtime
+        self.cluster = cluster
+        self.app = app
+        self.config = config if config is not None else JobLevelConfig()
+        self.compute_real = compute_real
+        self.migrations = 0
+        self.checkpoints = 0
+        self.lost_work_ms = 0.0     # un-checkpointed progress killed by eviction
+        self._node_busy: dict[str, bool] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _partition(self, tasks: list[Task], n_jobs: int) -> list[_Job]:
+        jobs: list[list[Task]] = [[] for _ in range(n_jobs)]
+        for index, task in enumerate(tasks):
+            jobs[index % n_jobs].append(task)
+        return [_Job(i, chunk) for i, chunk in enumerate(jobs) if chunk]
+
+    def _node_available(self, node: Node) -> bool:
+        load = node.cpu.average_external(window_ms=self.config.poll_interval_ms)
+        return (
+            self.config.thresholds.band(load) == "idle"
+            and not self._node_busy.get(node.hostname, False)
+        )
+
+    def _pick_node(self, exclude: Optional[str] = None) -> Optional[Node]:
+        for node in self.cluster.workers:
+            if node.hostname == exclude:
+                continue
+            if self._node_available(node):
+                return node
+        return None
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self) -> JobLevelReport:
+        """Run all jobs to completion; blocks the calling process."""
+        started = self.runtime.now()
+        tasks = self.app.plan()
+        jobs = self._partition(tasks, len(self.cluster.workers))
+        per_job_ms: dict[str, float] = {}
+        done_flags: dict[int, bool] = {}
+
+        def run_job(job: _Job) -> None:
+            job_started = self.runtime.now()
+            node = self._wait_for_node()
+            while not job.done:
+                evicted = self._run_on_node(job, node)
+                if job.done:
+                    break
+                if evicted:
+                    # Migrate: transfer checkpoint, restart elsewhere.
+                    self.migrations += 1
+                    replacement = self._wait_for_node(exclude=node.hostname)
+                    transfer_ms = (
+                        self.config.transfer_ms_per_kb
+                        * job.checkpoint_bytes() / 1024.0
+                    )
+                    self.runtime.sleep(transfer_ms + self.config.restart_cost_ms)
+                    node = replacement
+            per_job_ms[f"job-{job.job_id}"] = self.runtime.now() - job_started
+            done_flags[job.job_id] = True
+
+        for job in jobs:
+            self.runtime.spawn(lambda j=job: run_job(j), name=f"job-{job.job_id}")
+        while len(done_flags) < len(jobs):
+            self.runtime.sleep(50.0)
+
+        results: dict[int, Any] = {}
+        for job in jobs:
+            results.update(job.completed)
+        solution = self.app.aggregate(results)
+        return JobLevelReport(
+            app_id=self.app.app_id,
+            parallel_ms=self.runtime.now() - started,
+            migrations=self.migrations,
+            checkpoints=self.checkpoints,
+            solution=solution,
+            per_job_ms=per_job_ms,
+        )
+
+    def _wait_for_node(self, exclude: Optional[str] = None) -> Node:
+        while True:
+            node = self._pick_node(exclude=exclude)
+            if node is not None:
+                self._node_busy[node.hostname] = True
+                return node
+            self.runtime.sleep(self.config.poll_interval_ms)
+
+    def _run_on_node(self, job: _Job, node: Node) -> bool:
+        """Run tasks until the job finishes or the node is evicted.
+
+        Returns True when evicted.  Unlike the adaptive framework (which
+        delivers signals *between* tasks and lets the current one drain),
+        eviction kills the job process mid-task: the un-checkpointed work
+        is lost and recomputed after migration — the classic cost of
+        job-level parallelism the paper's Table 1 alludes to.
+        """
+        def evicted_now() -> bool:
+            return self.config.thresholds.band(node.cpu.external_percent()) == "loaded"
+
+        try:
+            while job.next_index < len(job.tasks):
+                if evicted_now():
+                    return True
+                task = job.tasks[job.next_index]
+                elapsed, finished = node.cpu.execute_interruptible(
+                    self.app.task_cost_ms(task), abort_check=evicted_now
+                )
+                if not finished:
+                    self.lost_work_ms += elapsed
+                    return True
+                payload = self.app.execute(task.payload) if self.compute_real else None
+                ck_elapsed, ck_finished = node.cpu.execute_interruptible(
+                    self.config.checkpoint_cost_ms, abort_check=evicted_now
+                )
+                if not ck_finished:
+                    # Killed mid-checkpoint: the whole task's work is lost.
+                    self.lost_work_ms += elapsed + ck_elapsed
+                    return True
+                self.checkpoints += 1
+                job.completed[task.task_id] = payload
+            job.done = True
+            return False
+        finally:
+            self._node_busy[node.hostname] = False

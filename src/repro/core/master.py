@@ -1,0 +1,203 @@
+"""The master module (paper §4.1–4.2).
+
+Runs as an application-level process on the master node.  Three phases,
+with task-planning and compute overlapping by construction (workers take
+entries as soon as they appear):
+
+* **task-planning** — decompose the application, create a task entry per
+  task (paying the per-task planning CPU cost: serialization + write) and
+  write it into the space;
+* **compute** — performed by the workers;
+* **result-aggregation** — take result entries, fold each into the
+  solution (paying the per-result aggregation CPU cost).  This phase's
+  duration tracks the slowest worker, because the master "needs to wait
+  for the last task to complete".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.application import Application, Task
+from repro.core.entries import ResultEntry, TaskEntry
+from repro.core.metrics import Metrics
+from repro.node.machine import Node
+from repro.runtime.base import Runtime
+from repro.tuplespace.space import JavaSpace
+
+__all__ = ["Master", "MasterReport"]
+
+
+@dataclass
+class MasterReport:
+    """Everything the scalability experiments measure at the master."""
+
+    app_id: str
+    task_count: int
+    solution: Any
+    planning_ms: float
+    aggregation_ms: float
+    parallel_ms: float
+    max_task_overhead_ms: float          # max instantaneous planning/agg cost
+    results_by_worker: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def planning_plus_aggregation_ms(self) -> float:
+        return self.planning_ms + self.aggregation_ms
+
+
+class Master:
+    """Plans tasks into the space and aggregates results out of it.
+
+    With ``eager_scheduling`` (Charlotte's idea, Table 1), the master
+    re-writes a straggling task entry when every entry has been taken but
+    results stopped arriving — a replica races the straggler, and the
+    first result wins (duplicates are consumed and ignored; tasks must be
+    idempotent, which bag-of-tasks work is by construction).
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        node: Node,
+        space: JavaSpace,
+        app: Application,
+        metrics: Metrics,
+        eager_scheduling: bool = False,
+        straggler_timeout_ms: float = 5_000.0,
+        max_replicas: int = 2,
+        model_time: bool = True,
+    ) -> None:
+        self.runtime = runtime
+        self.node = node
+        self.space = space
+        self.app = app
+        self.metrics = metrics
+        self.eager_scheduling = eager_scheduling
+        self.straggler_timeout_ms = straggler_timeout_ms
+        self.max_replicas = max_replicas
+        self.model_time = model_time  # charge planning/agg CPU (simulation only)
+        self.replicated_tasks = 0
+        self.duplicate_results = 0
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Abandon the run: the aggregation loop exits at its next wake
+        (requires eager scheduling or any finite take timeout to notice)."""
+        self._cancelled = True
+
+    def run(self) -> MasterReport:
+        """Execute the full master lifecycle; blocks until aggregation ends."""
+        app = self.app
+        started = self.runtime.now()
+        max_overhead = 0.0
+
+        # ---- task-planning phase -------------------------------------------------
+        tasks: list[Task] = app.plan()
+        for task in tasks:
+            t0 = self.runtime.now()
+            cost = app.planning_cost_ms(task)
+            if self.model_time and cost > 0:
+                self.node.cpu.execute(cost)
+            self.space.write(TaskEntry(app.app_id, task.task_id, task.payload))
+            max_overhead = max(max_overhead, self.runtime.now() - t0)
+        planning_ms = self.runtime.now() - started
+        self.metrics.scalar(f"master/{app.app_id}/planning_ms", planning_ms)
+        self.metrics.event("planning-done", app=app.app_id, tasks=len(tasks))
+
+        # ---- result-aggregation phase ---------------------------------------------
+        aggregation_started = self.runtime.now()
+        template = ResultEntry(app_id=app.app_id)
+        results: dict[int, Any] = {}
+        by_worker: dict[str, int] = {}
+        task_by_id = {task.task_id: task for task in tasks}
+        replicas: dict[int, int] = {}
+        last_progress = self.runtime.now()
+        while len(results) < len(tasks):
+            if self._cancelled:
+                break
+            wait_ms = self.straggler_timeout_ms if self.eager_scheduling else None
+            entry = self.space.take(template, timeout_ms=wait_ms)
+            if entry is None:
+                # Eager scheduling: everything is taken but a result is
+                # overdue — race replicas against the stragglers.
+                if self.runtime.now() - last_progress >= self.straggler_timeout_ms:
+                    self._replicate_stragglers(task_by_id, results, replicas)
+                continue
+            last_progress = self.runtime.now()
+            if entry.task_id in results:
+                self.duplicate_results += 1
+                continue  # a straggler and its replica both finished
+            t0 = self.runtime.now()
+            cost = app.aggregation_cost_ms(entry.task_id, entry.payload)
+            if self.model_time and cost > 0:
+                self.node.cpu.execute(cost)
+            results[entry.task_id] = entry.payload
+            if entry.worker:
+                by_worker[entry.worker] = by_worker.get(entry.worker, 0) + 1
+            max_overhead = max(max_overhead, self.runtime.now() - t0)
+        if self.eager_scheduling:
+            self._drain_leftovers(template, task_by_id)
+        solution = None if self._cancelled else app.aggregate(results)
+        now = self.runtime.now()
+        aggregation_ms = now - aggregation_started
+        parallel_ms = now - started
+
+        if self.replicated_tasks:
+            self.metrics.scalar(f"master/{app.app_id}/replicated_tasks",
+                                self.replicated_tasks)
+        self.metrics.scalar(f"master/{app.app_id}/aggregation_ms", aggregation_ms)
+        self.metrics.scalar(f"master/{app.app_id}/parallel_ms", parallel_ms)
+        return MasterReport(
+            app_id=app.app_id,
+            task_count=len(tasks),
+            solution=solution,
+            planning_ms=planning_ms,
+            aggregation_ms=aggregation_ms,
+            parallel_ms=parallel_ms,
+            max_task_overhead_ms=max_overhead,
+            results_by_worker=by_worker,
+        )
+
+    # -- eager scheduling internals ------------------------------------------------
+
+    def _replicate_stragglers(
+        self,
+        task_by_id: dict[int, Task],
+        results: dict[int, Any],
+        replicas: dict[int, int],
+    ) -> None:
+        """Re-write task entries whose result is overdue.
+
+        Only tasks with no visible entry left in the space (i.e. taken by
+        some worker that has gone quiet) are replicated, at most
+        ``max_replicas`` times each.
+        """
+        for task_id, task in task_by_id.items():
+            if task_id in results:
+                continue
+            if replicas.get(task_id, 0) >= self.max_replicas:
+                continue
+            probe = TaskEntry(app_id=self.app.app_id, task_id=task_id)
+            if self.space.read_if_exists(probe) is not None:
+                continue  # still queued: nobody is sitting on it
+            replicas[task_id] = replicas.get(task_id, 0) + 1
+            self.replicated_tasks += 1
+            self.metrics.event("task-replicated", app=self.app.app_id,
+                               task_id=task_id)
+            self.space.write(TaskEntry(self.app.app_id, task_id, task.payload))
+
+    def _drain_leftovers(self, template: ResultEntry,
+                         task_by_id: dict[int, Task]) -> None:
+        """Consume duplicate results and retract un-taken replicas."""
+        while True:
+            extra = self.space.take_if_exists(template)
+            if extra is None:
+                break
+            self.duplicate_results += 1
+        for task_id in task_by_id:
+            while self.space.take_if_exists(
+                TaskEntry(app_id=self.app.app_id, task_id=task_id)
+            ) is not None:
+                pass

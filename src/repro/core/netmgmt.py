@@ -1,0 +1,208 @@
+"""The network management module (paper §4.1, §4.4; Fig. 4).
+
+Server half of the rule-base protocol:
+
+1. the server listens for client connections;
+2. a worker's SNMP client connects and sends its address;
+3. the server assigns it a client ID (via the inference engine registry);
+4.–7. a per-worker monitor loop polls the worker's SNMP agent for CPU
+   load, feeds the sample to the inference engine, and sends whatever
+   signal it decides back over the socket;
+8. the client forwards the signal to the worker application; go to 5.
+
+The monitored OID is the *external* load by default (load excluding the
+framework's own worker process — see DESIGN.md §5 for why), switchable to
+total load for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConnectionClosedError, SnmpError, TimeoutError_
+from repro.core.inference import InferenceEngine, WorkerRecord
+from repro.core.metrics import Metrics
+from repro.core.signals import Signal, ThresholdPolicy
+from repro.net.address import Address
+from repro.net.network import Network, StreamSocket
+from repro.runtime.base import Runtime
+from repro.snmp.manager import SnmpManager
+from repro.snmp.mib import HOST_RESOURCES
+
+from repro.util.log import get_logger
+
+__all__ = ["NetworkManagementModule", "RULEBASE_PORT"]
+
+RULEBASE_PORT = 5601
+
+_log = get_logger("netmgmt")
+
+
+class NetworkManagementModule:
+    """SNMP monitoring + inference engine + rule-base server."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        network: Network,
+        host: str,
+        metrics: Metrics,
+        policy: Optional[ThresholdPolicy] = None,
+        poll_interval_ms: float = 1000.0,
+        community: str = "public",
+        load_metric: str = "external",
+        port: int = RULEBASE_PORT,
+        mode: str = "poll",
+        trap_port: Optional[int] = None,
+    ) -> None:
+        if load_metric not in ("external", "total"):
+            raise ValueError(f"load_metric must be 'external' or 'total': {load_metric}")
+        if mode not in ("poll", "trap"):
+            raise ValueError(f"mode must be 'poll' or 'trap': {mode}")
+        self.runtime = runtime
+        self.network = network
+        self.address = Address(host, port)
+        self.metrics = metrics
+        self.inference = InferenceEngine(policy)
+        self.poll_interval_ms = poll_interval_ms
+        self.load_oid = (
+            HOST_RESOURCES.EXTERNAL_LOAD
+            if load_metric == "external"
+            else HOST_RESOURCES.HR_PROCESSOR_LOAD
+        )
+        self.mode = mode
+        self._trap_port = trap_port
+        self.snmp = SnmpManager(runtime, network, host, community=community)
+        self._listener = None
+        self._trap_receiver = None
+        self._conns: dict[str, StreamSocket] = {}
+        self.running = False
+        self.stats = {"polls": 0, "poll_failures": 0, "signals_sent": 0,
+                      "traps_received": 0}
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._listener = self.network.listen(self.address)
+        self.runtime.spawn(self._accept_loop, name="netmgmt-accept")
+        if self.mode == "trap":
+            from repro.snmp.trap import TRAP_PORT, TrapReceiver
+
+            self._trap_receiver = TrapReceiver(
+                self.runtime, self.network, self.address.host,
+                community=self.snmp.community,
+                port=self._trap_port if self._trap_port is not None else TRAP_PORT,
+            )
+            self._trap_receiver.on_trap(self._handle_trap)
+            self._trap_receiver.start()
+
+    def stop(self) -> None:
+        self.running = False
+        if self._listener is not None:
+            self._listener.close()
+        if self._trap_receiver is not None:
+            self._trap_receiver.stop()
+        self.snmp.close()
+
+    # -- rule-base server ---------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self.running:
+            try:
+                conn = self._listener.accept(timeout_ms=None)
+            except ConnectionClosedError:
+                return
+            if conn is None:
+                continue
+            self.runtime.spawn(lambda c=conn: self._handle_client(c), name="netmgmt-client")
+
+    def _handle_client(self, conn: StreamSocket) -> None:
+        record = None
+        try:
+            registration = conn.receive(timeout_ms=None)
+            if not isinstance(registration, dict) or registration.get("type") != "register":
+                conn.close()
+                return
+            record = self.inference.register(registration["host"])
+            reply = {"type": "registered", "worker_id": record.worker_id,
+                     "mode": self.mode}
+            if self.mode == "trap":
+                reply["trap_address"] = self._trap_receiver.address
+                reply["thresholds"] = {
+                    "idle_below": self.inference.policy.idle_below,
+                    "stop_above": self.inference.policy.stop_above,
+                }
+            conn.send(reply)
+            self.metrics.event("worker-registered", worker=record.hostname,
+                               worker_id=record.worker_id)
+            self._conns[record.hostname] = conn
+            if self.mode == "poll":
+                self._monitor_loop(record, conn)
+            else:
+                # Trap mode: signals are pushed by _handle_trap; this loop
+                # only watches for the client going away.
+                while self.running:
+                    conn.receive(timeout_ms=None)
+        except ConnectionClosedError:
+            pass
+        finally:
+            if record is not None:
+                self._conns.pop(record.hostname, None)
+            conn.close()
+
+    def _handle_trap(self, trap, sender) -> None:
+        """Trap-mode inference: one decision per load-band transition."""
+        from repro.snmp.mib import HOST_RESOURCES
+
+        varbinds = dict(trap.varbinds)
+        hostname = varbinds.get(HOST_RESOURCES.SYS_NAME)
+        load = varbinds.get(HOST_RESOURCES.EXTERNAL_LOAD)
+        if hostname is None or load is None:
+            return
+        record = next(
+            (r for r in self.inference.workers() if r.hostname == hostname), None
+        )
+        if record is None:
+            return
+        self.stats["traps_received"] += 1
+        self.metrics.record(f"load/{hostname}", float(load))
+        signal = self.inference.observe(record.worker_id, float(load),
+                                        self.runtime.now())
+        conn = self._conns.get(hostname)
+        if signal is not None and conn is not None and not conn.closed:
+            self.stats["signals_sent"] += 1
+            self.metrics.event("signal-sent", worker=hostname,
+                               signal=str(signal), load=float(load))
+            conn.send({"type": "signal", "signal": signal.value,
+                       "sent_at": self.runtime.now()})
+
+    def _monitor_loop(self, record: WorkerRecord, conn: StreamSocket) -> None:
+        """Steps 4–7 of the rule-base protocol, repeated forever."""
+        while self.running:
+            signal = self.poll_once(record)
+            if signal is not None:
+                conn.send({"type": "signal", "signal": signal.value,
+                           "sent_at": self.runtime.now()})
+            self.runtime.sleep(self.poll_interval_ms)
+
+    def poll_once(self, record: WorkerRecord) -> Optional[Signal]:
+        """One SNMP poll + inference decision for a worker."""
+        self.stats["polls"] += 1
+        try:
+            load = float(self.snmp.get_one(record.hostname, self.load_oid))
+        except (TimeoutError_, SnmpError):
+            self.stats["poll_failures"] += 1
+            return None
+        self.metrics.record(f"load/{record.hostname}", load)
+        signal = self.inference.observe(record.worker_id, load, self.runtime.now())
+        if signal is not None:
+            self.stats["signals_sent"] += 1
+            self.metrics.event("signal-sent", worker=record.hostname,
+                               signal=str(signal), load=load)
+            _log.info("t=%.0fms worker=%s load=%.0f%% -> %s",
+                      self.runtime.now(), record.hostname, load, signal)
+        return signal

@@ -1,0 +1,52 @@
+"""Rule-base signals and threshold policy.
+
+"The rule-base currently defines 4 types of signals in response to the
+varying load conditions at a worker, viz. Start, Stop, Pause and Resume."
+Threshold heuristics (paper §4.4): 0–25 % → Start/Resume, 25–50 % →
+Pause, 50–100 % → Stop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Signal(enum.Enum):
+    """Control signals sent by the network management module."""
+
+    START = "start"
+    STOP = "stop"
+    PAUSE = "pause"
+    RESUME = "resume"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy:
+    """CPU-load bands driving the inference engine (percent).
+
+    * load ≤ ``idle_below`` — the node counts as idle: Start/Resume;
+    * ``idle_below`` < load ≤ ``stop_above`` — transiently busy: Pause;
+    * load > ``stop_above`` — busy: Stop.
+    """
+
+    idle_below: float = 25.0
+    stop_above: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.idle_below <= self.stop_above <= 100.0):
+            raise ValueError(
+                f"thresholds must satisfy 0 <= idle({self.idle_below}) <= "
+                f"stop({self.stop_above}) <= 100"
+            )
+
+    def band(self, load_percent: float) -> str:
+        """Classify a load sample: 'idle' | 'busy' | 'loaded'."""
+        if load_percent <= self.idle_below:
+            return "idle"
+        if load_percent <= self.stop_above:
+            return "busy"
+        return "loaded"

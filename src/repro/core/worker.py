@@ -1,0 +1,344 @@
+"""The worker module (paper §4.1, §4.4).
+
+A :class:`WorkerHost` is the thin, application-agnostic process installed
+on a cluster node.  It contains:
+
+* the node's SNMP agent (so the network management module can monitor it),
+* the SNMP/rule-base *client*: registers with the network management
+  module, receives Start/Stop/Pause/Resume signals (Fig. 4 steps 1–3, 8),
+* the remote node configuration engine (class loading + signal mailbox),
+* the worker run-loop spawned on Start: take task → compute → write
+  result, honoring signals only between tasks so no task is ever lost.
+
+Lifecycle (Fig. 5): Start spawns a fresh runtime process which first
+performs remote class loading (CPU spike) and then computes; Stop kills
+the process after the current task and drops the classes; Pause blocks
+the process but keeps classes in memory, so Resume skips the reload —
+"hence bypassing the overhead associated with remote node configuration".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ConnectionClosedError, IllegalTransitionError
+from repro.core.application import Application
+from repro.core.config_engine import RemoteNodeConfigurationEngine
+from repro.core.entries import ResultEntry, TaskEntry
+from repro.core.metrics import Metrics
+from repro.core.signals import Signal
+from repro.core.states import WorkerState, WorkerStateMachine
+from repro.net.address import Address
+from repro.net.network import Network, StreamSocket
+from repro.node.machine import Node
+from repro.runtime.base import Runtime
+from repro.tuplespace.proxy import SpaceProxy
+from repro.util.log import get_logger
+
+__all__ = ["WorkerHost"]
+
+_log = get_logger("worker")
+
+
+class WorkerHost:
+    """One worker node's framework process."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        node: Node,
+        app: Application,
+        space_address: Address,
+        code_server: Address,
+        netmgmt_address: Optional[Address],
+        metrics: Metrics,
+        worker_poll_ms: float = 250.0,
+        compute_real: bool = True,
+        transactional: bool = False,
+        model_time: bool = True,
+    ) -> None:
+        self.runtime = runtime
+        self.node = node
+        self.app = app
+        self.space_address = space_address
+        self.netmgmt_address = netmgmt_address
+        self.metrics = metrics
+        self.worker_poll_ms = worker_poll_ms
+        self.compute_real = compute_real
+        self.transactional = transactional
+        # Charge the cost model against the virtual CPU?  True under
+        # simulation (results real, time modelled); False on the threaded
+        # runtime, where the real computation takes real time already.
+        self.model_time = model_time
+        self.crashed = False
+        self.network: Network = node.network
+        self.engine = RemoteNodeConfigurationEngine(
+            runtime, self.network, node, code_server
+        )
+        self.engine.model_time = model_time
+        self.machine = WorkerStateMachine(on_transition=self._log_transition)
+        self.worker_id: Optional[int] = None
+        self.running = False                     # host lifetime, not worker state
+        self.tasks_done = 0
+        self.first_take_ms: Optional[float] = None
+        self.last_result_ms: Optional[float] = None
+        self._proxy: Optional[SpaceProxy] = None
+        self._control: Optional[StreamSocket] = None
+        self._loop_generation = 0
+        self._loop_active = False
+        self._exit_cond = runtime.condition()
+        self._trap_emitter = None
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bring up the node agent and (if managed) the rule-base client."""
+        if self.running:
+            return
+        self.running = True
+        self.node.start_agent()
+        if self.netmgmt_address is not None:
+            self.runtime.spawn(
+                self._rulebase_client, name=f"snmp-client:{self.node.hostname}"
+            )
+
+    def stop(self) -> None:
+        self.running = False
+        self.engine.stop_requested = True
+        with self.engine._cond:
+            self.engine._cond.notify_all()
+        if self._control is not None:
+            self._control.close()
+        if self._trap_emitter is not None:
+            self._trap_emitter.stop()
+        self.node.stop_agent()
+
+    def crash(self) -> None:
+        """Abrupt node failure: no graceful task drain, no result write.
+
+        The space-server connection drops, so (with ``transactional``
+        takes) the in-flight task's transaction aborts and the task entry
+        reappears for other workers — the JavaSpaces fault-tolerance
+        property the paper relies on.
+        """
+        self.crashed = True
+        self.running = False
+        if self._proxy is not None:
+            self._proxy.fail()
+        if self._control is not None:
+            self._control.close()
+        if self._trap_emitter is not None:
+            self._trap_emitter.stop()
+        self.node.stop_agent()
+        with self.engine._cond:
+            self.engine.stop_requested = True
+            self.engine._cond.notify_all()
+
+    @property
+    def state(self) -> WorkerState:
+        return self.machine.state
+
+    def _start_trap_emitter(self, reply: dict) -> None:
+        """Trap-mode monitoring: push load-band changes instead of being
+        polled (the server told us where its trap receiver listens)."""
+        from repro.core.signals import ThresholdPolicy
+        from repro.snmp.trap import LoadBandTrapEmitter
+
+        thresholds = reply.get("thresholds", {})
+        policy = ThresholdPolicy(
+            idle_below=thresholds.get("idle_below", 25.0),
+            stop_above=thresholds.get("stop_above", 50.0),
+        )
+        self._trap_emitter = LoadBandTrapEmitter(
+            self.runtime, self.node, reply["trap_address"], policy.band,
+            community=self.node.snmp_community,
+        )
+        self._trap_emitter.start()
+
+    def _log_transition(self, old: WorkerState, signal: Signal, new: WorkerState) -> None:
+        self.metrics.event(
+            "worker-transition", worker=self.node.hostname,
+            old=str(old), signal=str(signal), new=str(new),
+        )
+        _log.info("t=%.0fms %s: %s --%s--> %s", self.runtime.now(),
+                  self.node.hostname, old, signal, new)
+
+    def worker_time_ms(self) -> Optional[float]:
+        """Paper's worker computation time: first take → last result."""
+        if self.first_take_ms is None or self.last_result_ms is None:
+            return None
+        return self.last_result_ms - self.first_take_ms
+
+    # -- rule-base client (Fig. 4 steps 1–3, 8) -----------------------------------------
+
+    def _rulebase_client(self) -> None:
+        from repro.errors import ConnectionRefusedError_
+
+        try:
+            try:
+                self._control = self.network.connect(
+                    self.node.hostname, self.netmgmt_address
+                )
+            except ConnectionRefusedError_:
+                return  # management module already gone (teardown race)
+            # Step 2: client connects and sends its address to the server.
+            self._control.send({"type": "register", "host": self.node.hostname})
+            reply = self._control.receive(timeout_ms=None)
+            if reply is None or reply.get("type") != "registered":
+                return
+            self.worker_id = reply["worker_id"]
+            if reply.get("mode") == "trap":
+                self._start_trap_emitter(reply)
+            while self.running:
+                message = self._control.receive(timeout_ms=None)
+                if message is None:
+                    continue
+                if message.get("type") == "signal":
+                    signal = Signal(message["signal"])
+                    received_at = self.runtime.now()
+                    self.metrics.event(
+                        "signal-client",
+                        worker=self.node.hostname,
+                        signal=str(signal),
+                        latency_ms=received_at - message["sent_at"],
+                    )
+                    # Step 8: forward the signal to the application layer.
+                    self.handle_signal(signal, received_at)
+        except ConnectionClosedError:
+            return
+
+    # -- signal handling ------------------------------------------------------------------
+
+    def handle_signal(self, signal: Signal, received_at: Optional[float] = None) -> None:
+        """Apply a rule-base signal to the worker (testable without a network)."""
+        if received_at is None:
+            received_at = self.runtime.now()
+        try:
+            self.machine.apply(signal)
+        except IllegalTransitionError:
+            self.metrics.event(
+                "illegal-signal", worker=self.node.hostname,
+                signal=str(signal), state=str(self.state),
+            )
+            return
+        self._pending_receipt = (signal, received_at)
+        if signal == Signal.STOP:
+            self._stop_received_at = received_at
+        if signal == Signal.START:
+            generation = self._loop_generation = self._loop_generation + 1
+            self.runtime.spawn(
+                lambda: self._worker_process(generation, received_at),
+                name=f"worker-run:{self.node.hostname}",
+            )
+        else:
+            self.engine.deliver(signal)
+
+    def _honored(self, signal: Signal, received_at: Optional[float] = None) -> None:
+        now = self.runtime.now()
+        receipt = getattr(self, "_pending_receipt", None)
+        if received_at is None:
+            if receipt is not None and receipt[0] == signal:
+                received_at = receipt[1]
+            else:
+                received_at = now
+        self.metrics.event(
+            "signal-honored",
+            worker=self.node.hostname,
+            signal=str(signal),
+            latency_ms=now - received_at,
+        )
+
+    # -- the worker run loop -----------------------------------------------------------------
+
+    def _worker_process(self, generation: int, start_received_at: float) -> None:
+        """The fresh runtime process spawned on Start."""
+        # A Stop lets the previous runtime process finish its current task
+        # before control returns to the parent — wait for it to fully exit
+        # so two processes never compute on one CPU.
+        with self._exit_cond:
+            while self._loop_active:
+                self._exit_cond.wait()
+            if generation != self._loop_generation:
+                return  # superseded while waiting
+            self._loop_active = True
+        try:
+            # Reset only once the previous process has fully exited — it
+            # still needed its stop_requested flag to unwind.
+            self.engine.reset_for_start()
+            self._worker_loop(generation, start_received_at)
+        finally:
+            with self._exit_cond:
+                self._loop_active = False
+                self._exit_cond.notify_all()
+
+    def _worker_loop(self, generation: int, start_received_at: float) -> None:
+        if not self.engine.classes_loaded:
+            self.engine.load_classes(self.app.app_id)
+            self.metrics.event("class-load", worker=self.node.hostname)
+        self._honored(Signal.START, start_received_at)
+        proxy = SpaceProxy(self.network, self.node.hostname, self.space_address)
+        self._proxy = proxy
+        template = TaskEntry(app_id=self.app.app_id)
+        try:
+            while self.running and generation == self._loop_generation:
+                if not self.engine.wait_for_clearance(self._honored):
+                    break
+                self._one_task(proxy, template)
+        except ConnectionClosedError:
+            pass  # space server gone or this node crashed
+        finally:
+            if not self.crashed:
+                proxy.close()
+            if self.engine.stop_requested:
+                # Shutdown/cleanup: classes dropped, control returns to parent.
+                self.engine.unload_classes()
+                if not self.running:
+                    pass  # framework teardown, not a rule-base Stop
+                else:
+                    self._honored(
+                        Signal.STOP, getattr(self, "_stop_received_at", None)
+                    )
+
+    def _one_task(self, proxy: SpaceProxy, template: TaskEntry) -> None:
+        """Take one task, compute, write the result.
+
+        With ``transactional`` takes, the whole cycle runs under a space
+        transaction: if this node dies before committing, the server
+        aborts and the task entry reappears for other workers.
+        """
+        txn = proxy.transaction() if self.transactional else None
+        task = proxy.take(template, txn=txn, timeout_ms=self.worker_poll_ms)
+        if task is None:
+            if txn is not None:
+                txn.abort()
+            return
+        if self.first_take_ms is None:
+            self.first_take_ms = self.runtime.now()
+        compute_started = self.runtime.now()
+        payload = self._compute(task.payload, task.task_id)
+        compute_ms = self.runtime.now() - compute_started
+        proxy.write(
+            ResultEntry(
+                app_id=self.app.app_id,
+                task_id=task.task_id,
+                payload=payload,
+                worker=self.node.hostname,
+                compute_ms=compute_ms,
+            ),
+            txn=txn,
+        )
+        if txn is not None:
+            txn.commit()
+        self.last_result_ms = self.runtime.now()
+        self.tasks_done += 1
+
+    def _compute(self, payload: Any, task_id: int) -> Any:
+        """Charge the modelled CPU cost, then run the real computation."""
+        from repro.core.application import Task
+
+        cost = self.app.task_cost_ms(Task(task_id=task_id, payload=payload))
+        if self.model_time and cost > 0:
+            self.node.cpu.execute(cost)
+        if self.compute_real:
+            return self.app.execute(payload)
+        return None

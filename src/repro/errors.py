@@ -1,0 +1,106 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Simulation-control exceptions (:class:`SimKilled`)
+deliberately derive from :class:`BaseException` so that application-level
+``except Exception`` handlers inside simulated processes do not swallow a
+kernel shutdown request.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """All simulated processes are blocked and no event can wake them."""
+
+
+class SimKilled(BaseException):
+    """Raised inside a simulated process when the kernel shuts it down.
+
+    Derives from BaseException on purpose: user code catching ``Exception``
+    must not accidentally survive a kernel shutdown.
+    """
+
+
+class NetworkError(ReproError):
+    """Errors from the simulated network substrate."""
+
+
+class AddressInUseError(NetworkError):
+    """A socket is already bound to the requested address."""
+
+
+class ConnectionRefusedError_(NetworkError):
+    """No listener at the destination address."""
+
+
+class ConnectionClosedError(NetworkError):
+    """The peer closed the stream socket."""
+
+
+class TimeoutError_(ReproError):
+    """A blocking operation exceeded its timeout."""
+
+
+class SpaceError(ReproError):
+    """Errors from the tuple-space engine."""
+
+
+class EntryError(SpaceError):
+    """An object is not a valid space entry (e.g. not serializable)."""
+
+
+class TransactionError(SpaceError):
+    """Illegal transaction usage (wrong manager, reuse after completion)."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction was aborted (explicitly or by lease expiry)."""
+
+
+class LeaseError(SpaceError):
+    """Illegal lease operation (renewal after expiry/cancel)."""
+
+
+class OutOfMemoryError(ReproError):
+    """A node's modelled RAM cannot satisfy an allocation."""
+
+
+class LookupError_(ReproError):
+    """Errors from the Jini-like lookup/discovery substrate."""
+
+
+class SnmpError(ReproError):
+    """Errors from the SNMP substrate."""
+
+
+class BadCommunityError(SnmpError):
+    """Community string rejected by the agent."""
+
+
+class NoSuchOidError(SnmpError):
+    """The requested OID is not present in the agent MIB."""
+
+
+class CodecError(SnmpError):
+    """Malformed PDU bytes."""
+
+
+class FrameworkError(ReproError):
+    """Errors from the adaptive-cluster framework core."""
+
+
+class IllegalTransitionError(FrameworkError):
+    """A worker state transition not permitted by the Fig. 5 state machine."""
+
+
+class ConfigurationError(FrameworkError):
+    """Invalid framework configuration."""

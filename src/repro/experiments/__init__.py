@@ -1,0 +1,50 @@
+"""Experiment harnesses reproducing the paper's evaluation (§5).
+
+* :mod:`scalability` — Experiment 1 (Figs 6, 7, 8): Max Worker Time,
+  Parallel Time, Task Planning, Task Aggregation vs. number of workers.
+* :mod:`adaptation` — Experiment 2 (Figs 9, 10, 11): CPU-usage history
+  under scripted load and per-signal reaction latencies.
+* :mod:`dynamics` — Experiment 3: behaviour with 0 %/25 %/50 % of the
+  workers loaded.
+* :mod:`classify` — Table 2: measured application classification.
+* :mod:`calibration` — testbed wiring and the calibrated constants
+  (documented in DESIGN.md §5).
+* :mod:`report` — plain-text tables/series matching the paper's rows.
+"""
+
+from repro.experiments.calibration import (
+    APP_FACTORIES,
+    CLUSTER_FACTORIES,
+    MAX_WORKERS,
+    make_options_app,
+    make_prefetch_app,
+    make_raytrace_app,
+    options_cluster,
+    prefetch_cluster,
+    raytrace_cluster,
+)
+from repro.experiments.harness import run_simulation
+from repro.experiments.scalability import ScalabilityResult, scalability_experiment
+from repro.experiments.adaptation import AdaptationResult, adaptation_experiment
+from repro.experiments.dynamics import DynamicsResult, dynamics_experiment
+from repro.experiments.classify import classify_applications
+
+__all__ = [
+    "APP_FACTORIES",
+    "CLUSTER_FACTORIES",
+    "MAX_WORKERS",
+    "run_simulation",
+    "scalability_experiment",
+    "ScalabilityResult",
+    "adaptation_experiment",
+    "AdaptationResult",
+    "dynamics_experiment",
+    "DynamicsResult",
+    "classify_applications",
+    "make_options_app",
+    "make_raytrace_app",
+    "make_prefetch_app",
+    "options_cluster",
+    "raytrace_cluster",
+    "prefetch_cluster",
+]

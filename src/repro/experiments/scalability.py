@@ -1,0 +1,121 @@
+"""Experiment 1: scalability analysis (Figs 6, 7, 8).
+
+For each worker count, run the application through the framework on a
+fresh simulated cluster and measure the paper's four quantities:
+
+* **Max Worker Time** — max over workers of (first task access → last
+  result written);
+* **Task Planning Time** — the master's task-planning phase;
+* **Task Aggregation Time** — the master's result-collection phase
+  (expected to follow max worker time);
+* **Parallel Time** — whole application, start to finish, at the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.application import Application
+from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
+from repro.experiments.harness import run_simulation
+from repro.node.cluster import Cluster
+from repro.runtime.base import Runtime
+from repro.runtime import SimulatedRuntime
+from repro.sim.rng import RandomStreams
+
+__all__ = ["ScalabilityRow", "ScalabilityResult", "scalability_experiment"]
+
+
+@dataclass(frozen=True)
+class ScalabilityRow:
+    workers: int
+    max_worker_ms: float
+    parallel_ms: float
+    planning_ms: float
+    aggregation_ms: float
+
+    @property
+    def speedup_base(self) -> float:
+        """parallel_ms; speedup is computed against the 1-worker row."""
+        return self.parallel_ms
+
+
+@dataclass
+class ScalabilityResult:
+    app_id: str
+    rows: list[ScalabilityRow] = field(default_factory=list)
+
+    def speedups(self) -> list[tuple[int, float]]:
+        base = self.rows[0].parallel_ms
+        return [(r.workers, base / r.parallel_ms) for r in self.rows]
+
+    def best_worker_count(self) -> int:
+        return min(self.rows, key=lambda r: r.parallel_ms).workers
+
+    def format_table(self) -> str:
+        header = (
+            f"{'workers':>8} {'max worker (ms)':>16} {'parallel (ms)':>14} "
+            f"{'planning (ms)':>14} {'aggregation (ms)':>17}"
+        )
+        lines = [f"Scalability — {self.app_id}", header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.workers:>8d} {row.max_worker_ms:>16.0f} "
+                f"{row.parallel_ms:>14.0f} {row.planning_ms:>14.0f} "
+                f"{row.aggregation_ms:>17.0f}"
+            )
+        return "\n".join(lines)
+
+
+def run_framework_once(
+    runtime: SimulatedRuntime,
+    cluster: Cluster,
+    app: Application,
+    config: Optional[FrameworkConfig] = None,
+):
+    """Start the framework, run the master to completion, tear down.
+
+    Returns ``(report, framework)``; intended to run inside a simulated
+    process (see :func:`repro.experiments.harness.run_simulation`).
+    """
+    framework = AdaptiveClusterFramework(runtime, cluster, app, config)
+    framework.start()
+    report = framework.run()
+    framework.shutdown()
+    return report, framework
+
+
+def scalability_experiment(
+    app_factory: Callable[[], Application],
+    cluster_factory: Callable[..., Cluster],
+    worker_counts: list[int],
+    config: Optional[FrameworkConfig] = None,
+    seed: int = 0,
+) -> ScalabilityResult:
+    """Sweep the worker count; one isolated simulation per point."""
+    app_id = app_factory().app_id
+    result = ScalabilityResult(app_id=app_id)
+    if config is None:
+        # Real results are identical at every sweep point (same app), so
+        # skip re-computing them: the sweep measures time, not values.
+        config = FrameworkConfig(compute_real=False)
+
+    for workers in worker_counts:
+        def body(runtime: SimulatedRuntime, workers=workers):
+            cluster = cluster_factory(
+                runtime, workers=workers, streams=RandomStreams(seed)
+            )
+            report, framework = run_framework_once(
+                runtime, cluster, app_factory(), config
+            )
+            return ScalabilityRow(
+                workers=workers,
+                max_worker_ms=framework.max_worker_time_ms(),
+                parallel_ms=report.parallel_ms,
+                planning_ms=report.planning_ms,
+                aggregation_ms=report.aggregation_ms,
+            )
+
+        result.rows.append(run_simulation(body))
+    return result

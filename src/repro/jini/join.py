@@ -1,0 +1,100 @@
+"""The Jini join protocol: register a service and keep its lease alive."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ConnectionClosedError, LookupError_
+from repro.net.address import Address
+from repro.net.network import Network, StreamSocket
+from repro.jini.lookup import ServiceItem
+from repro.runtime.base import Runtime
+from repro.tuplespace.lease import FOREVER
+
+__all__ = ["JoinManager", "LookupClient"]
+
+
+class LookupClient:
+    """Stream-RPC client stub for a remote :class:`LookupService`."""
+
+    def __init__(self, network: Network, host: str, registrar: Address) -> None:
+        self.network = network
+        self.host = host
+        self.registrar = registrar
+        self._conn: Optional[StreamSocket] = None
+
+    def _call(self, op: str, args: dict[str, Any]) -> Any:
+        if self._conn is None or self._conn.closed:
+            self._conn = self.network.connect(self.host, self.registrar)
+        self._conn.send({"op": op, "args": args})
+        reply = self._conn.receive(timeout_ms=None)
+        if reply is None:
+            raise ConnectionClosedError("no reply from registrar")
+        if not reply.get("ok"):
+            raise LookupError_(reply.get("error", "lookup RPC failed"))
+        return reply.get("value")
+
+    def register(self, item: ServiceItem, lease_ms: float = FOREVER) -> dict[str, Any]:
+        return self._call("register", {"item": item, "lease_ms": lease_ms})
+
+    def renew(self, registration_id: int, lease_ms: float) -> None:
+        self._call("renew", {"registration_id": registration_id, "lease_ms": lease_ms})
+
+    def cancel(self, registration_id: int) -> None:
+        self._call("cancel", {"registration_id": registration_id})
+
+    def lookup(self, query: Optional[dict[str, Any]] = None) -> list[ServiceItem]:
+        return self._call("lookup", {"query": query})
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+class JoinManager:
+    """Registers a service and renews its lease at half the lease period."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        network: Network,
+        host: str,
+        registrar: Address,
+        item: ServiceItem,
+        lease_ms: float = 30_000.0,
+    ) -> None:
+        self.runtime = runtime
+        self.client = LookupClient(network, host, registrar)
+        self.item = item
+        self.lease_ms = lease_ms
+        self.registration_id: Optional[int] = None
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        reply = self.client.register(self.item, self.lease_ms)
+        self.registration_id = reply["registration_id"]
+        self._running = True
+        if self.lease_ms != FOREVER:
+            self.runtime.spawn(self._renewal_loop, name=f"join-renew:{self.item.service_id}")
+
+    def _renewal_loop(self) -> None:
+        while self._running:
+            self.runtime.sleep(self.lease_ms / 2.0)
+            if not self._running:
+                return
+            try:
+                self.client.renew(self.registration_id, self.lease_ms)
+            except (LookupError_, ConnectionClosedError):
+                return  # registrar gone or registration expired
+
+    def stop(self, cancel: bool = True) -> None:
+        self._running = False
+        if cancel and self.registration_id is not None:
+            try:
+                self.client.cancel(self.registration_id)
+            except (LookupError_, ConnectionClosedError):
+                pass
+        self.client.close()

@@ -1,0 +1,34 @@
+"""Simulated network substrate.
+
+Provides the three transports the paper's framework uses:
+
+* datagram sockets (SNMP request/response),
+* multicast groups (Jini discovery announcements),
+* stream sockets (the rule-base protocol between the network management
+  module and the SNMP clients on workers — "Java sockets" in the paper).
+
+All payloads are pickled across the wire, which (a) enforces the
+JavaSpaces-style serializability requirement, (b) yields message sizes for
+the latency model, and (c) isolates endpoints from shared mutable state
+exactly like a real network would.
+"""
+
+from repro.net.address import Address
+from repro.net.latency import LatencyModel
+from repro.net.network import (
+    DatagramSocket,
+    Listener,
+    MessageQueue,
+    Network,
+    StreamSocket,
+)
+
+__all__ = [
+    "Address",
+    "LatencyModel",
+    "Network",
+    "DatagramSocket",
+    "StreamSocket",
+    "Listener",
+    "MessageQueue",
+]

@@ -1,0 +1,19 @@
+"""Network addresses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A (host, port) endpoint on the simulated network."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def with_port(self, port: int) -> "Address":
+        return Address(self.host, port)

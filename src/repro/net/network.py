@@ -1,0 +1,339 @@
+"""The simulated network: datagram, multicast and stream transports.
+
+Endpoints exchange *pickled* payloads; delivery is scheduled through the
+runtime's ``call_later`` after the latency model's delay, so the same code
+works under virtual and wall-clock time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import (
+    AddressInUseError,
+    ConnectionClosedError,
+    ConnectionRefusedError_,
+    NetworkError,
+)
+from repro.net.address import Address
+from repro.net.latency import LatencyModel
+from repro.runtime.base import Runtime
+from repro.util.serialization import deserialize, serialize
+
+__all__ = ["Network", "DatagramSocket", "StreamSocket", "Listener", "MessageQueue"]
+
+
+class MessageQueue:
+    """Blocking FIFO over a runtime condition; supports close semantics."""
+
+    def __init__(self, runtime: Runtime) -> None:
+        self._runtime = runtime
+        self._cond = runtime.condition()
+        self._items: deque[Any] = deque()
+        self.closed = False
+
+    def put(self, item: Any) -> None:
+        with self._cond:
+            if self.closed:
+                return
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def get(self, timeout_ms: Optional[float] = None) -> Any:
+        """Pop the oldest item; blocks up to ``timeout_ms``.
+
+        Returns ``None`` on timeout; raises :class:`ConnectionClosedError`
+        when the queue is closed and drained.
+        """
+        with self._cond:
+            ok = self._runtime.wait_for(
+                self._cond, lambda: bool(self._items) or self.closed, timeout_ms
+            )
+            if self._items:
+                return self._items.popleft()
+            if self.closed:
+                raise ConnectionClosedError("endpoint closed")
+            if not ok:
+                return None
+            return None  # pragma: no cover - defensive
+
+    def close(self) -> None:
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class DatagramSocket:
+    """Connectionless endpoint (UDP-like; used by SNMP and discovery)."""
+
+    def __init__(self, network: "Network", address: Address) -> None:
+        self._network = network
+        self.address = address
+        self._queue = MessageQueue(network.runtime)
+
+    def send_to(self, destination: Address, payload: Any) -> None:
+        self._network._send_datagram(self.address, destination, payload)
+
+    def receive(self, timeout_ms: Optional[float] = None) -> Optional[tuple[Any, Address]]:
+        """Return ``(payload, sender)`` or ``None`` on timeout."""
+        return self._queue.get(timeout_ms)
+
+    def close(self) -> None:
+        self._queue.close()
+        self._network._unbind_datagram(self.address)
+
+    def _deliver(self, payload_bytes: bytes, sender: Address) -> None:
+        self._queue.put((deserialize(payload_bytes), sender))
+
+
+class StreamSocket:
+    """One side of a reliable, ordered, message-oriented connection.
+
+    Ordering is enforced twice over: arrival times are kept monotonic per
+    receiver (virtual-time determinism), and messages carry sequence
+    numbers reassembled in a reorder buffer (real ``threading.Timer``
+    callbacks on the threaded runtime can fire out of order).
+    """
+
+    def __init__(self, network: "Network", local: Address, remote: Address) -> None:
+        self._network = network
+        self.local = local
+        self.remote = remote
+        self._queue = MessageQueue(network.runtime)
+        self._peer: Optional["StreamSocket"] = None
+        self.closed = False
+        self._last_arrival = 0.0   # enforces FIFO delivery despite jitter
+        self._seq_lock = network.runtime.lock()
+        self._next_seq = 0         # stamped by senders targeting this socket
+        self._expected_seq = 0     # next sequence to release to the queue
+        self._reorder: dict[int, Optional[bytes]] = {}
+
+    def send(self, payload: Any) -> None:
+        if self.closed:
+            raise ConnectionClosedError("socket closed")
+        peer = self._peer
+        if peer is None:
+            raise NetworkError("socket not connected")
+        self._network._send_stream(self, peer, payload)
+
+    def receive(self, timeout_ms: Optional[float] = None) -> Any:
+        """Return the next message, ``None`` on timeout.
+
+        Raises :class:`ConnectionClosedError` once the peer closed and the
+        queue drained.
+        """
+        return self._queue.get(timeout_ms)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        peer = self._peer
+        if peer is not None and not peer.closed:
+            # Propagate EOF after network delay, never overtaking data
+            # already in flight (same FIFO rule as _send_stream).
+            now = self._network.runtime.now()
+            arrival = max(now + self._network.latency.base_ms, peer._last_arrival)
+            peer._last_arrival = arrival
+            seq = peer._alloc_seq()
+            self._network.runtime.call_later(
+                arrival - now, lambda: peer._deliver(None, seq)
+            )
+        self._queue.close()
+
+    def _alloc_seq(self) -> int:
+        with self._seq_lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
+
+    def _deliver(self, payload_bytes: Optional[bytes], seq: int) -> None:
+        """Release in sequence order; ``None`` payload is the EOF marker."""
+        with self._seq_lock:
+            self._reorder[seq] = payload_bytes
+            ready: list[Optional[bytes]] = []
+            while self._expected_seq in self._reorder:
+                ready.append(self._reorder.pop(self._expected_seq))
+                self._expected_seq += 1
+        for data in ready:
+            if data is None:
+                self._queue.close()
+            else:
+                self._queue.put(deserialize(data))
+
+
+class Listener:
+    """Passive stream endpoint: accepts incoming connections."""
+
+    def __init__(self, network: "Network", address: Address) -> None:
+        self._network = network
+        self.address = address
+        self._pending = MessageQueue(network.runtime)
+
+    def accept(self, timeout_ms: Optional[float] = None) -> Optional[StreamSocket]:
+        return self._pending.get(timeout_ms)
+
+    def close(self) -> None:
+        self._pending.close()
+        self._network._unbind_listener(self.address)
+
+
+class Network:
+    """A shared network segment connecting all endpoints of one experiment."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        latency: LatencyModel = LatencyModel(),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.latency = latency
+        self._rng = rng
+        self._datagram: dict[Address, DatagramSocket] = {}
+        self._listeners: dict[Address, Listener] = {}
+        self._multicast: dict[Address, set[DatagramSocket]] = {}
+        self._egress_free_at: dict[str, float] = {}  # bandwidth contention
+        self._isolated: set[str] = set()             # partitioned hosts
+        self._ephemeral_port = 49152
+        self.stats = {"datagrams": 0, "datagram_bytes": 0, "messages": 0, "message_bytes": 0,
+                      "dropped": 0}
+
+    # -- fault injection ----------------------------------------------------------
+
+    def isolate(self, host: str) -> None:
+        """Partition ``host`` off the segment: all its traffic (both
+        directions) silently disappears until :meth:`heal`.  Established
+        stream sockets stay open but their messages never arrive —
+        exactly how a yanked cable looks to the endpoints."""
+        self._isolated.add(host)
+
+    def heal(self, host: str) -> None:
+        self._isolated.discard(host)
+
+    def is_isolated(self, host: str) -> bool:
+        return host in self._isolated
+
+    def _partitioned(self, a: str, b: str) -> bool:
+        return a in self._isolated or b in self._isolated
+
+    def _egress_delay(self, host: str, size_bytes: int) -> float:
+        """Extra delay from the sender's serial egress link (if modelled).
+
+        Messages from one host transmit back-to-back: each send occupies
+        the link for ``transmission_ms`` starting when the link frees up.
+        """
+        tx = self.latency.transmission_ms(size_bytes)
+        if tx <= 0.0:
+            return 0.0
+        now = self.runtime.now()
+        start = max(now, self._egress_free_at.get(host, 0.0))
+        self._egress_free_at[host] = start + tx
+        return (start + tx) - now
+
+    # -- ports ------------------------------------------------------------------
+
+    def ephemeral(self, host: str) -> Address:
+        """Allocate a fresh ephemeral address on ``host``."""
+        self._ephemeral_port += 1
+        return Address(host, self._ephemeral_port)
+
+    # -- datagram ---------------------------------------------------------------
+
+    def bind_datagram(self, address: Address) -> DatagramSocket:
+        if address in self._datagram:
+            raise AddressInUseError(f"datagram address in use: {address}")
+        sock = DatagramSocket(self, address)
+        self._datagram[address] = sock
+        return sock
+
+    def _unbind_datagram(self, address: Address) -> None:
+        self._datagram.pop(address, None)
+
+    def _send_datagram(self, source: Address, destination: Address, payload: Any) -> None:
+        data = serialize(payload)
+        self.stats["datagrams"] += 1
+        self.stats["datagram_bytes"] += len(data)
+        if destination in self._multicast:
+            members = list(self._multicast[destination])
+            for member in members:
+                if self._partitioned(source.host, member.address.host):
+                    self.stats["dropped"] += 1
+                    continue
+                self._schedule_datagram(data, source, member)
+            return
+        if self._partitioned(source.host, destination.host):
+            self.stats["dropped"] += 1
+            return
+        if self.latency.drops(self._rng):
+            self.stats["dropped"] += 1
+            return
+        target = self._datagram.get(destination)
+        if target is None:
+            return  # UDP: silently dropped
+        self._schedule_datagram(data, source, target)
+
+    def _schedule_datagram(self, data: bytes, source: Address, target: DatagramSocket) -> None:
+        delay = self.latency.delay_ms(len(data), self._rng)
+        delay += self._egress_delay(source.host, len(data))
+        self.runtime.call_later(delay, lambda: target._deliver(data, source))
+
+    # -- multicast ----------------------------------------------------------------
+
+    def join_multicast(self, group: Address, socket: DatagramSocket) -> None:
+        """Subscribe ``socket`` to datagrams addressed to ``group``."""
+        self._multicast.setdefault(group, set()).add(socket)
+
+    def leave_multicast(self, group: Address, socket: DatagramSocket) -> None:
+        self._multicast.get(group, set()).discard(socket)
+
+    # -- stream -------------------------------------------------------------------
+
+    def listen(self, address: Address) -> Listener:
+        if address in self._listeners:
+            raise AddressInUseError(f"listener address in use: {address}")
+        listener = Listener(self, address)
+        self._listeners[address] = listener
+        return listener
+
+    def _unbind_listener(self, address: Address) -> None:
+        self._listeners.pop(address, None)
+
+    def connect(self, source_host: str, destination: Address) -> StreamSocket:
+        """Open a connection to a listener; raises if nobody listens."""
+        if self._partitioned(source_host, destination.host):
+            raise ConnectionRefusedError_(
+                f"host unreachable (partitioned): {destination}"
+            )
+        listener = self._listeners.get(destination)
+        if listener is None:
+            raise ConnectionRefusedError_(f"connection refused: {destination}")
+        local = self.ephemeral(source_host)
+        client = StreamSocket(self, local, destination)
+        server = StreamSocket(self, destination, local)
+        client._peer = server
+        server._peer = client
+        listener._pending.put(server)
+        return client
+
+    def _send_stream(self, sender: StreamSocket, receiver: StreamSocket, payload: Any) -> None:
+        data = serialize(payload)
+        self.stats["messages"] += 1
+        self.stats["message_bytes"] += len(data)
+        if self._partitioned(sender.local.host, receiver.local.host):
+            self.stats["dropped"] += 1
+            return  # vanishes on the wire; the receiver just waits
+        now = self.runtime.now()
+        delay = self.latency.delay_ms(len(data), self._rng)
+        delay += self._egress_delay(sender.local.host, len(data))
+        # Reliable ordered delivery: never deliver before an earlier message.
+        arrival = max(now + delay, receiver._last_arrival)
+        receiver._last_arrival = arrival
+        seq = receiver._alloc_seq()
+        self.runtime.call_later(arrival - now, lambda: receiver._deliver(data, seq))

@@ -1,0 +1,26 @@
+"""Cluster node model: machines, CPU accounting, load generators.
+
+The CPU model is what makes the adaptation experiments reproducible: each
+node tracks *background* load (interactive users / load simulators) and
+*foreign* load (the framework's worker computing a task).  A task's
+execution rate shrinks as background load grows (processor sharing), and
+both instantaneous and windowed utilization are observable — the SNMP
+agent's MIB providers read them directly.
+"""
+
+from repro.node.machine import MachineSpec, Node
+from repro.node.cpu import CpuModel
+from repro.node.loadgen import LoadScript, LoadSimulator1, LoadSimulator2
+from repro.node.cluster import Cluster, testbed_large, testbed_small
+
+__all__ = [
+    "MachineSpec",
+    "Node",
+    "CpuModel",
+    "LoadSimulator1",
+    "LoadSimulator2",
+    "LoadScript",
+    "Cluster",
+    "testbed_small",
+    "testbed_large",
+]

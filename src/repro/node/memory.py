@@ -1,0 +1,50 @@
+"""Node memory model.
+
+Named allocations against a node's RAM budget.  This is what encodes the
+paper's deployment constraint: "Due to the high memory requirements of
+the Jini infrastructure, the master module … runs on an 800 MHz Intel
+Pentium III processor PC with 256 MB RAM" — a 64 MB worker PC simply
+cannot host the Jini + JavaSpaces services.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfMemoryError
+
+__all__ = ["MemoryModel"]
+
+
+class MemoryModel:
+    """Simple named-allocation accounting (KB granularity)."""
+
+    def __init__(self, total_mb: int) -> None:
+        if total_mb <= 0:
+            raise ValueError(f"total_mb must be positive: {total_mb}")
+        self.total_kb = total_mb * 1024
+        self._allocations: dict[str, int] = {}
+        self.peak_kb = 0
+
+    def allocate(self, name: str, kb: int) -> None:
+        """Reserve ``kb``; replaces any existing allocation of ``name``."""
+        if kb < 0:
+            raise ValueError(f"negative allocation: {kb}")
+        current = self._allocations.get(name, 0)
+        if self.used_kb() - current + kb > self.total_kb:
+            raise OutOfMemoryError(
+                f"cannot allocate {kb} KB for {name!r}: "
+                f"{self.available_kb() + current} KB free of {self.total_kb} KB"
+            )
+        self._allocations[name] = kb
+        self.peak_kb = max(self.peak_kb, self.used_kb())
+
+    def free(self, name: str) -> None:
+        self._allocations.pop(name, None)
+
+    def used_kb(self) -> int:
+        return sum(self._allocations.values())
+
+    def available_kb(self) -> int:
+        return self.total_kb - self.used_kb()
+
+    def holds(self, name: str) -> bool:
+        return name in self._allocations

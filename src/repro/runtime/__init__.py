@@ -1,0 +1,23 @@
+"""Runtime abstraction: the seam between real time and virtual time.
+
+Framework code (tuple space, master/worker, SNMP, …) is written once
+against :class:`Runtime`.  Two bindings exist:
+
+* :class:`SimulatedRuntime` — deterministic virtual time on the
+  discrete-event kernel; used by every experiment/benchmark.
+* :class:`ThreadedRuntime` — real threads and the wall clock; used by the
+  runnable examples so they perform genuine parallel computation.
+"""
+
+from repro.runtime.base import Runtime, Condition, Lock, ProcessHandle
+from repro.runtime.simulated import SimulatedRuntime
+from repro.runtime.threaded import ThreadedRuntime
+
+__all__ = [
+    "Runtime",
+    "Condition",
+    "Lock",
+    "ProcessHandle",
+    "SimulatedRuntime",
+    "ThreadedRuntime",
+]

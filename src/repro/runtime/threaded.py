@@ -1,0 +1,99 @@
+"""Runtime binding over real threads and the wall clock.
+
+Used by the runnable examples: the same framework code performs genuine
+parallel computation across worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.runtime.base import CancelHandle, Condition, Lock, ProcessHandle, Runtime
+
+
+class _ThreadHandle(ProcessHandle):
+    def __init__(self, thread: threading.Thread) -> None:
+        self._thread = thread
+        self.name = thread.name
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def join(self, timeout_ms: Optional[float] = None) -> None:
+        self._thread.join(None if timeout_ms is None else timeout_ms / 1000.0)
+
+
+class _TimerHandle(CancelHandle):
+    def __init__(self, timer: threading.Timer) -> None:
+        self._timer = timer
+
+    def cancel(self) -> None:
+        self._timer.cancel()
+
+
+class _ThreadedCondition:
+    """Adapter: ``threading.Condition`` with timeouts in milliseconds."""
+
+    def __init__(self, lock: Optional[threading.Lock] = None) -> None:
+        self._cond = threading.Condition(lock)
+
+    def acquire(self) -> bool:
+        return self._cond.acquire()
+
+    def release(self) -> None:
+        self._cond.release()
+
+    def __enter__(self) -> "_ThreadedCondition":
+        self._cond.__enter__()
+        return self
+
+    def __exit__(self, *exc: object) -> Any:
+        return self._cond.__exit__(*exc)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._cond.wait(None if timeout is None else max(0.0, timeout) / 1000.0)
+
+    def notify(self, n: int = 1) -> None:
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+
+class ThreadedRuntime(Runtime):
+    """Wall-clock runtime for real parallel execution."""
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+        self._threads: list[threading.Thread] = []
+
+    def now(self) -> float:
+        return (time.monotonic() - self._epoch) * 1000.0
+
+    def sleep(self, delay_ms: float) -> None:
+        time.sleep(max(0.0, delay_ms) / 1000.0)
+
+    def spawn(self, fn: Callable[[], Any], name: str = "proc") -> ProcessHandle:
+        thread = threading.Thread(target=fn, name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+        return _ThreadHandle(thread)
+
+    def call_later(self, delay_ms: float, action: Callable[[], None]) -> CancelHandle:
+        timer = threading.Timer(max(0.0, delay_ms) / 1000.0, action)
+        timer.daemon = True
+        timer.start()
+        return _TimerHandle(timer)
+
+    def lock(self) -> Lock:
+        return threading.RLock()
+
+    def condition(self, lock: Optional[Lock] = None) -> Condition:
+        return _ThreadedCondition(lock)  # type: ignore[arg-type]
+
+    def shutdown(self) -> None:
+        """Best-effort join of spawned threads (they are daemons)."""
+        for thread in self._threads:
+            thread.join(0.2)

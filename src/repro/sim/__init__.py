@@ -1,0 +1,15 @@
+"""Deterministic virtual-time discrete-event kernel.
+
+The kernel runs *real Python threads* under a virtual clock: exactly one
+simulated process executes at any instant, and control transfers only at
+explicit blocking points (``sleep``, condition ``wait``).  This gives
+deterministic event ordering (events are totally ordered by
+``(time, sequence)``) while letting framework code use natural blocking
+call stacks — the same code runs unchanged on the threaded runtime.
+"""
+
+from repro.sim.kernel import SimKernel, SimProcess
+from repro.sim.condition import SimCondition, SimLock
+from repro.sim.rng import RandomStreams
+
+__all__ = ["SimKernel", "SimProcess", "SimCondition", "SimLock", "RandomStreams"]

@@ -1,0 +1,278 @@
+"""Virtual-time cooperative-thread simulation kernel.
+
+Design
+------
+Each simulated process is a real OS thread, but the kernel enforces that at
+most one process thread runs at a time.  A process runs until it blocks
+(``sleep`` / condition ``wait``) or finishes; it then hands control back to
+the kernel thread, which pops the next event off a ``(time, seq)``-ordered
+heap and resumes the corresponding process.  Because control only transfers
+at explicit blocking points, code between blocking points is atomic with
+respect to other simulated processes — no data races, deterministic
+schedules.
+
+Time is measured in **milliseconds** of virtual time (matching the paper's
+plots).
+
+Shutdown
+--------
+``shutdown()`` resumes every still-blocked process with :class:`SimKilled`
+(a ``BaseException``) so worker loops unwind their stacks and the OS
+threads exit.  Experiments always call ``shutdown()`` (or use the kernel as
+a context manager) so pytest never leaks threads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import traceback
+from typing import Any, Callable, Optional
+
+from repro.errors import DeadlockError, SimKilled, SimulationError
+
+__all__ = ["SimKernel", "SimProcess"]
+
+
+class _Event:
+    """Heap entry: fire ``action`` at virtual time ``time``."""
+
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventHandle:
+    """Returned by :meth:`SimKernel.call_later`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class SimProcess:
+    """A simulated process backed by a real thread.
+
+    The thread alternates between running (after the kernel sets
+    ``_resume``) and blocked (after setting ``_yielded`` and waiting on
+    ``_resume`` again).
+    """
+
+    def __init__(self, kernel: "SimKernel", fn: Callable[[], Any], name: str) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.finished = False
+        self.killed = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._fn = fn
+        self._resume = threading.Event()
+        self._yielded = threading.Event()
+        self._thread = threading.Thread(target=self._run, name=f"sim:{name}", daemon=True)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start_thread(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        # Wait for the kernel to schedule our first slice.
+        self._resume.wait()
+        self._resume.clear()
+        try:
+            if self.killed:
+                raise SimKilled()
+            self.result = self._fn()
+        except SimKilled:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - recorded and re-raised by run()
+            self.error = exc
+            self.error_tb = traceback.format_exc()
+        finally:
+            self.finished = True
+            self.kernel._current = None
+            self._yielded.set()
+
+    # -- called from inside the process thread ------------------------------
+
+    def _block(self) -> None:
+        """Hand control to the kernel; return when the kernel resumes us."""
+        self._yielded.set()
+        self._resume.wait()
+        self._resume.clear()
+        if self.killed:
+            raise SimKilled()
+
+    # -- called from the kernel thread --------------------------------------
+
+    def _resume_and_wait(self) -> None:
+        """Let the process run one slice; block the kernel until it yields."""
+        self._yielded.clear()
+        self._resume.set()
+        self._yielded.wait()
+
+    def join_native(self, timeout: float = 5.0) -> None:
+        self._thread.join(timeout)
+
+
+class SimKernel:
+    """Deterministic discrete-event kernel with thread-backed processes."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._current: Optional[SimProcess] = None
+        self.processes: list[SimProcess] = []
+        self._running = False
+        self._shutdown = False
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "SimKernel":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # -- clock ----------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------------
+
+    def call_later(self, delay_ms: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to run on the kernel thread after ``delay_ms``."""
+        if delay_ms < 0:
+            raise SimulationError(f"negative delay: {delay_ms}")
+        event = _Event(self._now + delay_ms, next(self._seq), action)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def spawn(self, fn: Callable[[], Any], name: str = "proc") -> SimProcess:
+        """Create a process; it starts at the current virtual time."""
+        if self._shutdown:
+            raise SimulationError("kernel already shut down")
+        proc = SimProcess(self, fn, name)
+        self.processes.append(proc)
+        proc._start_thread()
+        self.call_later(0.0, lambda: self._wake(proc))
+        return proc
+
+    # -- process-side primitives -------------------------------------------------
+
+    def current(self) -> SimProcess:
+        proc = self._current
+        if proc is None:
+            raise SimulationError("not inside a simulated process")
+        return proc
+
+    def sleep(self, delay_ms: float) -> None:
+        """Block the current process for ``delay_ms`` of virtual time."""
+        proc = self.current()
+        self.call_later(max(0.0, delay_ms), lambda: self._wake(proc))
+        proc._block()
+
+    def _wake(self, proc: SimProcess) -> None:
+        """Kernel-thread action: run one slice of ``proc``."""
+        if proc.finished:
+            return
+        self._current = proc
+        proc._resume_and_wait()
+        self._current = None
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Process events in order until the heap drains or ``until`` is passed.
+
+        Returns the virtual time at exit.  Raises the first error recorded
+        by any process (fail fast), and :class:`DeadlockError` if processes
+        remain blocked with an empty heap — unless the kernel was shut down.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            events = 0
+            while self._heap:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    heapq.heappush(self._heap, event)
+                    self._now = until
+                    break
+                events += 1
+                if events > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                self._now = event.time
+                event.action()
+                self._raise_process_error()
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+            if not self._heap and not self._shutdown:
+                blocked = [p.name for p in self.processes if not p.finished]
+                if blocked and until is None:
+                    raise DeadlockError(
+                        f"no pending events but processes are blocked: {blocked}"
+                    )
+            return self._now
+        finally:
+            self._running = False
+
+    def run_until_idle(self) -> float:
+        """Run until no events remain, tolerating still-blocked processes.
+
+        Useful for experiments whose server loops wait forever by design.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self._raise_process_error()
+        return self._now
+
+    def _raise_process_error(self) -> None:
+        for proc in self.processes:
+            if proc.error is not None:
+                err = proc.error
+                proc.error = None
+                tb = getattr(proc, "error_tb", "")
+                raise SimulationError(
+                    f"process {proc.name!r} failed: {err!r}\n{tb}"
+                ) from err
+
+    # -- teardown ----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Kill all blocked processes and join their native threads."""
+        self._shutdown = True
+        for proc in self.processes:
+            if not proc.finished:
+                proc.killed = True
+                proc._resume_and_wait()
+        for proc in self.processes:
+            proc.join_native()
+        self._heap.clear()

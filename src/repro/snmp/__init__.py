@@ -1,0 +1,37 @@
+"""SNMP substrate (manager/agent over a HOST-RESOURCES-style MIB).
+
+The paper's network-management module monitors worker CPU load via SNMP:
+a *worker-agent* runs on every monitored node, a *manager* polls it.  We
+implement the SNMPv1 message structure with a genuine BER-subset codec
+(INTEGER, OCTET STRING, NULL, OBJECT IDENTIFIER with base-128
+subidentifiers, SEQUENCE, context PDU tags), GET/GETNEXT/SET operations,
+community-string authentication, and lexicographic MIB walking.
+"""
+
+from repro.snmp.oid import Oid
+from repro.snmp.mib import Mib, HOST_RESOURCES
+from repro.snmp.pdu import (
+    GetNextRequest,
+    GetRequest,
+    GetResponse,
+    SetRequest,
+    decode_message,
+    encode_message,
+)
+from repro.snmp.agent import SnmpAgent, SNMP_PORT
+from repro.snmp.manager import SnmpManager
+
+__all__ = [
+    "Oid",
+    "Mib",
+    "HOST_RESOURCES",
+    "GetRequest",
+    "GetNextRequest",
+    "SetRequest",
+    "GetResponse",
+    "encode_message",
+    "decode_message",
+    "SnmpAgent",
+    "SnmpManager",
+    "SNMP_PORT",
+]

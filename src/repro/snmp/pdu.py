@@ -1,0 +1,329 @@
+"""SNMPv1 message model and BER-subset codec.
+
+Implements the pieces of X.690 BER that SNMPv1 needs:
+
+* ``INTEGER`` (tag 0x02, two's-complement, minimal length),
+* ``OCTET STRING`` (tag 0x04, UTF-8 for str payloads),
+* ``NULL`` (tag 0x05),
+* ``OBJECT IDENTIFIER`` (tag 0x06, first two arcs packed, base-128
+  subidentifiers with continuation bits),
+* ``SEQUENCE`` (tag 0x30),
+* context-class PDU tags 0xA0..0xA3 (GetRequest, GetNextRequest,
+  GetResponse, SetRequest).
+
+Long-form lengths are produced for contents over 127 bytes, so large
+messages round-trip too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.errors import CodecError
+from repro.snmp.oid import Oid
+
+__all__ = [
+    "GetRequest",
+    "GetNextRequest",
+    "GetResponse",
+    "SetRequest",
+    "encode_message",
+    "decode_message",
+    "ERROR_NO_SUCH_NAME",
+    "ERROR_BAD_VALUE",
+    "ERROR_GEN_ERR",
+]
+
+SNMP_VERSION_1 = 0
+
+TAG_INTEGER = 0x02
+TAG_OCTET_STRING = 0x04
+TAG_NULL = 0x05
+TAG_OID = 0x06
+TAG_SEQUENCE = 0x30
+TAG_GET_REQUEST = 0xA0
+TAG_GET_NEXT_REQUEST = 0xA1
+TAG_GET_RESPONSE = 0xA2
+TAG_SET_REQUEST = 0xA3
+TAG_GET_BULK_REQUEST = 0xA5  # SNMPv2 GetBulk (error fields reinterpreted)
+TAG_TRAP_V2 = 0xA7  # SNMPv2-Trap-PDU structure (same body as requests)
+
+ERROR_NONE = 0
+ERROR_TOO_BIG = 1
+ERROR_NO_SUCH_NAME = 2
+ERROR_BAD_VALUE = 3
+ERROR_GEN_ERR = 5
+
+VarBind = tuple[Oid, Any]
+
+
+@dataclass
+class _Pdu:
+    request_id: int
+    varbinds: list[VarBind] = field(default_factory=list)
+    error_status: int = ERROR_NONE
+    error_index: int = 0
+    community: str = "public"
+
+    TAG = TAG_GET_REQUEST  # overridden
+
+
+class GetRequest(_Pdu):
+    """Read the values bound to the requested OIDs."""
+
+    TAG = TAG_GET_REQUEST
+
+
+class GetNextRequest(_Pdu):
+    """Read the lexicographically next OID after each requested one."""
+
+    TAG = TAG_GET_NEXT_REQUEST
+
+
+class GetResponse(_Pdu):
+    """Agent reply carrying varbinds and an error status/index."""
+
+    TAG = TAG_GET_RESPONSE
+
+
+class SetRequest(_Pdu):
+    """Write values to writable OIDs."""
+
+    TAG = TAG_SET_REQUEST
+
+
+class TrapV2(_Pdu):
+    """Unsolicited notification (SNMPv2c trap layout)."""
+
+    TAG = TAG_TRAP_V2
+
+
+class GetBulkRequest(_Pdu):
+    """SNMPv2 GetBulk: ``error_status`` carries non-repeaters and
+    ``error_index`` max-repetitions (exactly RFC 1905's reuse of the
+    fields).  Convenience properties expose the real names."""
+
+    TAG = TAG_GET_BULK_REQUEST
+
+    @property
+    def non_repeaters(self) -> int:
+        return self.error_status
+
+    @property
+    def max_repetitions(self) -> int:
+        return self.error_index
+
+
+_PDU_BY_TAG = {
+    TAG_GET_REQUEST: GetRequest,
+    TAG_GET_NEXT_REQUEST: GetNextRequest,
+    TAG_GET_RESPONSE: GetResponse,
+    TAG_SET_REQUEST: SetRequest,
+    TAG_GET_BULK_REQUEST: GetBulkRequest,
+    TAG_TRAP_V2: TrapV2,
+}
+
+
+# --------------------------------------------------------------------- encode --
+
+
+def _encode_length(length: int) -> bytes:
+    if length < 0x80:
+        return bytes([length])
+    payload = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(payload)]) + payload
+
+
+def _tlv(tag: int, content: bytes) -> bytes:
+    return bytes([tag]) + _encode_length(len(content)) + content
+
+
+def _encode_integer(value: int) -> bytes:
+    if value == 0:
+        return _tlv(TAG_INTEGER, b"\x00")
+    length = (value.bit_length() + 8) // 8  # +1 bit for the sign
+    return _tlv(TAG_INTEGER, value.to_bytes(length, "big", signed=True))
+
+
+def _encode_oid(oid: Oid) -> bytes:
+    parts = oid.parts
+    out = bytearray([parts[0] * 40 + parts[1]])
+    for sub in parts[2:]:
+        chunk = bytearray([sub & 0x7F])
+        sub >>= 7
+        while sub:
+            chunk.insert(0, 0x80 | (sub & 0x7F))
+            sub >>= 7
+        out.extend(chunk)
+    return _tlv(TAG_OID, bytes(out))
+
+
+def _encode_value(value: Any) -> bytes:
+    if value is None:
+        return _tlv(TAG_NULL, b"")
+    if isinstance(value, bool):
+        return _encode_integer(int(value))
+    if isinstance(value, int):
+        return _encode_integer(value)
+    if isinstance(value, float):
+        # SNMPv1 has no REAL type; agents report scaled integers.
+        return _encode_integer(round(value))
+    if isinstance(value, str):
+        return _tlv(TAG_OCTET_STRING, value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return _tlv(TAG_OCTET_STRING, value)
+    if isinstance(value, Oid):
+        return _encode_oid(value)
+    raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def encode_message(pdu: _Pdu) -> bytes:
+    """Encode a full SNMPv1 message: Sequence(version, community, PDU)."""
+    varbind_bytes = b"".join(
+        _tlv(TAG_SEQUENCE, _encode_oid(Oid(oid)) + _encode_value(value))
+        for oid, value in pdu.varbinds
+    )
+    pdu_bytes = _tlv(
+        pdu.TAG,
+        _encode_integer(pdu.request_id)
+        + _encode_integer(pdu.error_status)
+        + _encode_integer(pdu.error_index)
+        + _tlv(TAG_SEQUENCE, varbind_bytes),
+    )
+    return _tlv(
+        TAG_SEQUENCE,
+        _encode_integer(SNMP_VERSION_1)
+        + _tlv(TAG_OCTET_STRING, pdu.community.encode("utf-8"))
+        + pdu_bytes,
+    )
+
+
+# --------------------------------------------------------------------- decode --
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.data)
+
+    def byte(self) -> int:
+        if self.eof():
+            raise CodecError("truncated message")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def read(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise CodecError("truncated content")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def tlv(self) -> tuple[int, bytes]:
+        tag = self.byte()
+        first = self.byte()
+        if first < 0x80:
+            length = first
+        else:
+            n_bytes = first & 0x7F
+            if n_bytes == 0 or n_bytes > 4:
+                raise CodecError(f"unsupported length-of-length {n_bytes}")
+            length = int.from_bytes(self.read(n_bytes), "big")
+        return tag, self.read(length)
+
+
+def _decode_integer(content: bytes) -> int:
+    if not content:
+        raise CodecError("empty INTEGER")
+    return int.from_bytes(content, "big", signed=True)
+
+
+def _decode_oid(content: bytes) -> Oid:
+    if not content:
+        raise CodecError("empty OID")
+    first = content[0]
+    parts = [min(first // 40, 2), first - 40 * min(first // 40, 2)]
+    sub = 0
+    for byte in content[1:]:
+        sub = (sub << 7) | (byte & 0x7F)
+        if not byte & 0x80:
+            parts.append(sub)
+            sub = 0
+    if sub:
+        raise CodecError("OID subidentifier not terminated")
+    return Oid(parts)
+
+
+def _decode_value(tag: int, content: bytes) -> Any:
+    if tag == TAG_NULL:
+        return None
+    if tag == TAG_INTEGER:
+        return _decode_integer(content)
+    if tag == TAG_OCTET_STRING:
+        try:
+            return content.decode("utf-8")
+        except UnicodeDecodeError:
+            return content
+    if tag == TAG_OID:
+        return _decode_oid(content)
+    raise CodecError(f"unexpected value tag 0x{tag:02x}")
+
+
+def decode_message(data: bytes) -> _Pdu:
+    """Decode bytes produced by :func:`encode_message`."""
+    outer_tag, outer = _Reader(data).tlv()
+    if outer_tag != TAG_SEQUENCE:
+        raise CodecError(f"message must be a SEQUENCE, got 0x{outer_tag:02x}")
+    reader = _Reader(outer)
+
+    tag, content = reader.tlv()
+    if tag != TAG_INTEGER or _decode_integer(content) != SNMP_VERSION_1:
+        raise CodecError("unsupported SNMP version")
+    tag, content = reader.tlv()
+    if tag != TAG_OCTET_STRING:
+        raise CodecError("community must be OCTET STRING")
+    community = content.decode("utf-8")
+
+    pdu_tag, pdu_content = reader.tlv()
+    pdu_class = _PDU_BY_TAG.get(pdu_tag)
+    if pdu_class is None:
+        raise CodecError(f"unknown PDU tag 0x{pdu_tag:02x}")
+    pdu_reader = _Reader(pdu_content)
+    tag, content = pdu_reader.tlv()
+    request_id = _decode_integer(content)
+    tag, content = pdu_reader.tlv()
+    error_status = _decode_integer(content)
+    tag, content = pdu_reader.tlv()
+    error_index = _decode_integer(content)
+    tag, varbind_content = pdu_reader.tlv()
+    if tag != TAG_SEQUENCE:
+        raise CodecError("varbind list must be a SEQUENCE")
+
+    varbinds: list[VarBind] = []
+    vb_reader = _Reader(varbind_content)
+    while not vb_reader.eof():
+        tag, vb = vb_reader.tlv()
+        if tag != TAG_SEQUENCE:
+            raise CodecError("varbind must be a SEQUENCE")
+        inner = _Reader(vb)
+        oid_tag, oid_content = inner.tlv()
+        if oid_tag != TAG_OID:
+            raise CodecError("varbind name must be an OID")
+        value_tag, value_content = inner.tlv()
+        varbinds.append(
+            (_decode_oid(oid_content), _decode_value(value_tag, value_content))
+        )
+
+    pdu = pdu_class(
+        request_id=request_id,
+        varbinds=varbinds,
+        error_status=error_status,
+        error_index=error_index,
+        community=community,
+    )
+    return pdu

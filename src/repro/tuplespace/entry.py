@@ -1,0 +1,61 @@
+"""Entry model and associative template matching.
+
+JavaSpaces semantics: a template ``T`` matches a candidate entry ``E`` iff
+``E`` is of ``T``'s class or a subclass, and every non-``None`` public
+field of ``T`` equals the corresponding field of ``E``.  ``None`` fields
+are wildcards.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Entry", "entry_fields", "matches", "values_equal"]
+
+
+class Entry:
+    """Base class for space entries.
+
+    Subclasses are plain Python classes; every instance attribute whose
+    name does not start with ``_`` is a *public field* that participates
+    in matching.  Entries must be picklable (enforced at ``write``).
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{k}={v!r}" for k, v in entry_fields(self).items())
+        return f"{type(self).__name__}({fields})"
+
+
+def entry_fields(entry: Entry) -> dict[str, Any]:
+    """Public (matchable) fields of an entry instance."""
+    return {k: v for k, v in vars(entry).items() if not k.startswith("_")}
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Field equality that is safe for numpy arrays and containers."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        try:
+            return bool(np.array_equal(a, b))
+        except Exception:
+            return False
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def matches(template: Entry, candidate: Entry) -> bool:
+    """True iff ``template`` matches ``candidate`` under JavaSpaces rules."""
+    if not isinstance(candidate, type(template)):
+        return False
+    candidate_fields = vars(candidate)
+    for name, value in entry_fields(template).items():
+        if value is None:
+            continue
+        if name not in candidate_fields:
+            return False
+        if not values_equal(candidate_fields[name], value):
+            return False
+    return True

@@ -1,0 +1,366 @@
+"""Remote access to a JavaSpace over the simulated network.
+
+The paper's workers talk to the space through a serializing proxy; here
+:class:`SpaceServer` exports a space on a stream address and
+:class:`SpaceProxy` is the client stub.  Every operation pays the modelled
+network cost, and a connection that drops with open transactions gets them
+aborted — the fault-tolerance property the paper attributes to JavaSpaces
+transactions (a worker crash mid-task restores the task entry).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import ConnectionClosedError, SpaceError, TransactionError
+from repro.net.address import Address
+from repro.net.network import Network, StreamSocket
+from repro.runtime.base import Runtime
+from repro.tuplespace.entry import Entry
+from repro.tuplespace.events import RemoteEvent
+from repro.tuplespace.lease import FOREVER
+from repro.tuplespace.space import JavaSpace
+from repro.tuplespace.transaction import Transaction, TransactionManager
+
+__all__ = ["SpaceServer", "SpaceProxy", "RemoteTransaction"]
+
+
+class SpaceServer:
+    """Exports a :class:`JavaSpace` on a network address."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        space: JavaSpace,
+        network: Network,
+        address: Address,
+        txn_manager: Optional[TransactionManager] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.space = space
+        self.network = network
+        self.address = address
+        self.txn_manager = txn_manager if txn_manager is not None else TransactionManager(runtime)
+        self._listener = None
+        self._running = False
+        self._conn_ids = itertools.count(1)
+        self._event_channels: dict[Address, StreamSocket] = {}
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._listener = self.network.listen(self.address)
+        self._running = True
+        self.runtime.spawn(self._accept_loop, name=f"space-server:{self.address}")
+
+    def stop(self) -> None:
+        self._running = False
+        if self._listener is not None:
+            self._listener.close()
+
+    # -- server loops -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn = self._listener.accept(timeout_ms=None)
+            except ConnectionClosedError:
+                return
+            if conn is None:
+                continue
+            conn_id = next(self._conn_ids)
+            self.runtime.spawn(
+                lambda c=conn: self._serve(c), name=f"space-conn-{conn_id}"
+            )
+
+    def _serve(self, conn: StreamSocket) -> None:
+        """Handle one client connection; abort its transactions on drop."""
+        transactions: dict[int, Transaction] = {}
+        try:
+            while True:
+                request = conn.receive(timeout_ms=None)
+                if request is None:
+                    continue
+                try:
+                    value = self._dispatch(request, transactions, conn)
+                    conn.send({"ok": True, "value": value})
+                except ConnectionClosedError:
+                    raise
+                except Exception as exc:  # marshalled back to the client
+                    conn.send({"ok": False, "error": str(exc), "type": type(exc).__name__})
+        except ConnectionClosedError:
+            pass
+        finally:
+            for txn in transactions.values():
+                if txn.state == "active":
+                    txn.abort()
+            conn.close()
+
+    def _dispatch(
+        self,
+        request: dict[str, Any],
+        transactions: dict[int, Transaction],
+        conn: StreamSocket,
+    ) -> Any:
+        op = request.get("op")
+        args = request.get("args", {})
+        txn = None
+        txn_id = args.get("txn_id")
+        if txn_id is not None:
+            txn = transactions.get(txn_id)
+            if txn is None:
+                raise TransactionError(f"unknown transaction id {txn_id}")
+
+        if op == "write":
+            lease = self.space.write(args["entry"], txn=txn, lease_ms=args["lease_ms"])
+            return {"remaining_ms": lease.remaining_ms()}
+        if op in ("read", "take"):
+            method = self.space.read if op == "read" else self.space.take
+            return method(args["template"], txn=txn, timeout_ms=args["timeout_ms"])
+        if op == "count":
+            return self.space.count(args["template"], txn=txn)
+        if op == "write_all":
+            leases = self.space.write_all(args["entries"], txn=txn,
+                                          lease_ms=args["lease_ms"])
+            return {"count": len(leases)}
+        if op == "take_multiple":
+            return self.space.take_multiple(
+                args["template"], args["max_entries"], txn=txn,
+                timeout_ms=args["timeout_ms"],
+            )
+        if op == "contents":
+            return self.space.contents(args["template"], txn=txn)
+        if op == "txn_create":
+            new_txn = self.txn_manager.create(args["timeout_ms"])
+            transactions[new_txn.txn_id] = new_txn
+            return new_txn.txn_id
+        if op == "txn_commit":
+            txn = transactions.pop(args["id"], None)
+            if txn is None:
+                raise TransactionError(f"unknown transaction id {args['id']}")
+            txn.commit()
+            return None
+        if op == "txn_abort":
+            txn = transactions.pop(args["id"], None)
+            if txn is None:
+                raise TransactionError(f"unknown transaction id {args['id']}")
+            txn.abort()
+            return None
+        if op == "notify":
+            return self._register_notify(args, conn)
+        if op == "ping":
+            return "pong"
+        raise SpaceError(f"unknown operation: {op!r}")
+
+    def _register_notify(self, args: dict[str, Any], conn: StreamSocket) -> int:
+        """Forward matching events to the client's event channel."""
+        target = Address(args["host"], args["event_port"])
+        channel = self._event_channels.get(target)
+        if channel is None or channel.closed:
+            channel = self.network.connect(self.address.host, target)
+            self._event_channels[target] = channel
+
+        def listener(event: RemoteEvent) -> None:
+            try:
+                channel.send(
+                    {"registration_id": event.registration_id, "sequence": event.sequence,
+                     "source": event.source}
+                )
+            except ConnectionClosedError:
+                pass
+
+        reg = self.space.notify(args["template"], listener, lease_ms=args["lease_ms"])
+        return reg.registration_id
+
+
+class RemoteTransaction:
+    """Client-side handle on a server transaction."""
+
+    def __init__(self, proxy: "SpaceProxy", txn_id: int) -> None:
+        self._proxy = proxy
+        self.txn_id = txn_id
+        self.completed = False
+
+    def commit(self) -> None:
+        self._proxy._call("txn_commit", {"id": self.txn_id})
+        self.completed = True
+
+    def abort(self) -> None:
+        self._proxy._call("txn_abort", {"id": self.txn_id})
+        self.completed = True
+
+    def __enter__(self) -> "RemoteTransaction":
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if self.completed:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+class SpaceProxy:
+    """Client stub with the JavaSpace operation set.
+
+    One proxy per client process: requests are serialized on a single
+    connection (matching the blocking JavaSpaces client API).
+    """
+
+    def __init__(self, network: Network, host: str, server_address: Address) -> None:
+        self.network = network
+        self.host = host
+        self.server_address = server_address
+        self._conn: Optional[StreamSocket] = None
+        self._event_listener = None
+        self._event_handlers: dict[int, Callable[[RemoteEvent], Any]] = {}
+        self._failed = False
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Simulate host death: every subsequent call raises, and the open
+        connection drops so the server aborts this client's transactions
+        (fault-injection hook used by crash experiments)."""
+        self._failed = True
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _connection(self) -> StreamSocket:
+        if self._failed:
+            raise ConnectionClosedError("proxy host crashed")
+        if self._conn is None or self._conn.closed:
+            self._conn = self.network.connect(self.host, self.server_address)
+        return self._conn
+
+    def _call(self, op: str, args: dict[str, Any]) -> Any:
+        conn = self._connection()
+        conn.send({"op": op, "args": args})
+        reply = conn.receive(timeout_ms=None)
+        if reply is None:
+            raise ConnectionClosedError("no reply from space server")
+        if reply.get("ok"):
+            return reply.get("value")
+        raise SpaceError(f"remote {op} failed: {reply.get('type')}: {reply.get('error')}")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self._event_listener is not None:
+            self._event_listener.close()
+            self._event_listener = None
+
+    # -- JavaSpace API ----------------------------------------------------------------
+
+    def write(self, entry: Entry, txn: Optional[RemoteTransaction] = None,
+              lease_ms: float = FOREVER) -> dict[str, Any]:
+        return self._call(
+            "write",
+            {"entry": entry, "lease_ms": lease_ms, "txn_id": txn.txn_id if txn else None},
+        )
+
+    def read(self, template: Entry, txn: Optional[RemoteTransaction] = None,
+             timeout_ms: Optional[float] = None) -> Optional[Entry]:
+        return self._call(
+            "read",
+            {"template": template, "timeout_ms": timeout_ms,
+             "txn_id": txn.txn_id if txn else None},
+        )
+
+    def take(self, template: Entry, txn: Optional[RemoteTransaction] = None,
+             timeout_ms: Optional[float] = None) -> Optional[Entry]:
+        return self._call(
+            "take",
+            {"template": template, "timeout_ms": timeout_ms,
+             "txn_id": txn.txn_id if txn else None},
+        )
+
+    def read_if_exists(self, template: Entry, txn: Optional[RemoteTransaction] = None):
+        return self.read(template, txn, timeout_ms=0.0)
+
+    def take_if_exists(self, template: Entry, txn: Optional[RemoteTransaction] = None):
+        return self.take(template, txn, timeout_ms=0.0)
+
+    def count(self, template: Entry) -> int:
+        return self._call("count", {"template": template, "txn_id": None})
+
+    def write_all(self, entries: list[Entry],
+                  txn: Optional[RemoteTransaction] = None,
+                  lease_ms: float = FOREVER) -> int:
+        reply = self._call(
+            "write_all",
+            {"entries": entries, "lease_ms": lease_ms,
+             "txn_id": txn.txn_id if txn else None},
+        )
+        return reply["count"]
+
+    def take_multiple(self, template: Entry, max_entries: int,
+                      txn: Optional[RemoteTransaction] = None,
+                      timeout_ms: Optional[float] = None) -> list[Entry]:
+        return self._call(
+            "take_multiple",
+            {"template": template, "max_entries": max_entries,
+             "timeout_ms": timeout_ms, "txn_id": txn.txn_id if txn else None},
+        )
+
+    def contents(self, template: Entry,
+                 txn: Optional[RemoteTransaction] = None) -> list[Entry]:
+        return self._call(
+            "contents",
+            {"template": template, "txn_id": txn.txn_id if txn else None},
+        )
+
+    def transaction(self, timeout_ms: float = FOREVER) -> RemoteTransaction:
+        txn_id = self._call("txn_create", {"timeout_ms": timeout_ms})
+        return RemoteTransaction(self, txn_id)
+
+    def ping(self) -> bool:
+        return self._call("ping", {}) == "pong"
+
+    # -- notify ---------------------------------------------------------------------
+
+    def notify(
+        self,
+        template: Entry,
+        listener: Callable[[RemoteEvent], Any],
+        lease_ms: float = FOREVER,
+        runtime: Optional[Runtime] = None,
+    ) -> int:
+        """Register for remote events; spawns a local event-pump process."""
+        if runtime is None:
+            raise SpaceError("notify over a proxy needs the runtime to pump events")
+        if self._event_listener is None:
+            event_address = self.network.ephemeral(self.host)
+            self._event_listener = self.network.listen(event_address)
+            self._event_port = event_address.port
+            runtime.spawn(self._event_pump, name=f"space-events:{self.host}")
+        reg_id = self._call(
+            "notify",
+            {"template": template, "lease_ms": lease_ms,
+             "host": self.host, "event_port": self._event_port},
+        )
+        self._event_handlers[reg_id] = listener
+        return reg_id
+
+    def _event_pump(self) -> None:
+        try:
+            channel = self._event_listener.accept(timeout_ms=None)
+            if channel is None:
+                return
+            while True:
+                message = channel.receive(timeout_ms=None)
+                if message is None:
+                    continue
+                handler = self._event_handlers.get(message["registration_id"])
+                if handler is not None:
+                    handler(
+                        RemoteEvent(
+                            message["source"], message["registration_id"], message["sequence"]
+                        )
+                    )
+        except ConnectionClosedError:
+            return

@@ -1,0 +1,6 @@
+"""Small shared utilities: id generation, serialization checks, time helpers."""
+
+from repro.util.ids import IdGenerator, uuid_hex
+from repro.util.serialization import serialized_size, check_serializable
+
+__all__ = ["IdGenerator", "uuid_hex", "serialized_size", "check_serializable"]

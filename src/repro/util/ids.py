@@ -1,0 +1,39 @@
+"""Deterministic and random identifier generation.
+
+Experiments need reproducible ids, so the library uses per-scope counters
+(:class:`IdGenerator`) rather than UUIDs wherever an id appears in recorded
+metrics.  ``uuid_hex`` remains for contexts where global uniqueness matters
+more than determinism (e.g. ad-hoc service ids in the threaded runtime).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+
+
+def uuid_hex() -> str:
+    """Return a random 32-char hex identifier."""
+    return uuid.uuid4().hex
+
+
+class IdGenerator:
+    """Thread-safe monotonically increasing id source.
+
+    Ids are formatted ``"{prefix}-{n}"`` so that logs and metrics stay
+    human-readable and stable across runs.
+    """
+
+    def __init__(self, prefix: str = "id") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def next(self) -> str:
+        with self._lock:
+            return f"{self._prefix}-{next(self._counter)}"
+
+    def next_int(self) -> int:
+        with self._lock:
+            return next(self._counter)

@@ -1,0 +1,36 @@
+"""Logging: thin wrapper over stdlib ``logging`` with a repro namespace.
+
+Components log under ``repro.<component>``; :func:`configure` installs a
+handler with virtual-time-friendly formatting for CLI runs.  Library code
+never configures logging on import (standard library etiquette).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure"]
+
+_ROOT = "repro"
+
+
+def get_logger(component: str) -> logging.Logger:
+    """Logger for a framework component (e.g. ``netmgmt``, ``worker``)."""
+    return logging.getLogger(f"{_ROOT}.{component}")
+
+
+def configure(level: int = logging.INFO, stream=None, force: bool = False) -> None:
+    """Attach a stream handler to the repro root logger (idempotent)."""
+    root = logging.getLogger(_ROOT)
+    if root.handlers and not force:
+        return
+    if force:
+        root.handlers.clear()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(name)s %(levelname)s %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(level)

@@ -1,0 +1,43 @@
+"""Serialization helpers emulating JavaSpaces entry requirements.
+
+JavaSpaces requires entries to be ``Serializable``; the space proxy
+serializes entry fields before transmitting them.  We emulate this with
+pickle: :func:`check_serializable` enforces the constraint at write time
+and :func:`serialized_size` provides the byte size used by network and
+planning cost models.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.errors import EntryError
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def serialize(obj: Any) -> bytes:
+    """Pickle ``obj``, raising :class:`EntryError` if it cannot be pickled."""
+    try:
+        return pickle.dumps(obj, protocol=_PROTOCOL)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise EntryError(f"object of type {type(obj).__name__} is not serializable: {exc}") from exc
+
+
+def deserialize(data: bytes) -> Any:
+    """Unpickle bytes produced by :func:`serialize`."""
+    try:
+        return pickle.loads(data)
+    except Exception as exc:
+        raise EntryError(f"cannot deserialize payload: {exc}") from exc
+
+
+def serialized_size(obj: Any) -> int:
+    """Byte size of ``obj`` once serialized (used by cost models)."""
+    return len(serialize(obj))
+
+
+def check_serializable(obj: Any) -> None:
+    """Raise :class:`EntryError` unless ``obj`` survives a pickle round trip."""
+    serialize(obj)

@@ -1,0 +1,60 @@
+"""DistributedPageRank: convergence through chained framework rounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.prefetch import (
+    DistributedPageRank,
+    PrefetchApplication,
+    generate_cluster,
+    pagerank_power,
+)
+from repro.core.framework import FrameworkConfig
+from repro.node.cluster import testbed_small
+
+
+def drive(rt, fn):
+    proc = rt.kernel.spawn(fn, name="experiment")
+    rt.kernel.run_until_idle()
+    if proc.error is not None:
+        raise proc.error
+    assert proc.finished
+    return proc.result
+
+
+def test_converges_to_sequential_pagerank(rt):
+    web = generate_cluster(n_pages=100, seed=4)
+    app = PrefetchApplication(cluster=web, strip_size=20)
+    reference, _ = pagerank_power(app.matrix, tol=1e-12)
+    cluster = testbed_small(rt, workers=3)
+    driver = DistributedPageRank(rt, cluster, app, tol=1e-9, max_rounds=80)
+
+    run = drive(rt, driver.run)
+    assert run.converged
+    assert np.allclose(run.ranks, reference, atol=1e-7)
+    assert run.rounds == len(run.per_round_ms)
+    assert run.total_parallel_ms == pytest.approx(sum(run.per_round_ms))
+
+
+def test_round_budget_respected(rt):
+    web = generate_cluster(n_pages=100, seed=4)
+    app = PrefetchApplication(cluster=web, strip_size=20)
+    cluster = testbed_small(rt, workers=2)
+    driver = DistributedPageRank(rt, cluster, app, tol=0.0, max_rounds=3)
+
+    run = drive(rt, driver.run)
+    assert not run.converged  # tol=0 can never be met
+    assert run.rounds == 3
+
+
+def test_each_round_costs_similar_virtual_time(rt):
+    web = generate_cluster(n_pages=100, seed=4)
+    app = PrefetchApplication(cluster=web, strip_size=20)
+    cluster = testbed_small(rt, workers=3)
+    driver = DistributedPageRank(rt, cluster, app, tol=1e-12, max_rounds=5)
+
+    run = drive(rt, driver.run)
+    later = run.per_round_ms[1:]
+    assert max(later) - min(later) < 0.3 * max(later)

@@ -1,0 +1,58 @@
+"""Pathwise Monte Carlo Greeks vs Black–Scholes closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.options import OptionContract, OptionType
+from repro.apps.options.black_scholes import black_scholes_greeks
+from repro.apps.options.mc import european_mc_greeks
+
+CALL = OptionContract(OptionType.CALL, spot=100, strike=105, rate=0.05,
+                      volatility=0.25, maturity_years=1.0)
+PUT = OptionContract(OptionType.PUT, spot=100, strike=95, rate=0.05,
+                     volatility=0.25, maturity_years=1.0)
+
+
+@pytest.mark.parametrize("contract", [CALL, PUT], ids=["call", "put"])
+def test_pathwise_greeks_match_closed_form(contract):
+    rng = np.random.default_rng(11)
+    mc = european_mc_greeks(contract, n_paths=400_000, rng=rng)
+    exact = black_scholes_greeks(contract)
+    assert mc["price"] == pytest.approx(exact["price"], rel=0.02)
+    assert mc["delta"] == pytest.approx(exact["delta"], abs=0.01)
+    assert mc["vega"] == pytest.approx(exact["vega"], rel=0.05)
+
+
+def test_call_delta_bounds_and_put_parity():
+    rng = np.random.default_rng(3)
+    call = european_mc_greeks(CALL, 100_000, rng)
+    assert 0.0 < call["delta"] < 1.0
+    put_same_strike = OptionContract(OptionType.PUT, 100, 105, 0.05, 0.25, 1.0)
+    rng = np.random.default_rng(3)
+    put = european_mc_greeks(put_same_strike, 100_000, rng)
+    # Delta parity: Δcall − Δput = 1.
+    assert call["delta"] - put["delta"] == pytest.approx(1.0, abs=0.02)
+
+
+def test_vega_positive_for_both_types():
+    rng = np.random.default_rng(4)
+    assert european_mc_greeks(CALL, 50_000, rng)["vega"] > 0
+    rng = np.random.default_rng(4)
+    assert european_mc_greeks(PUT, 50_000, rng)["vega"] > 0
+
+
+def test_deep_itm_call_delta_near_one():
+    deep = OptionContract(OptionType.CALL, spot=200, strike=50, rate=0.05,
+                          volatility=0.2, maturity_years=0.5)
+    rng = np.random.default_rng(5)
+    assert european_mc_greeks(deep, 50_000, rng)["delta"] == pytest.approx(
+        1.0, abs=0.01
+    )
+
+
+def test_closed_form_rejects_zero_vol():
+    flat = OptionContract(OptionType.CALL, 100, 100, 0.05, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        black_scholes_greeks(flat)

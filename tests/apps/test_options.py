@@ -1,0 +1,173 @@
+"""Option pricing: model, MC, Broadie–Glasserman correctness."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.options import (
+    OptionContract,
+    OptionPricingApplication,
+    OptionType,
+    bg_tree_estimate,
+    black_scholes_price,
+    european_mc_price,
+    simulate_gbm_terminal,
+)
+from repro.apps.options.broadie_glasserman import bg_price_interval
+from repro.apps.options.model import PAPER_CONTRACT
+
+EURO_CALL = OptionContract(OptionType.CALL, spot=100, strike=100, rate=0.05,
+                           volatility=0.2, maturity_years=1.0)
+EURO_PUT = OptionContract(OptionType.PUT, spot=100, strike=100, rate=0.05,
+                          volatility=0.2, maturity_years=1.0)
+
+
+def test_contract_validation():
+    with pytest.raises(ValueError):
+        OptionContract(OptionType.CALL, spot=-1, strike=100, rate=0.05,
+                       volatility=0.2, maturity_years=1.0)
+    with pytest.raises(ValueError):
+        OptionContract(OptionType.CALL, spot=100, strike=100, rate=0.05,
+                       volatility=0.2, maturity_years=1.0, exercise_dates=0)
+
+
+def test_payoff_shapes_and_values():
+    prices = np.array([80.0, 100.0, 130.0])
+    assert np.allclose(EURO_CALL.payoff(prices), [0.0, 0.0, 30.0])
+    assert np.allclose(EURO_PUT.payoff(prices), [20.0, 0.0, 0.0])
+
+
+def test_black_scholes_known_value():
+    # Standard textbook value: S=K=100, r=5%, sigma=20%, T=1 → C ≈ 10.4506
+    assert black_scholes_price(EURO_CALL) == pytest.approx(10.4506, abs=1e-3)
+    # Put-call parity: C - P = S - K e^{-rT}
+    parity = black_scholes_price(EURO_CALL) - black_scholes_price(EURO_PUT)
+    assert parity == pytest.approx(100 - 100 * math.exp(-0.05), abs=1e-9)
+
+
+def test_black_scholes_zero_vol_is_discounted_intrinsic():
+    flat = OptionContract(OptionType.CALL, spot=100, strike=90, rate=0.05,
+                          volatility=0.0, maturity_years=1.0)
+    expected = math.exp(-0.05) * (100 * math.exp(0.05) - 90)
+    assert black_scholes_price(flat) == pytest.approx(expected, abs=1e-9)
+
+
+def test_gbm_terminal_moments():
+    rng = np.random.default_rng(1)
+    terminal = simulate_gbm_terminal(EURO_CALL, 200_000, rng)
+    # E[S_T] = S0 e^{rT}
+    assert terminal.mean() == pytest.approx(100 * math.exp(0.05), rel=0.01)
+    assert (terminal > 0).all()
+
+
+def test_european_mc_converges_to_black_scholes():
+    rng = np.random.default_rng(7)
+    price, stderr = european_mc_price(EURO_CALL, 100_000, rng)
+    exact = black_scholes_price(EURO_CALL)
+    assert abs(price - exact) < 4 * stderr
+    assert abs(price - exact) < 0.25
+
+
+def test_antithetic_reduces_stderr():
+    rng1 = np.random.default_rng(3)
+    rng2 = np.random.default_rng(3)
+    _, se_plain = european_mc_price(EURO_CALL, 50_000, rng1, antithetic=False)
+    _, se_anti = european_mc_price(EURO_CALL, 50_000, rng2, antithetic=True)
+    assert se_anti < se_plain
+
+
+def test_bg_high_estimator_exceeds_low():
+    high = bg_tree_estimate(PAPER_CONTRACT, "high", n_sims=400, branches=5, seed=1)
+    low = bg_tree_estimate(PAPER_CONTRACT, "low", n_sims=400, branches=5, seed=2)
+    assert high.mean > low.mean
+
+
+def test_bg_brackets_european_value_for_call_on_nondividend_stock():
+    """Early exercise of a call on non-dividend stock is never optimal,
+    so the Bermudan price equals the European (Black–Scholes) price and
+    the BG interval must cover it."""
+    high = bg_tree_estimate(PAPER_CONTRACT, "high", n_sims=3000, branches=5, seed=11)
+    low = bg_tree_estimate(PAPER_CONTRACT, "low", n_sims=3000, branches=5, seed=12)
+    exact = black_scholes_price(
+        OptionContract(OptionType.CALL, 100, 100, 0.05, 0.2, 1.0)
+    )
+    _, ci_low, ci_high = bg_price_interval(high, low)
+    assert ci_low <= exact <= ci_high
+    # And the bracket is reasonably tight.
+    assert ci_high - ci_low < 2.5
+
+
+def test_bg_put_shows_early_exercise_premium():
+    """For an American-style put the BG estimate must exceed European."""
+    put = OptionContract(OptionType.PUT, spot=100, strike=110, rate=0.10,
+                         volatility=0.2, maturity_years=1.0, exercise_dates=4)
+    low = bg_tree_estimate(put, "low", n_sims=3000, branches=5, seed=3)
+    european = black_scholes_price(
+        OptionContract(OptionType.PUT, 100, 110, 0.10, 0.2, 1.0)
+    )
+    # Even the LOW-biased estimator beats the European value by a margin.
+    assert low.mean > european + 0.3
+
+
+def test_bg_estimates_are_reproducible():
+    a = bg_tree_estimate(PAPER_CONTRACT, "high", n_sims=100, seed=5)
+    b = bg_tree_estimate(PAPER_CONTRACT, "high", n_sims=100, seed=5)
+    assert a == b
+
+
+def test_bg_merge_pools_statistics():
+    a = bg_tree_estimate(PAPER_CONTRACT, "high", n_sims=100, seed=1)
+    b = bg_tree_estimate(PAPER_CONTRACT, "high", n_sims=100, seed=2)
+    merged = a.merge(b)
+    assert merged.n_sims == 200
+    assert merged.mean == pytest.approx((a.sum_values + b.sum_values) / 200)
+    with pytest.raises(ValueError):
+        a.merge(bg_tree_estimate(PAPER_CONTRACT, "low", n_sims=10, seed=1))
+
+
+def test_bg_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        bg_tree_estimate(PAPER_CONTRACT, "middle", n_sims=10)
+    with pytest.raises(ValueError):
+        bg_tree_estimate(PAPER_CONTRACT, "high", n_sims=10, branches=1)
+
+
+# -- the framework application ---------------------------------------------------
+
+
+def test_app_plans_100_subtasks_high_low_pairs():
+    app = OptionPricingApplication()
+    tasks = app.plan()
+    assert len(tasks) == 100
+    estimators = [t.payload["estimator"] for t in tasks]
+    assert estimators.count("high") == 50
+    assert estimators.count("low") == 50
+    assert len({t.payload["seed"] for t in tasks}) == 100
+    assert all(t.payload["n_sims"] == 100 for t in tasks)
+
+
+def test_app_sequential_run_prices_the_option():
+    app = OptionPricingApplication(n_simulations=2000, n_blocks=10)
+    solution = app.run_sequential()
+    exact = black_scholes_price(
+        OptionContract(OptionType.CALL, 100, 100, 0.05, 0.2, 1.0)
+    )
+    assert solution["ci_low"] <= exact <= solution["ci_high"]
+    assert solution["low"] <= solution["price"] <= solution["high"]
+
+
+def test_app_cost_model_scales_with_simulations():
+    app = OptionPricingApplication()
+    task = app.plan()[0]
+    assert app.task_cost_ms(task) == pytest.approx(400.0)
+    assert app.planning_cost_ms(task) > 0
+    assert app.classload_profile().demand_percent == 80.0
+
+
+def test_app_aggregate_tolerates_missing_payloads():
+    app = OptionPricingApplication(n_simulations=200, n_blocks=2)
+    out = app.aggregate({0: None, 1: None})
+    assert math.isnan(out["price"])

@@ -1,0 +1,113 @@
+"""Deeper validation of the option-pricing stack."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.options import (
+    OptionContract,
+    OptionType,
+    bg_tree_estimate,
+    black_scholes_price,
+    european_mc_price,
+)
+from repro.apps.options.model import PAPER_CONTRACT
+
+
+contracts = st.builds(
+    OptionContract,
+    option_type=st.sampled_from(list(OptionType)),
+    spot=st.floats(50.0, 150.0),
+    strike=st.floats(50.0, 150.0),
+    rate=st.floats(0.0, 0.10),
+    volatility=st.floats(0.05, 0.6),
+    maturity_years=st.floats(0.25, 2.0),
+)
+
+
+@given(contract=contracts)
+def test_black_scholes_within_no_arbitrage_bounds(contract):
+    price = black_scholes_price(contract)
+    s, k = contract.spot, contract.strike
+    discount = math.exp(-contract.rate * contract.maturity_years)
+    assert price >= -1e-9
+    if contract.option_type == OptionType.CALL:
+        assert price >= max(0.0, s - k * discount) - 1e-9
+        assert price <= s + 1e-9
+    else:
+        assert price >= max(0.0, k * discount - s) - 1e-9
+        assert price <= k * discount + 1e-9
+
+
+@given(contract=contracts)
+def test_put_call_parity_holds(contract):
+    call = OptionContract(OptionType.CALL, contract.spot, contract.strike,
+                          contract.rate, contract.volatility,
+                          contract.maturity_years)
+    put = OptionContract(OptionType.PUT, contract.spot, contract.strike,
+                         contract.rate, contract.volatility,
+                         contract.maturity_years)
+    lhs = black_scholes_price(call) - black_scholes_price(put)
+    rhs = contract.spot - contract.strike * math.exp(
+        -contract.rate * contract.maturity_years
+    )
+    assert lhs == pytest.approx(rhs, abs=1e-9)
+
+
+def test_vega_positive():
+    """More volatility → more option value (both types)."""
+    base = dict(spot=100.0, strike=100.0, rate=0.05, maturity_years=1.0)
+    for option_type in OptionType:
+        low = black_scholes_price(OptionContract(option_type, volatility=0.1, **base))
+        high = black_scholes_price(OptionContract(option_type, volatility=0.4, **base))
+        assert high > low
+
+
+def test_mc_standard_error_shrinks_with_sqrt_n():
+    rng1 = np.random.default_rng(5)
+    rng2 = np.random.default_rng(5)
+    contract = OptionContract(OptionType.CALL, 100, 100, 0.05, 0.2, 1.0)
+    _, se_small = european_mc_price(contract, 10_000, rng1)
+    _, se_large = european_mc_price(contract, 160_000, rng2)
+    assert se_large == pytest.approx(se_small / 4.0, rel=0.25)
+
+
+def test_bg_more_branches_tighten_the_bracket():
+    """The Broadie–Glasserman bias shrinks as branching grows."""
+    def gap(branches):
+        high = bg_tree_estimate(PAPER_CONTRACT, "high", n_sims=1500,
+                                branches=branches, seed=2)
+        low = bg_tree_estimate(PAPER_CONTRACT, "low", n_sims=1500,
+                               branches=branches, seed=3)
+        return high.mean - low.mean
+
+    assert gap(branches=8) < gap(branches=2)
+
+
+def test_bg_single_exercise_date_equals_european_mc():
+    """With one exercise date the 'tree' is a plain European MC."""
+    euro = OptionContract(OptionType.CALL, 100, 100, 0.05, 0.2, 1.0,
+                          exercise_dates=1)
+    high = bg_tree_estimate(euro, "high", n_sims=4000, branches=5, seed=9)
+    exact = black_scholes_price(euro)
+    assert high.mean == pytest.approx(exact, abs=4 * high.stderr)
+
+
+def test_deep_itm_call_close_to_forward_intrinsic():
+    contract = OptionContract(OptionType.CALL, spot=200, strike=50,
+                              rate=0.05, volatility=0.2, maturity_years=1.0)
+    price = black_scholes_price(contract)
+    intrinsic = 200 - 50 * math.exp(-0.05)
+    assert price == pytest.approx(intrinsic, rel=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_bg_estimates_always_nonnegative(seed):
+    estimate = bg_tree_estimate(PAPER_CONTRACT, "low", n_sims=50, seed=seed)
+    assert estimate.mean >= 0.0
+    assert estimate.sum_squares >= 0.0

@@ -1,0 +1,203 @@
+"""Ray tracer: geometry, shading, strip decomposition correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.raytrace import (
+    Camera,
+    CheckerPlane,
+    Light,
+    Material,
+    RayTracingApplication,
+    Scene,
+    Sphere,
+    default_scene,
+    render_image,
+    render_rows,
+)
+
+MAT = Material(color=(1.0, 0.0, 0.0))
+
+
+def unit(v):
+    v = np.asarray(v, dtype=float)
+    return v / np.linalg.norm(v)
+
+
+def test_sphere_intersection_head_on():
+    sphere = Sphere(center=(0, 0, 5), radius=1.0, material=MAT)
+    origins = np.array([[0.0, 0.0, 0.0]])
+    directions = np.array([[0.0, 0.0, 1.0]])
+    t = sphere.intersect(origins, directions)
+    assert t[0] == pytest.approx(4.0)
+
+
+def test_sphere_miss_returns_inf():
+    sphere = Sphere(center=(0, 0, 5), radius=1.0, material=MAT)
+    origins = np.array([[0.0, 3.0, 0.0]])
+    directions = np.array([[0.0, 0.0, 1.0]])
+    assert np.isinf(sphere.intersect(origins, directions)[0])
+
+
+def test_sphere_from_inside_hits_far_wall():
+    sphere = Sphere(center=(0, 0, 0), radius=2.0, material=MAT)
+    origins = np.array([[0.0, 0.0, 0.0]])
+    directions = np.array([[0.0, 0.0, 1.0]])
+    assert sphere.intersect(origins, directions)[0] == pytest.approx(2.0)
+
+
+def test_sphere_behind_ray_ignored():
+    sphere = Sphere(center=(0, 0, -5), radius=1.0, material=MAT)
+    origins = np.array([[0.0, 0.0, 0.0]])
+    directions = np.array([[0.0, 0.0, 1.0]])
+    assert np.isinf(sphere.intersect(origins, directions)[0])
+
+
+def test_sphere_normals_are_unit_outward():
+    sphere = Sphere(center=(0, 0, 0), radius=2.0, material=MAT)
+    points = np.array([[2.0, 0.0, 0.0], [0.0, -2.0, 0.0]])
+    normals = sphere.normals(points)
+    assert np.allclose(normals, [[1, 0, 0], [0, -1, 0]])
+    assert np.allclose(np.linalg.norm(normals, axis=1), 1.0)
+
+
+def test_plane_intersection_and_checker():
+    plane = CheckerPlane(height=0.0, material=MAT, square=1.0)
+    origins = np.array([[0.5, 2.0, 0.5], [1.5, 2.0, 0.5]])
+    directions = np.array([[0.0, -1.0, 0.0], [0.0, -1.0, 0.0]])
+    t = plane.intersect(origins, directions)
+    assert np.allclose(t, 2.0)
+    hits = origins + directions * t[:, None]
+    colors = plane.colors(hits)
+    assert not np.allclose(colors[0], colors[1])  # adjacent squares differ
+
+
+def test_plane_parallel_ray_misses():
+    plane = CheckerPlane(height=0.0, material=MAT)
+    origins = np.array([[0.0, 1.0, 0.0]])
+    directions = np.array([[1.0, 0.0, 0.0]])
+    assert np.isinf(plane.intersect(origins, directions)[0])
+
+
+def test_scene_nearest_hit_picks_closest():
+    near = Sphere(center=(0, 0, 3), radius=0.5, material=MAT)
+    far = Sphere(center=(0, 0, 10), radius=0.5, material=MAT)
+    scene = Scene(objects=(far, near), lights=(Light(position=(0, 5, 0)),))
+    obj, t = scene.nearest_hit(np.array([[0.0, 0.0, 0.0]]),
+                               np.array([[0.0, 0.0, 1.0]]))
+    assert obj[0] == 1  # `near` is at index 1
+    assert t[0] == pytest.approx(2.5)
+
+
+def test_occlusion_detects_blocker():
+    blocker = Sphere(center=(0, 0, 5), radius=1.0, material=MAT)
+    scene = Scene(objects=(blocker,), lights=())
+    points = np.array([[0.0, 0.0, 0.0]])
+    directions = np.array([[0.0, 0.0, 1.0]])
+    assert scene.occluded(points, directions, np.array([10.0]))[0]
+    assert not scene.occluded(points, directions, np.array([2.0]))[0]
+
+
+def test_camera_rays_unit_norm_and_count():
+    camera = Camera()
+    origins, directions = camera.rays_for_rows(10, 20, 64, 48)
+    assert origins.shape == (10 * 64, 3)
+    assert np.allclose(np.linalg.norm(directions, axis=1), 1.0)
+
+
+def test_camera_rejects_bad_rows():
+    with pytest.raises(ValueError):
+        Camera().rays_for_rows(10, 5, 64, 48)
+    with pytest.raises(ValueError):
+        Camera().rays_for_rows(0, 100, 64, 48)
+
+
+def test_render_produces_nontrivial_image():
+    image = render_image(default_scene(), Camera(), 64, 64)
+    assert image.shape == (64, 64, 3)
+    assert image.dtype == np.uint8
+    assert image.std() > 10  # spheres, shadows and checkerboard → variety
+
+
+def test_render_is_deterministic():
+    a = render_image(default_scene(), Camera(), 48, 48)
+    b = render_image(default_scene(), Camera(), 48, 48)
+    assert np.array_equal(a, b)
+
+
+def test_strips_compose_to_full_frame():
+    """The parallel decomposition must be exact: strips == full render."""
+    scene, camera = default_scene(), Camera()
+    full = render_image(scene, camera, 60, 60)
+    strips = [render_rows(scene, camera, y, y + 15, 60, 60) for y in (0, 15, 30, 45)]
+    assert np.array_equal(np.vstack(strips), full)
+
+
+def test_shadows_darken_pixels():
+    light = Light(position=(0.0, 10.0, 4.0), intensity=1.0)
+    floor = CheckerPlane(height=0.0, material=Material(color=(1, 1, 1),
+                                                       reflectivity=0.0))
+    blocker = Sphere(center=(0.0, 2.0, 4.0), radius=1.0,
+                     material=Material(color=(1, 0, 0)))
+    with_blocker = Scene(objects=(floor, blocker), lights=(light,))
+    without = Scene(objects=(floor,), lights=(light,))
+    camera = Camera(position=(0.0, 3.0, -2.0))
+    img_shadow = render_image(with_blocker, camera, 40, 40, max_depth=0)
+    img_clear = render_image(without, camera, 40, 40, max_depth=0)
+    assert int(img_shadow.sum()) < int(img_clear.sum())
+
+
+def test_reflection_changes_mirror_pixels():
+    base = default_scene()
+    no_reflect = Scene(
+        objects=tuple(
+            type(o)(**{**o.__dict__,
+                       "material": Material(color=o.material.color,
+                                            diffuse=o.material.diffuse,
+                                            specular=o.material.specular,
+                                            shininess=o.material.shininess,
+                                            reflectivity=0.0)})
+            for o in base.objects
+        ),
+        lights=base.lights,
+    )
+    reflective = render_image(base, Camera(), 48, 48, max_depth=3)
+    flat = render_image(no_reflect, Camera(), 48, 48, max_depth=3)
+    assert not np.array_equal(reflective, flat)
+
+
+# -- the framework application -------------------------------------------------------
+
+
+def test_app_plans_24_strip_tasks():
+    app = RayTracingApplication()
+    tasks = app.plan()
+    assert len(tasks) == 24
+    regions = [t.payload["region"] for t in tasks]
+    assert regions[0] == (0, 0, 600, 25)
+    assert regions[-1] == (0, 575, 600, 600)
+    # Strips tile the image exactly.
+    assert {r[1] for r in regions} == set(range(0, 600, 25))
+
+
+def test_app_execute_and_aggregate_small():
+    app = RayTracingApplication(width=48, height=48, strip_rows=12)
+    solution = app.run_sequential()
+    reference = render_image(app.scene, app.camera, 48, 48)
+    assert np.array_equal(solution, reference)
+
+
+def test_app_rejects_nondividing_strips():
+    with pytest.raises(ValueError):
+        RayTracingApplication(height=600, strip_rows=23)
+
+
+def test_app_cost_model():
+    app = RayTracingApplication()
+    task = app.plan()[0]
+    assert app.task_cost_ms(task) == 2500.0
+    # Total planning ≈ 24 × 20 = 480 ms ≈ the paper's constant 500 ms.
+    assert sum(app.planning_cost_ms(t) for t in app.plan()) == pytest.approx(480.0)
+    assert app.classload_profile().demand_percent == 42.0

@@ -1,0 +1,127 @@
+"""Refraction and anti-aliasing (ray tracer extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.raytrace import (
+    Camera,
+    CheckerPlane,
+    Light,
+    Material,
+    Scene,
+    Sphere,
+    default_scene,
+    render_image,
+    render_rows,
+)
+from repro.apps.raytrace.render import _refract, _sample_offsets
+
+
+def glass_scene(transparency: float) -> Scene:
+    glass = Material(color=(1.0, 1.0, 1.0), diffuse=0.1, specular=0.8,
+                     shininess=200.0, reflectivity=0.05,
+                     transparency=transparency, refractive_index=1.5)
+    floor = Material(color=(0.9, 0.9, 0.9), diffuse=0.9)
+    return Scene(
+        objects=(
+            Sphere(center=(0.0, 1.0, 3.0), radius=1.0, material=glass),
+            CheckerPlane(height=0.0, material=floor),
+        ),
+        lights=(Light(position=(-3.0, 6.0, 0.0), intensity=1.0),),
+    )
+
+
+def test_material_rejects_overunity_energy():
+    with pytest.raises(ValueError):
+        Material(color=(1, 1, 1), reflectivity=0.6, transparency=0.6)
+
+
+def test_refract_straight_through_at_normal_incidence():
+    directions = np.array([[0.0, 0.0, 1.0]])
+    normals = np.array([[0.0, 0.0, -1.0]])
+    refracted, tir = _refract(directions, normals, np.array([1.0 / 1.5]))
+    assert not tir[0]
+    assert np.allclose(refracted[0], [0.0, 0.0, 1.0])
+
+
+def test_refract_bends_toward_normal_entering_dense_medium():
+    """Snell: sin θt = sin θi / n — entering glass bends toward normal."""
+    incident = np.array([[np.sin(np.radians(45)), 0.0, np.cos(np.radians(45))]])
+    normals = np.array([[0.0, 0.0, -1.0]])
+    refracted, tir = _refract(incident, normals, np.array([1.0 / 1.5]))
+    assert not tir[0]
+    sin_t = abs(refracted[0, 0])
+    assert sin_t == pytest.approx(np.sin(np.radians(45)) / 1.5, abs=1e-9)
+
+
+def test_total_internal_reflection_detected():
+    """Glass→air beyond the ~41.8° critical angle."""
+    theta = np.radians(60.0)
+    incident = np.array([[np.sin(theta), 0.0, np.cos(theta)]])
+    normals = np.array([[0.0, 0.0, -1.0]])
+    _, tir = _refract(incident, normals, np.array([1.5]))
+    assert tir[0]
+
+
+def test_transparent_sphere_shows_whats_behind_it():
+    """Through a fully transparent sphere the checkerboard stays visible;
+    an opaque sphere of the same shape hides it."""
+    camera = Camera(position=(0.0, 1.0, 0.0))
+    clear = render_image(glass_scene(transparency=0.95), camera, 50, 50)
+    opaque = render_image(glass_scene(transparency=0.0), camera, 50, 50)
+    assert not np.array_equal(clear, opaque)
+    # The clear render's center region carries more of the background
+    # variance (the checker pattern refracted through the sphere).
+    center_clear = clear[20:30, 20:30].std()
+    center_opaque = opaque[20:30, 20:30].std()
+    assert center_clear > center_opaque
+
+
+def test_refraction_is_deterministic():
+    scene = glass_scene(transparency=0.9)
+    a = render_image(scene, Camera(), 40, 40)
+    b = render_image(scene, Camera(), 40, 40)
+    assert np.array_equal(a, b)
+
+
+def test_sample_offsets_grid():
+    assert _sample_offsets(1) == [(0.5, 0.5)]
+    four = _sample_offsets(2)
+    assert len(four) == 4
+    assert all(0.0 < x < 1.0 and 0.0 < y < 1.0 for x, y in four)
+    with pytest.raises(ValueError):
+        _sample_offsets(0)
+
+
+def test_antialiasing_smooths_edges():
+    """Supersampling reduces total edge gradient on silhouettes."""
+    scene, camera = default_scene(), Camera()
+    hard = render_image(scene, camera, 60, 60, samples_per_axis=1).astype(int)
+    soft = render_image(scene, camera, 60, 60, samples_per_axis=3).astype(int)
+
+    def edge_energy(image):
+        gx = np.abs(np.diff(image, axis=1)).sum()
+        gy = np.abs(np.diff(image, axis=0)).sum()
+        return gx + gy
+
+    assert edge_energy(soft) < edge_energy(hard)
+
+
+def test_antialiased_strips_still_compose_exactly():
+    """AA must not break the parallel decomposition invariant."""
+    scene, camera = default_scene(), Camera()
+    full = render_image(scene, camera, 40, 40, samples_per_axis=2)
+    strips = [
+        render_rows(scene, camera, y, y + 10, 40, 40, samples_per_axis=2)
+        for y in (0, 10, 20, 30)
+    ]
+    assert np.array_equal(np.vstack(strips), full)
+
+
+def test_deep_recursion_terminates():
+    """Nested dielectrics with high depth must not blow up or hang."""
+    image = render_image(glass_scene(transparency=0.9), Camera(), 30, 30,
+                         max_depth=8)
+    assert image.shape == (30, 30, 3)

@@ -1,0 +1,77 @@
+"""Scene JSON (de)serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.raytrace import (
+    Camera,
+    Material,
+    Sphere,
+    default_scene,
+    load_scene,
+    render_image,
+    save_scene,
+    scene_from_dict,
+    scene_to_dict,
+)
+
+
+def test_default_scene_round_trips():
+    scene = default_scene()
+    rebuilt = scene_from_dict(scene_to_dict(scene))
+    assert rebuilt == scene  # frozen dataclasses: structural equality
+
+
+def test_round_trip_renders_identically():
+    scene = default_scene()
+    rebuilt = scene_from_dict(scene_to_dict(scene))
+    a = render_image(scene, Camera(), 32, 32)
+    b = render_image(rebuilt, Camera(), 32, 32)
+    assert np.array_equal(a, b)
+
+
+def test_file_round_trip(tmp_path):
+    path = tmp_path / "scene.json"
+    save_scene(default_scene(), path)
+    assert load_scene(path) == default_scene()
+    # And it is genuine JSON a human could edit.
+    text = path.read_text()
+    assert '"objects"' in text and '"lights"' in text
+
+
+def test_hand_written_minimal_scene():
+    scene = scene_from_dict({
+        "objects": [
+            {"type": "sphere", "center": [0, 0, 5], "radius": 1,
+             "material": {"color": [1, 0, 0]}},
+        ],
+        "lights": [{"position": [0, 5, 0]}],
+    })
+    assert len(scene.objects) == 1
+    assert isinstance(scene.objects[0], Sphere)
+    assert scene.lights[0].intensity == 1.0
+    image = render_image(scene, Camera(), 24, 24)
+    assert image.shape == (24, 24, 3)
+
+
+def test_material_defaults_omitted_but_overrides_kept():
+    material = Material(color=(0.5, 0.5, 0.5), transparency=0.4,
+                        refractive_index=1.33)
+    data = scene_to_dict(
+        default_scene().__class__(
+            objects=(Sphere((0, 0, 3), 1.0, material),),
+            lights=(),
+        )
+    )
+    spec = data["objects"][0]["material"]
+    assert spec["transparency"] == 0.4
+    assert spec["refractive_index"] == 1.33
+    assert "diffuse" not in spec  # default omitted
+
+
+def test_unknown_object_type_rejected():
+    with pytest.raises(ValueError, match="unknown object type"):
+        scene_from_dict({"objects": [{"type": "torus", "material":
+                                      {"color": [1, 1, 1]}}], "lights": []})

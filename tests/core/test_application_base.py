@@ -1,0 +1,66 @@
+"""Application base class: defaults and the sequential reference path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.application import Application, ClassLoadProfile, Task
+from repro.core.entries import ResultEntry, TaskEntry
+from repro.tuplespace import matches
+
+
+class MinimalApp(Application):
+    """Implements only the abstract surface; inherits every default."""
+
+    app_id = "minimal"
+
+    def plan(self):
+        return [Task(task_id=i, payload=i) for i in range(3)]
+
+    def execute(self, payload):
+        return payload + 1
+
+    def aggregate(self, results):
+        return sorted(results.values())
+
+    def task_cost_ms(self, task):
+        return 1.0
+
+
+def test_run_sequential_matches_decompose_compute_recompose():
+    assert MinimalApp().run_sequential() == [1, 2, 3]
+
+
+def test_default_cost_model_values():
+    app = MinimalApp()
+    task = app.plan()[0]
+    assert app.planning_cost_ms(task) == 5.0
+    assert app.aggregation_cost_ms(task.task_id, None) == 5.0
+    profile = app.classload_profile()
+    assert isinstance(profile, ClassLoadProfile)
+    assert profile.work_ref_ms > 0
+    assert 0 < profile.demand_percent <= 100
+
+
+def test_task_is_frozen():
+    task = Task(task_id=1, payload="x")
+    with pytest.raises(AttributeError):
+        task.payload = "y"
+
+
+def test_entry_templates_select_by_app_id():
+    task = TaskEntry("minimal", 3, "payload")
+    assert matches(TaskEntry(app_id="minimal"), task)
+    assert not matches(TaskEntry(app_id="other"), task)
+    assert matches(TaskEntry(app_id="minimal", task_id=3), task)
+    assert not matches(TaskEntry(task_id=4), task)
+
+
+def test_result_entry_carries_provenance():
+    result = ResultEntry("minimal", 3, 42, worker="w7", compute_ms=12.5)
+    assert matches(ResultEntry(app_id="minimal"), result)
+    assert result.worker == "w7"
+    assert result.compute_ms == 12.5
+    # Provenance fields are wildcardable in templates.
+    assert matches(ResultEntry(worker="w7"), result)
+    assert not matches(ResultEntry(worker="w8"), result)

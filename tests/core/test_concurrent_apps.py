@@ -1,0 +1,94 @@
+"""Two applications sharing one cluster (separate framework deployments)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveClusterFramework, FrameworkConfig
+from repro.node import testbed_small
+from tests.core.toyapp import SumOfSquares
+
+
+class SumOfCubes(SumOfSquares):
+    app_id = "toy-cubes"
+
+    def execute(self, payload):
+        return payload ** 3
+
+
+def test_two_frameworks_share_a_cluster(rt):
+    cluster = testbed_small(rt, workers=3)
+    squares = AdaptiveClusterFramework(
+        rt, cluster, SumOfSquares(n=10, task_cost=80.0),
+        FrameworkConfig(port_offset=0),
+    )
+    cubes = AdaptiveClusterFramework(
+        rt, cluster, SumOfCubes(n=10, task_cost=80.0),
+        FrameworkConfig(port_offset=1000, monitoring=False),
+    )
+
+    results = {}
+
+    def run_squares():
+        squares.start()
+        results["squares"] = squares.run().solution
+
+    def run_cubes():
+        cubes.start()
+        cubes.start_all_workers()
+        results["cubes"] = cubes.run().solution
+
+    def coordinator():
+        a = rt.spawn(run_squares, name="squares")
+        b = rt.spawn(run_cubes, name="cubes")
+        a.join()
+        b.join()
+        squares.shutdown()
+        cubes.shutdown()
+
+    proc = rt.kernel.spawn(coordinator, name="coordinator")
+    rt.kernel.run_until_idle()
+    if proc.error is not None:
+        raise proc.error
+    assert proc.finished
+
+    assert results["squares"] == sum(i * i for i in range(10))
+    assert results["cubes"] == sum(i ** 3 for i in range(10))
+
+
+def test_entries_never_cross_app_boundaries(rt):
+    """A worker of app A must never take app B's tasks (template app_id)."""
+    cluster = testbed_small(rt, workers=2)
+    squares = AdaptiveClusterFramework(
+        rt, cluster, SumOfSquares(n=8, task_cost=50.0),
+        FrameworkConfig(monitoring=False),
+    )
+    cubes = AdaptiveClusterFramework(
+        rt, cluster, SumOfCubes(n=8, task_cost=50.0),
+        FrameworkConfig(port_offset=1000, monitoring=False),
+    )
+
+    results = {}
+
+    def run(framework, key):
+        framework.start()
+        framework.start_all_workers()
+        results[key] = framework.run().solution
+
+    def coordinator():
+        a = rt.spawn(lambda: run(squares, "squares"), name="a")
+        b = rt.spawn(lambda: run(cubes, "cubes"), name="b")
+        a.join()
+        b.join()
+        squares.shutdown()
+        cubes.shutdown()
+
+    proc = rt.kernel.spawn(coordinator, name="coordinator")
+    rt.kernel.run_until_idle()
+    if proc.error is not None:
+        raise proc.error
+
+    # Cross-contamination would corrupt one of the sums.
+    assert results["squares"] == sum(i * i for i in range(8))
+    assert results["cubes"] == sum(i ** 3 for i in range(8))

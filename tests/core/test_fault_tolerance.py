@@ -1,0 +1,159 @@
+"""Fault injection: worker crashes and transactional task recovery.
+
+The paper (§3): "It also addresses fault-tolerance and data integrity
+through transactions … In event of a partial failure, the transaction
+either completes successfully or does not execute at all."  These tests
+crash workers mid-computation and verify the bag of tasks survives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdaptiveClusterFramework, FrameworkConfig
+from repro.core.entries import ResultEntry, TaskEntry
+from repro.node import testbed_small
+from tests.core.toyapp import SumOfSquares
+
+
+def drive(rt, fn):
+    proc = rt.kernel.spawn(fn, name="experiment")
+    rt.kernel.run_until_idle()
+    if proc.error is not None:
+        raise proc.error
+    assert proc.finished
+    return proc.result
+
+
+def test_crash_with_transactions_loses_nothing(rt):
+    """A worker dying mid-task hands its task back to the pool."""
+    cluster = testbed_small(rt, workers=3)
+    app = SumOfSquares(n=20, task_cost=300.0)
+    framework = AdaptiveClusterFramework(
+        rt, cluster, app,
+        FrameworkConfig(poll_interval_ms=300.0, transactional_takes=True),
+    )
+
+    def killer():
+        rt.sleep(2500.0)  # workers are mid-computation
+        framework.worker_hosts[0].crash()
+
+    def experiment():
+        framework.start()
+        rt.spawn(killer, name="killer")
+        report = framework.run()
+        framework.shutdown()
+        return report
+
+    report = drive(rt, experiment)
+    assert report.solution == sum(i * i for i in range(20))
+    assert sum(report.results_by_worker.values()) == 20
+    # The dead worker contributed some results before dying, but the
+    # survivors finished the job.
+    assert framework.worker_hosts[0].crashed
+    survivors = {"worker2", "worker3"}
+    assert survivors.issubset(report.results_by_worker.keys())
+
+
+def test_multiple_crashes_still_complete(rt):
+    cluster = testbed_small(rt, workers=4)
+    app = SumOfSquares(n=24, task_cost=250.0)
+    framework = AdaptiveClusterFramework(
+        rt, cluster, app,
+        FrameworkConfig(poll_interval_ms=300.0, transactional_takes=True),
+    )
+
+    def killer():
+        rt.sleep(2000.0)
+        framework.worker_hosts[0].crash()
+        rt.sleep(1500.0)
+        framework.worker_hosts[1].crash()
+
+    def experiment():
+        framework.start()
+        rt.spawn(killer, name="killer")
+        report = framework.run()
+        framework.shutdown()
+        return report
+
+    report = drive(rt, experiment)
+    assert report.solution == sum(i * i for i in range(24))
+
+
+def test_crash_without_transactions_loses_inflight_task(rt):
+    """Baseline behaviour: a non-transactional take is gone forever."""
+    cluster = testbed_small(rt, workers=2)
+    app = SumOfSquares(n=8, task_cost=500.0)
+    framework = AdaptiveClusterFramework(
+        rt, cluster, app,
+        FrameworkConfig(poll_interval_ms=300.0, transactional_takes=False),
+    )
+
+    def experiment():
+        framework.start()
+        framework.start_all_workers()  # ensure both are mid-task quickly
+        rt.sleep(2500.0)
+        framework.worker_hosts[0].crash()
+        rt.sleep(6000.0)  # let the survivor drain what's left
+        tasks_left = framework.space.count(TaskEntry())
+        results = framework.space.count(ResultEntry())
+        framework.shutdown()
+        return tasks_left, results
+
+    tasks_left, results = drive(rt, experiment)
+    # All task entries were taken, but the crashed worker's in-flight task
+    # never produced a result: at most 7 of 8 results exist.
+    assert tasks_left == 0
+    assert results < 8
+
+
+def test_crashed_worker_sends_no_result_after_death(rt):
+    cluster = testbed_small(rt, workers=2)
+    app = SumOfSquares(n=10, task_cost=400.0)
+    framework = AdaptiveClusterFramework(
+        rt, cluster, app,
+        FrameworkConfig(poll_interval_ms=300.0, transactional_takes=True),
+    )
+
+    def experiment():
+        framework.start()
+        rt.sleep(2500.0)
+        victim = framework.worker_hosts[0]
+        done_at_crash = victim.tasks_done
+        victim.crash()
+        rt.sleep(8000.0)
+        framework.shutdown()
+        return done_at_crash, victim.tasks_done
+
+    done_at_crash, done_after = drive(rt, experiment)
+    assert done_after == done_at_crash
+
+
+def test_transactional_mode_produces_identical_results(rt):
+    """Transactions are pure overhead-safety: same solution either way."""
+    def run(transactional):
+        from repro.runtime import SimulatedRuntime
+
+        runtime = SimulatedRuntime()
+        try:
+            cluster = testbed_small(runtime, workers=3)
+            framework = AdaptiveClusterFramework(
+                runtime, cluster, SumOfSquares(n=12),
+                FrameworkConfig(transactional_takes=transactional),
+            )
+
+            def body():
+                framework.start()
+                report = framework.run()
+                framework.shutdown()
+                return report.solution
+
+            proc = runtime.kernel.spawn(body, name="body")
+            runtime.kernel.run_until_idle()
+            if proc.error is not None:
+                raise proc.error
+            return proc.result
+        finally:
+            runtime.shutdown()
+
+    assert run(True) == run(False) == sum(i * i for i in range(12))

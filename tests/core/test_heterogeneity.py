@@ -1,0 +1,65 @@
+"""Heterogeneous clusters: worker-driven distribution self-balances.
+
+Paper §3.1: "The model is naturally load-balanced.  Load distribution in
+this model is worker driven" — faster machines take more tasks with no
+scheduler logic at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdaptiveClusterFramework, FrameworkConfig
+from repro.node.cluster import Cluster
+from repro.node.machine import FAST_PC, SLOW_PC, MachineSpec
+from tests.core.toyapp import SumOfSquares
+
+
+def drive(rt, fn):
+    proc = rt.kernel.spawn(fn, name="experiment")
+    rt.kernel.run_until_idle()
+    if proc.error is not None:
+        raise proc.error
+    assert proc.finished
+    return proc.result
+
+
+def run_mixed(rt, specs, n_tasks=60, task_cost=400.0):
+    cluster = Cluster(rt)
+    for spec in specs:
+        cluster.add_worker(spec)
+    framework = AdaptiveClusterFramework(
+        rt, cluster, SumOfSquares(n=n_tasks, task_cost=task_cost),
+        FrameworkConfig(),
+    )
+
+    def experiment():
+        framework.start()
+        report = framework.run()
+        framework.shutdown()
+        return report
+
+    return drive(rt, experiment)
+
+
+def test_fast_worker_takes_proportionally_more_tasks(rt):
+    report = run_mixed(rt, [FAST_PC, SLOW_PC])  # 800 vs 300 MHz
+    fast = report.results_by_worker.get("worker1", 0)
+    slow = report.results_by_worker.get("worker2", 0)
+    assert fast + slow == 60
+    # Speed ratio is 800/300 ≈ 2.67; worker-driven pull tracks it.
+    assert fast / max(slow, 1) == pytest.approx(800 / 300, rel=0.30)
+
+
+def test_solution_correct_regardless_of_heterogeneity(rt):
+    report = run_mixed(rt, [FAST_PC, SLOW_PC, SLOW_PC], n_tasks=30)
+    assert report.solution == sum(i * i for i in range(30))
+
+
+def test_very_slow_node_still_contributes_without_hurting(rt):
+    ancient = MachineSpec(cpu_mhz=100.0, ram_mb=32)
+    mixed = run_mixed(rt, [FAST_PC, FAST_PC, ancient], n_tasks=40)
+    fast_only = run_mixed(rt, [FAST_PC, FAST_PC], n_tasks=40)
+    # Adding even a 100 MHz museum piece must not slow the run down.
+    assert mixed.parallel_ms <= fast_only.parallel_ms * 1.02
+    assert mixed.results_by_worker.get("worker3", 0) >= 1

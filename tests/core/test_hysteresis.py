@@ -1,0 +1,70 @@
+"""Inference-engine hysteresis: debouncing signal flapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inference import InferenceEngine
+from repro.core.signals import Signal
+
+
+def observe_all(engine, worker_id, loads):
+    return [engine.observe(worker_id, load, now_ms=i * 1000.0)
+            for i, load in enumerate(loads)]
+
+
+def test_flapping_load_generates_signal_storm_without_hysteresis():
+    engine = InferenceEngine()
+    record = engine.register("w")
+    # Load oscillates across the 25 % idle threshold every sample.
+    loads = [10.0, 30.0] * 6
+    signals = [s for s in observe_all(engine, record.worker_id, loads) if s]
+    # start, then pause/resume churn on every flip.
+    assert signals[0] == Signal.START
+    assert signals.count(Signal.PAUSE) >= 5
+    assert signals.count(Signal.RESUME) >= 5
+
+
+def test_hysteresis_suppresses_flapping():
+    engine = InferenceEngine(hysteresis_samples=3)
+    record = engine.register("w")
+    loads = [10.0, 30.0] * 6
+    signals = [s for s in observe_all(engine, record.worker_id, loads) if s]
+    # No band ever persists 3 samples: not even a Start fires.
+    assert signals == []
+
+
+def test_hysteresis_passes_sustained_changes():
+    engine = InferenceEngine(hysteresis_samples=2)
+    record = engine.register("w")
+    signals = observe_all(
+        engine, record.worker_id,
+        [5.0, 5.0,          # sustained idle → Start (on 2nd sample)
+         40.0, 40.0,        # sustained busy → Pause
+         90.0, 90.0,        # sustained load → Stop
+         5.0, 5.0],         # sustained idle → Start again
+    )
+    assert [s for s in signals if s] == [
+        Signal.START, Signal.PAUSE, Signal.STOP, Signal.START,
+    ]
+
+
+def test_hysteresis_delays_by_exactly_n_minus_one_samples():
+    engine = InferenceEngine(hysteresis_samples=3)
+    record = engine.register("w")
+    signals = observe_all(engine, record.worker_id, [5.0, 5.0, 5.0])
+    assert signals == [None, None, Signal.START]
+
+
+def test_streaks_tracked_per_worker():
+    engine = InferenceEngine(hysteresis_samples=2)
+    a = engine.register("a")
+    b = engine.register("b")
+    assert engine.observe(a.worker_id, 5.0, 0.0) is None
+    assert engine.observe(b.worker_id, 5.0, 0.0) is None   # b's own streak
+    assert engine.observe(a.worker_id, 5.0, 1000.0) == Signal.START
+
+
+def test_invalid_hysteresis_rejected():
+    with pytest.raises(ValueError):
+        InferenceEngine(hysteresis_samples=0)

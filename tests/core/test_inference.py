@@ -1,0 +1,105 @@
+"""Inference engine: the threshold rule base is a pure function."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.inference import InferenceEngine
+from repro.core.signals import Signal, ThresholdPolicy
+from repro.core.states import WorkerState, WorkerStateMachine
+
+
+@pytest.fixture()
+def engine():
+    return InferenceEngine()
+
+
+# The paper's rule table, exhaustively.
+RULES = [
+    (WorkerState.STOPPED, 10.0, Signal.START),
+    (WorkerState.STOPPED, 25.0, Signal.START),   # boundary: 0-25 inclusive
+    (WorkerState.PAUSED, 10.0, Signal.RESUME),
+    (WorkerState.RUNNING, 10.0, None),
+    (WorkerState.RUNNING, 40.0, Signal.PAUSE),
+    (WorkerState.RUNNING, 50.0, Signal.PAUSE),   # boundary: 25-50
+    (WorkerState.PAUSED, 40.0, None),
+    (WorkerState.STOPPED, 40.0, None),
+    (WorkerState.RUNNING, 80.0, Signal.STOP),
+    (WorkerState.RUNNING, 51.0, Signal.STOP),
+    (WorkerState.PAUSED, 90.0, Signal.STOP),
+    (WorkerState.STOPPED, 90.0, None),
+]
+
+
+@pytest.mark.parametrize("state,load,expected", RULES)
+def test_rule_table(engine, state, load, expected):
+    assert engine.decide(state, load) == expected
+
+
+@given(
+    state=st.sampled_from(list(WorkerState)),
+    load=st.floats(0.0, 100.0, allow_nan=False),
+)
+def test_decision_signals_are_always_legal_transitions(state, load):
+    """Property: the inference engine never emits an illegal signal."""
+    signal = InferenceEngine().decide(state, load)
+    if signal is not None:
+        WorkerStateMachine(initial=state).apply(signal)  # must not raise
+
+
+@given(load=st.floats(0.0, 100.0, allow_nan=False))
+def test_decision_is_deterministic(load):
+    a = InferenceEngine().decide(WorkerState.RUNNING, load)
+    b = InferenceEngine().decide(WorkerState.RUNNING, load)
+    assert a == b
+
+
+def test_custom_thresholds_shift_bands():
+    engine = InferenceEngine(ThresholdPolicy(idle_below=10.0, stop_above=80.0))
+    assert engine.decide(WorkerState.STOPPED, 9.0) == Signal.START
+    assert engine.decide(WorkerState.RUNNING, 50.0) == Signal.PAUSE
+    assert engine.decide(WorkerState.RUNNING, 81.0) == Signal.STOP
+
+
+def test_invalid_thresholds_rejected():
+    with pytest.raises(ValueError):
+        ThresholdPolicy(idle_below=60.0, stop_above=50.0)
+    with pytest.raises(ValueError):
+        ThresholdPolicy(idle_below=-1.0)
+
+
+def test_registration_assigns_unique_increasing_ids(engine):
+    a = engine.register("host-a")
+    b = engine.register("host-b")
+    assert (a.worker_id, b.worker_id) == (1, 2)
+    assert engine.worker(1).hostname == "host-a"
+    assert len(engine.workers()) == 2
+
+
+def test_observe_tracks_state_and_history(engine):
+    record = engine.register("w")
+    assert engine.observe(record.worker_id, 5.0, now_ms=100.0) == Signal.START
+    assert record.assumed_state == WorkerState.RUNNING
+    assert engine.observe(record.worker_id, 5.0, now_ms=200.0) is None
+    assert engine.observe(record.worker_id, 40.0, now_ms=300.0) == Signal.PAUSE
+    assert record.assumed_state == WorkerState.PAUSED
+    assert engine.observe(record.worker_id, 90.0, now_ms=400.0) == Signal.STOP
+    assert record.assumed_state == WorkerState.STOPPED
+    assert record.load_history == [(100.0, 5.0), (200.0, 5.0), (300.0, 40.0), (400.0, 90.0)]
+
+
+def test_paper_load_cycle_produces_paper_signal_sequence(engine):
+    """Idle → loadsim2 (100 %) → idle → loadsim1 (46 %) → idle (Figs 9–11)."""
+    record = engine.register("w")
+    loads = [5.0, 100.0, 5.0, 46.0, 5.0]
+    signals = [engine.observe(record.worker_id, load, now_ms=i * 1000.0)
+               for i, load in enumerate(loads)]
+    assert signals == [Signal.START, Signal.STOP, Signal.START, Signal.PAUSE,
+                       Signal.RESUME]
+
+
+def test_unregister(engine):
+    record = engine.register("w")
+    engine.unregister(record.worker_id)
+    assert engine.workers() == []

@@ -1,0 +1,129 @@
+"""Job-level parallelism baseline: correctness and migration behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.joblevel import JobLevelConfig, JobLevelScheduler
+from repro.node import LoadSimulator2, testbed_small
+from tests.core.toyapp import SumOfSquares
+
+
+def drive(rt, fn):
+    proc = rt.kernel.spawn(fn, name="experiment")
+    rt.kernel.run_until_idle()
+    if proc.error is not None:
+        raise proc.error
+    assert proc.finished
+    return proc.result
+
+
+def test_joblevel_computes_correct_solution(rt):
+    cluster = testbed_small(rt, workers=3)
+    scheduler = JobLevelScheduler(rt, cluster, SumOfSquares(n=12))
+
+    def experiment():
+        return scheduler.run()
+
+    report = drive(rt, experiment)
+    assert report.solution == sum(i * i for i in range(12))
+    assert report.migrations == 0
+    assert report.checkpoints == 12
+
+
+def test_joblevel_partitions_one_job_per_worker(rt):
+    cluster = testbed_small(rt, workers=4)
+    scheduler = JobLevelScheduler(rt, cluster, SumOfSquares(n=8))
+
+    def experiment():
+        return scheduler.run()
+
+    report = drive(rt, experiment)
+    assert len(report.per_job_ms) == 4
+
+
+def test_eviction_triggers_migration_and_job_completes(rt):
+    cluster = testbed_small(rt, workers=2)
+    app = SumOfSquares(n=8, task_cost=500.0)
+    scheduler = JobLevelScheduler(rt, cluster, app,
+                                  JobLevelConfig(poll_interval_ms=200.0))
+    hog = LoadSimulator2(rt, cluster.workers[0])
+
+    def loader():
+        rt.sleep(700.0)   # let job 0 start on worker1, then evict it
+        hog.start()
+        rt.sleep(4000.0)
+        hog.stop()
+
+    def experiment():
+        rt.spawn(loader, name="loader")
+        return scheduler.run()
+
+    report = drive(rt, experiment)
+    assert report.solution == sum(i * i for i in range(8))
+    assert report.migrations >= 1
+
+
+def test_migration_preserves_checkpointed_progress(rt):
+    """No task is recomputed after migration: checkpoints == tasks."""
+    cluster = testbed_small(rt, workers=2)
+    app = SumOfSquares(n=6, task_cost=500.0)
+    scheduler = JobLevelScheduler(rt, cluster, app,
+                                  JobLevelConfig(poll_interval_ms=200.0))
+    hog = LoadSimulator2(rt, cluster.workers[0])
+
+    def loader():
+        rt.sleep(700.0)
+        hog.start()
+
+    def experiment():
+        rt.spawn(loader, name="loader")
+        return scheduler.run()
+
+    report = drive(rt, experiment)
+    assert report.solution == sum(i * i for i in range(6))
+    assert report.checkpoints == 6  # exactly once per task
+
+
+def test_static_partitioning_is_slower_than_adaptive_under_skew(rt):
+    """The ablation's headline: eviction hurts job-level more because the
+    whole partition stalls instead of rebalancing task-by-task."""
+    from repro.core import AdaptiveClusterFramework, FrameworkConfig
+
+    app_factory = lambda: SumOfSquares(n=24, task_cost=400.0)  # noqa: E731
+
+    cluster = testbed_small(rt, workers=3)
+    hog = LoadSimulator2(rt, cluster.workers[0])
+    hog.start()  # one worker busy the whole time
+
+    framework = AdaptiveClusterFramework(
+        rt, cluster, app_factory(), FrameworkConfig(poll_interval_ms=300.0)
+    )
+
+    def adaptive_experiment():
+        framework.start()
+        report = framework.run()
+        framework.shutdown()
+        return report.parallel_ms
+
+    adaptive_ms = drive(rt, adaptive_experiment)
+
+    # Fresh runtime for the baseline run.
+    from repro.runtime import SimulatedRuntime
+
+    rt2 = SimulatedRuntime()
+    try:
+        cluster2 = testbed_small(rt2, workers=3)
+        LoadSimulator2(rt2, cluster2.workers[0]).start()
+        scheduler = JobLevelScheduler(
+            rt2, cluster2, app_factory(), JobLevelConfig(poll_interval_ms=300.0)
+        )
+        proc = rt2.kernel.spawn(scheduler.run, name="joblevel")
+        rt2.kernel.run_until_idle()
+        if proc.error is not None:
+            raise proc.error
+        joblevel_ms = proc.result.parallel_ms
+    finally:
+        rt2.shutdown()
+
+    assert adaptive_ms < joblevel_ms

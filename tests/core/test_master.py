@@ -1,0 +1,119 @@
+"""Master module unit tests (direct space, no workers needed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entries import ResultEntry, TaskEntry
+from repro.core.master import Master
+from repro.core.metrics import Metrics
+from repro.net import Network
+from repro.node.machine import FAST_PC, Node
+from repro.tuplespace import JavaSpace
+from tests.core.toyapp import SumOfSquares
+
+
+def make_master(rt, app):
+    net = Network(rt)
+    node = Node(rt, net, "master", FAST_PC)
+    space = JavaSpace(rt)
+    return Master(rt, node, space, app, Metrics(rt)), space, node
+
+
+def echo_worker(rt, space, app):
+    """Minimal in-process worker: takes tasks, writes results."""
+    def loop():
+        template = TaskEntry(app_id=app.app_id)
+        while True:
+            task = space.take(template, timeout_ms=500.0)
+            if task is None:
+                return
+            space.write(
+                ResultEntry(app.app_id, task.task_id, app.execute(task.payload),
+                            worker="echo")
+            )
+
+    rt.spawn(loop, name="echo-worker")
+
+
+def test_master_plans_all_tasks_into_space(rt):
+    app = SumOfSquares(n=5, task_cost=0.0)
+    master, space, _ = make_master(rt, app)
+    echo_worker(rt, space, app)
+
+    proc = rt.kernel.spawn(master.run, name="master")
+    rt.kernel.run_until_idle()
+    report = proc.result
+    assert report.task_count == 5
+    assert report.solution == sum(i * i for i in range(5))
+    assert space.count(TaskEntry()) == 0        # all consumed
+    assert space.count(ResultEntry()) == 0      # all aggregated
+
+
+def test_master_charges_planning_cpu(rt):
+    app = SumOfSquares(n=10, planning_cost=50.0, aggregation_cost=0.0)
+    master, space, node = make_master(rt, app)
+    echo_worker(rt, space, app)
+
+    proc = rt.kernel.spawn(master.run, name="master")
+    rt.kernel.run_until_idle()
+    report = proc.result
+    # 10 tasks × 50 ms planning on the 800 MHz master.
+    assert report.planning_ms == pytest.approx(500.0, rel=0.05)
+    assert node.cpu.busy_ms >= 500.0
+
+
+def test_master_aggregation_waits_for_results(rt):
+    app = SumOfSquares(n=3, task_cost=0.0, planning_cost=0.0,
+                       aggregation_cost=0.0)
+    master, space, _ = make_master(rt, app)
+
+    def slow_worker():
+        template = TaskEntry(app_id=app.app_id)
+        for _ in range(3):
+            task = space.take(template, timeout_ms=None)
+            rt.sleep(200.0)  # slow compute
+            space.write(ResultEntry(app.app_id, task.task_id,
+                                    app.execute(task.payload), worker="slow"))
+
+    rt.spawn(slow_worker, name="slow")
+    proc = rt.kernel.spawn(master.run, name="master")
+    rt.kernel.run_until_idle()
+    report = proc.result
+    assert report.aggregation_ms >= 550.0  # dominated by worker pace
+
+
+def test_report_attributes_results_to_workers(rt):
+    app = SumOfSquares(n=4, task_cost=0.0)
+    master, space, _ = make_master(rt, app)
+    echo_worker(rt, space, app)
+
+    proc = rt.kernel.spawn(master.run, name="master")
+    rt.kernel.run_until_idle()
+    assert proc.result.results_by_worker == {"echo": 4}
+
+
+def test_max_task_overhead_reflects_costliest_phase_item(rt):
+    app = SumOfSquares(n=4, planning_cost=10.0, aggregation_cost=80.0)
+    master, space, _ = make_master(rt, app)
+    echo_worker(rt, space, app)
+
+    proc = rt.kernel.spawn(master.run, name="master")
+    rt.kernel.run_until_idle()
+    assert proc.result.max_task_overhead_ms == pytest.approx(80.0, rel=0.1)
+
+
+def test_planning_plus_aggregation_property(rt):
+    app = SumOfSquares(n=4)
+    master, space, _ = make_master(rt, app)
+    echo_worker(rt, space, app)
+
+    proc = rt.kernel.spawn(master.run, name="master")
+    rt.kernel.run_until_idle()
+    report = proc.result
+    assert report.planning_plus_aggregation_ms == pytest.approx(
+        report.planning_ms + report.aggregation_ms
+    )
+    assert report.parallel_ms == pytest.approx(
+        report.planning_plus_aggregation_ms
+    )

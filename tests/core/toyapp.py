@@ -1,0 +1,43 @@
+"""A tiny deterministic application used by core framework tests."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.application import Application, ClassLoadProfile, Task
+
+
+class SumOfSquares(Application):
+    """Computes sum of i² for i < n, split into one task per i."""
+
+    app_id = "toy-squares"
+
+    def __init__(self, n: int = 10, task_cost: float = 50.0,
+                 planning_cost: float = 5.0, aggregation_cost: float = 2.0) -> None:
+        self.n = n
+        self._task_cost = task_cost
+        self._planning_cost = planning_cost
+        self._aggregation_cost = aggregation_cost
+
+    def plan(self) -> list[Task]:
+        return [Task(task_id=i, payload=i) for i in range(self.n)]
+
+    def execute(self, payload: Any) -> Any:
+        return payload * payload
+
+    def aggregate(self, results: dict[int, Any]) -> Any:
+        assert len(results) == self.n
+        return sum(results.values())
+
+    def task_cost_ms(self, task: Task) -> float:
+        return self._task_cost
+
+    def planning_cost_ms(self, task: Task) -> float:
+        return self._planning_cost
+
+    def aggregation_cost_ms(self, task_id: int, result: Any) -> float:
+        return self._aggregation_cost
+
+    def classload_profile(self) -> ClassLoadProfile:
+        return ClassLoadProfile(work_ref_ms=200.0, demand_percent=80.0,
+                                bundle_bytes=50_000)

@@ -1,0 +1,120 @@
+"""Experiment 2 harness: the Figs 9–11 signal cycle and reaction times."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    adaptation_experiment,
+    make_options_app,
+    make_prefetch_app,
+    make_raytrace_app,
+    options_cluster,
+    prefetch_cluster,
+    raytrace_cluster,
+)
+
+APPS = {
+    "option-pricing": (make_options_app, options_cluster),
+    "ray-tracing": (make_raytrace_app, raytrace_cluster),
+    "web-prefetch": (make_prefetch_app, prefetch_cluster),
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        name: adaptation_experiment(factory, cluster)
+        for name, (factory, cluster) in APPS.items()
+    }
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_signal_sequence_matches_figures(results, name):
+    """Start → Stop → Start → Pause → Resume, for every application."""
+    assert results[name].signals_in_order == [
+        "start", "stop", "start", "pause", "resume",
+    ]
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_class_loaded_twice_but_not_on_resume(results, name):
+    """Stop forces a class reload on the next Start; Resume does not —
+    "bypassing the overhead associated with remote node configuration"."""
+    assert results[name].class_loads == 2
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_client_signal_latency_is_network_scale(results, name):
+    for reaction in results[name].reactions:
+        assert 0.0 < reaction.client_ms < 10.0
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_resume_is_cheapest_reaction(results, name):
+    """Resume needs no class reload and no task drain: near-instant."""
+    result = results[name]
+    resume = result.reaction_for("resume")
+    start = result.reaction_for("start")
+    assert resume.worker_ms < 10.0
+    assert resume.worker_ms < start.worker_ms
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_start_reaction_includes_class_loading(results, name):
+    start = results[name].reaction_for("start")
+    assert start.worker_ms > 500.0  # download + load spike
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_stop_waits_for_current_task(results, name):
+    """"The shutdown mechanism ensures that the currently executing task
+    completes and its results are written into the space"."""
+    stop = results[name].reaction_for("stop")
+    assert not math.isnan(stop.worker_ms)
+    assert stop.worker_ms > 0.0
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_loadsim2_saturates_cpu_history(results, name):
+    assert results[name].peak_cpu(9_000.0, 16_000.0) == 100.0
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_paused_worker_leaves_only_background_load(results, name):
+    """After the Pause takes effect, total CPU = load simulator 1's 30–50 %."""
+    result = results[name]
+    pause = result.reaction_for("pause")
+    settle = pause.at_ms + pause.worker_ms + 200.0
+    window_levels = [
+        total for t, total, _ in result.cpu_history if settle <= t <= 33_500.0
+    ]
+    assert window_levels, "no samples in the paused window"
+    assert all(level <= 55.0 for level in window_levels)
+
+
+def test_classload_spike_heights_differ_by_application(results):
+    """Figs 9–11(a): options spikes ~80 %, ray tracing ~42 %, prefetch ~75 %."""
+    def spike(name):
+        result = results[name]
+        start = result.reaction_for("start", occurrence=0)
+        # Window = class-loading portion of the first start.
+        return result.peak_cpu(start.at_ms, start.at_ms + start.worker_ms - 1.0)
+
+    assert spike("option-pricing") == pytest.approx(80.0, abs=3.0)
+    assert spike("ray-tracing") == pytest.approx(42.0, abs=3.0)
+    assert spike("web-prefetch") == pytest.approx(75.0, abs=3.0)
+
+
+def test_compute_drives_cpu_to_full_while_running(results):
+    """The 78–100 % compute spikes of Fig. 10(a)."""
+    result = results["ray-tracing"]
+    # Between first start settling and loadsim2: worker computing tasks.
+    assert result.peak_cpu(4_000.0, 7_900.0) == 100.0
+
+
+def test_reaction_table_formats(results):
+    table = results["option-pricing"].format_table()
+    assert "signal" in table and "client" in table and "start" in table

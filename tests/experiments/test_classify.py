@@ -1,0 +1,45 @@
+"""Table 2: the measured classification must match the paper's grades."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.classify import classify_applications, format_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {r.app_id: r for r in classify_applications()}
+
+
+def test_scalability_grades_match_table2(rows):
+    assert rows["option-pricing"].scalability == "Medium"
+    assert rows["ray-tracing"].scalability == "High"
+    assert rows["web-prefetch"].scalability == "Low"
+
+
+def test_cpu_grades_match_table2(rows):
+    assert rows["option-pricing"].cpu == "Adaptable"
+    assert rows["ray-tracing"].cpu == "High"
+    assert rows["web-prefetch"].cpu == "Low"
+
+
+def test_task_dependency_matches_table2(rows):
+    """"Task Dependency: No / No / Yes" — only pre-fetching has
+    inter-iteration dependencies."""
+    assert rows["option-pricing"].task_dependency is False
+    assert rows["ray-tracing"].task_dependency is False
+    assert rows["web-prefetch"].task_dependency is True
+
+
+def test_memory_measured_from_real_payloads(rows):
+    # The ray tracer's strip results are "relatively large" pixel arrays.
+    assert rows["ray-tracing"].memory == "High"
+    assert rows["ray-tracing"].payload_bytes > 30_000
+    assert rows["option-pricing"].memory == "Low"
+
+
+def test_format_table_contains_all_apps(rows):
+    table = format_table(list(rows.values()))
+    for app_id in rows:
+        assert app_id in table

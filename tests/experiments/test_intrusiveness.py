@@ -1,0 +1,57 @@
+"""Intrusiveness experiment unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import make_raytrace_app, raytrace_cluster
+from repro.experiments.intrusiveness import (
+    intrusiveness_experiment,
+    stolen_cpu_ms,
+)
+
+
+def test_stolen_cpu_integrates_step_function():
+    history = [
+        (0.0, 0.0, 0.0),       # idle
+        (100.0, 100.0, 40.0),  # user 40 %, worker takes the remaining 60 %
+        (200.0, 40.0, 40.0),   # worker paused: only user load
+    ]
+    # Window [100, 300]: 100 ms at 60 % foreign + 100 ms at 0 % = 60 ms.
+    assert stolen_cpu_ms(history, 100.0, 300.0) == pytest.approx(60.0)
+
+
+def test_stolen_cpu_partial_overlap():
+    history = [(0.0, 100.0, 0.0)]  # foreign pegged at 100 % forever
+    assert stolen_cpu_ms(history, 50.0, 150.0) == pytest.approx(100.0)
+
+
+def test_stolen_cpu_empty_window():
+    assert stolen_cpu_ms([(0.0, 100.0, 0.0)], 100.0, 100.0) == 0.0
+
+
+@pytest.fixture(scope="module")
+def results():
+    return (
+        intrusiveness_experiment(make_raytrace_app, raytrace_cluster,
+                                 monitoring=True),
+        intrusiveness_experiment(make_raytrace_app, raytrace_cluster,
+                                 monitoring=False),
+    )
+
+
+def test_monitoring_reduces_stolen_share(results):
+    managed, unmanaged = results
+    assert managed.stolen_share < unmanaged.stolen_share / 2
+
+
+def test_both_modes_get_work_done(results):
+    managed, unmanaged = results
+    assert managed.tasks_done > 0
+    assert unmanaged.tasks_done >= managed.tasks_done
+
+
+def test_shares_are_sane(results):
+    for result in results:
+        assert 0.0 <= result.stolen_share <= 1.0
+        assert result.window_ms == 20_000.0

@@ -1,0 +1,43 @@
+"""Full-evaluation report assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import EvaluationReport, run_full_evaluation
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    progress: list[str] = []
+    report = run_full_evaluation(
+        scalability=False, dynamics=False, progress=progress.append
+    )
+    return report, progress
+
+
+def test_quick_report_has_adaptation_and_table2(quick_report):
+    report, _ = quick_report
+    assert set(report.adaptation) == {"option-pricing", "ray-tracing",
+                                      "web-prefetch"}
+    assert len(report.classification) == 3
+    assert report.scalability == {}
+    assert report.dynamics == {}
+
+
+def test_progress_callback_narrates_stages(quick_report):
+    _, progress = quick_report
+    assert any("adaptation" in msg for msg in progress)
+    assert any("Table 2" in msg for msg in progress)
+
+
+def test_render_mentions_each_figure(quick_report):
+    report, _ = quick_report
+    text = report.render()
+    for fragment in ("Figure 9(b)", "Figure 10(b)", "Figure 11(b)",
+                     "Table 2", "signal cycle"):
+        assert fragment in text
+
+
+def test_empty_report_renders_empty():
+    assert EvaluationReport().render() == ""

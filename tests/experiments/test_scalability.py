@@ -1,0 +1,138 @@
+"""Experiment 1 harness: the figures' qualitative shapes must hold.
+
+These are the reproduction's acceptance tests — each assertion encodes a
+claim the paper makes about Figs 6, 7 and 8.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    make_options_app,
+    make_prefetch_app,
+    make_raytrace_app,
+    options_cluster,
+    prefetch_cluster,
+    raytrace_cluster,
+    scalability_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def options_sweep():
+    return scalability_experiment(make_options_app, options_cluster,
+                                  [1, 2, 4, 8, 13])
+
+
+@pytest.fixture(scope="module")
+def raytrace_sweep():
+    return scalability_experiment(make_raytrace_app, raytrace_cluster,
+                                  [1, 2, 3, 4, 5])
+
+
+@pytest.fixture(scope="module")
+def prefetch_sweep():
+    return scalability_experiment(make_prefetch_app, prefetch_cluster,
+                                  [1, 2, 3, 4, 5])
+
+
+# -- Fig. 6: option pricing -------------------------------------------------------
+
+
+def test_fig6_initial_speedup_up_to_four_workers(options_sweep):
+    speedups = dict(options_sweep.speedups())
+    assert speedups[2] > 1.7
+    assert speedups[4] > 3.0
+
+
+def test_fig6_speedup_deteriorates_beyond_four(options_sweep):
+    """"As the number of workers increase beyond 4, the amount of work is
+    no longer sufficient to keep the workers busy"."""
+    speedups = dict(options_sweep.speedups())
+    assert speedups[13] < speedups[4] * 1.15  # no further meaningful gain
+
+
+def test_fig6_planning_dominates_parallel_time_at_high_worker_counts(options_sweep):
+    last = options_sweep.rows[-1]
+    assert last.planning_ms > 0.8 * last.parallel_ms
+
+
+def test_fig6_parallel_time_follows_max_worker_time_up_to_four(options_sweep):
+    for row in options_sweep.rows:
+        if row.workers <= 4:
+            assert row.parallel_ms == pytest.approx(row.max_worker_ms, rel=0.25)
+
+
+# -- Fig. 7: ray tracing -----------------------------------------------------------
+
+
+def test_fig7_max_worker_time_scales_nearly_linearly(raytrace_sweep):
+    rows = {r.workers: r for r in raytrace_sweep.rows}
+    for n in (2, 3, 4, 5):
+        ideal = rows[1].max_worker_ms / n
+        assert rows[n].max_worker_ms == pytest.approx(ideal, rel=0.20)
+
+
+def test_fig7_planning_time_constant_about_500ms(raytrace_sweep):
+    plannings = [r.planning_ms for r in raytrace_sweep.rows]
+    assert max(plannings) - min(plannings) < 50.0
+    assert 300.0 <= plannings[0] <= 700.0  # "constant at 500 ms"
+
+
+def test_fig7_parallel_time_dominated_by_max_worker_time(raytrace_sweep):
+    for row in raytrace_sweep.rows:
+        assert row.max_worker_ms > 0.75 * row.parallel_ms
+
+
+def test_fig7_aggregation_follows_max_worker_time(raytrace_sweep):
+    for row in raytrace_sweep.rows:
+        assert row.aggregation_ms == pytest.approx(row.max_worker_ms, rel=0.35)
+
+
+def test_fig7_good_overall_scalability(raytrace_sweep):
+    speedups = dict(raytrace_sweep.speedups())
+    assert speedups[5] > 3.5  # near-linear for 5 workers
+
+
+# -- Fig. 8: web page pre-fetching ----------------------------------------------------
+
+
+def test_fig8_scales_up_to_four_workers(prefetch_sweep):
+    speedups = dict(prefetch_sweep.speedups())
+    assert speedups[4] > 2.5
+    # Adding the 5th worker buys (almost) nothing.
+    assert speedups[5] == pytest.approx(speedups[4], rel=0.10)
+
+
+def test_fig8_low_task_planning_overhead(prefetch_sweep):
+    for row in prefetch_sweep.rows:
+        assert row.planning_ms < 0.05 * row.parallel_ms
+
+
+def test_fig8_aggregation_dominates_parallel_time(prefetch_sweep):
+    last = prefetch_sweep.rows[-1]
+    assert last.aggregation_ms > 0.8 * last.parallel_ms
+
+
+# -- cross-cutting sanity ----------------------------------------------------------------
+
+
+def test_tables_format(options_sweep, raytrace_sweep, prefetch_sweep):
+    for sweep in (options_sweep, raytrace_sweep, prefetch_sweep):
+        table = sweep.format_table()
+        assert "workers" in table
+        assert str(sweep.rows[0].workers) in table
+
+
+def test_sweeps_are_deterministic():
+    a = scalability_experiment(make_prefetch_app, prefetch_cluster, [2])
+    b = scalability_experiment(make_prefetch_app, prefetch_cluster, [2])
+    assert a.rows == b.rows
+
+
+def test_parallel_time_decomposes_into_phases(raytrace_sweep):
+    for row in raytrace_sweep.rows:
+        assert row.parallel_ms == pytest.approx(
+            row.planning_ms + row.aggregation_ms, rel=1e-6
+        )

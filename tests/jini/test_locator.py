@@ -1,0 +1,65 @@
+"""Unicast discovery (LookupLocator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Address, Network
+from repro.jini import LookupService, ServiceItem
+from repro.jini.discovery import LookupLocator
+from repro.jini.join import LookupClient
+
+REGISTRAR = Address("registrar", 4162)
+
+
+def run(rt, fn):
+    proc = rt.kernel.spawn(fn, name="test-root")
+    rt.kernel.run_until_idle()
+    if proc.error is not None:
+        raise proc.error
+    return proc.result
+
+
+def test_locator_probe_finds_live_registrar(rt):
+    net = Network(rt)
+    LookupService(rt, net, REGISTRAR).start()
+
+    def proc():
+        locator = LookupLocator(rt, net, "client", REGISTRAR)
+        return locator.probe(), locator.get_registrar()
+
+    ok, registrar = run(rt, proc)
+    assert ok
+    assert registrar == REGISTRAR
+
+
+def test_locator_probe_fails_without_registrar(rt):
+    net = Network(rt)
+
+    def proc():
+        locator = LookupLocator(rt, net, "client", REGISTRAR)
+        return locator.probe(), locator.get_registrar()
+
+    ok, registrar = run(rt, proc)
+    assert not ok
+    assert registrar is None
+
+
+def test_unicast_path_reaches_services_without_multicast(rt):
+    """A client on a 'different segment' (no multicast) still finds the
+    space via a configured locator."""
+    net = Network(rt)
+    lookup = LookupService(rt, net, REGISTRAR)
+    lookup.start()
+    lookup.register(ServiceItem("space", Address("master", 4155),
+                                {"type": "JavaSpaces"}))
+
+    def proc():
+        locator = LookupLocator(rt, net, "remote-client", REGISTRAR)
+        registrar = locator.get_registrar()
+        client = LookupClient(net, "remote-client", registrar)
+        items = client.lookup({"type": "JavaSpaces"})
+        client.close()
+        return [item.service_id for item in items]
+
+    assert run(rt, proc) == ["space"]

@@ -1,0 +1,112 @@
+"""Network partition injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConnectionRefusedError_
+from repro.net import Address, LatencyModel, Network
+from repro.snmp import HOST_RESOURCES, Mib, SnmpAgent, SnmpManager
+from repro.errors import TimeoutError_
+from tests.conftest import run_in_sim
+
+
+@pytest.fixture()
+def net(rt):
+    return Network(rt, latency=LatencyModel(base_ms=0.5, jitter_ms=0.0))
+
+
+def test_datagrams_to_isolated_host_vanish(rt, net):
+    a = net.bind_datagram(Address("a", 1))
+    b = net.bind_datagram(Address("b", 1))
+
+    def proc():
+        net.isolate("b")
+        a.send_to(Address("b", 1), "lost")
+        first = b.receive(timeout_ms=20.0)
+        net.heal("b")
+        a.send_to(Address("b", 1), "delivered")
+        second = b.receive(timeout_ms=20.0)
+        return first, second[0]
+
+    assert run_in_sim(rt, proc) == (None, "delivered")
+
+
+def test_isolated_host_cannot_send_either(rt, net):
+    a = net.bind_datagram(Address("a", 1))
+    b = net.bind_datagram(Address("b", 1))
+
+    def proc():
+        net.isolate("a")
+        a.send_to(Address("b", 1), "x")
+        return b.receive(timeout_ms=20.0)
+
+    assert run_in_sim(rt, proc) is None
+    assert net.stats["dropped"] == 1
+
+
+def test_connect_to_partitioned_host_refused(rt, net):
+    net.listen(Address("server", 1))
+
+    def proc():
+        net.isolate("server")
+        with pytest.raises(ConnectionRefusedError_, match="partitioned"):
+            net.connect("client", Address("server", 1))
+        return True
+
+    assert run_in_sim(rt, proc)
+
+
+def test_established_stream_goes_silent_then_recovers(rt, net):
+    listener = net.listen(Address("s", 1))
+
+    def proc():
+        client = net.connect("c", Address("s", 1))
+        server = listener.accept(timeout_ms=50.0)
+        client.send("before")
+        assert server.receive(timeout_ms=50.0) == "before"
+        net.isolate("c")
+        client.send("during")            # vanishes on the wire
+        lost = server.receive(timeout_ms=50.0)
+        net.heal("c")
+        client.send("after")
+        recovered = server.receive(timeout_ms=50.0)
+        return lost, recovered
+
+    assert run_in_sim(rt, proc) == (None, "after")
+
+
+def test_snmp_monitoring_sees_partition_as_timeouts(rt, net):
+    """The monitoring agent's view of a partitioned worker: silence."""
+    mib = Mib()
+    mib.register(HOST_RESOURCES.HR_PROCESSOR_LOAD, 10)
+    SnmpAgent(rt, net, "w", mib).start()
+    manager = SnmpManager(rt, net, "mgr", timeout_ms=30.0, retries=1)
+
+    def proc():
+        before = manager.get_one("w", HOST_RESOURCES.HR_PROCESSOR_LOAD)
+        net.isolate("w")
+        with pytest.raises(TimeoutError_):
+            manager.get_one("w", HOST_RESOURCES.HR_PROCESSOR_LOAD)
+        net.heal("w")
+        after = manager.get_one("w", HOST_RESOURCES.HR_PROCESSOR_LOAD)
+        return before, after
+
+    assert run_in_sim(rt, proc) == (10, 10)
+
+
+def test_multicast_respects_partitions(rt, net):
+    group = Address("224.0.0.1", 4160)
+    members = [net.bind_datagram(Address(f"m{i}", 4160)) for i in range(2)]
+    for m in members:
+        net.join_multicast(group, m)
+    sender = net.bind_datagram(Address("s", 1))
+
+    def proc():
+        net.isolate("m0")
+        sender.send_to(group, "announce")
+        return members[0].receive(timeout_ms=20.0), members[1].receive(timeout_ms=20.0)
+
+    lost, received = run_in_sim(rt, proc)
+    assert lost is None
+    assert received[0] == "announce"

@@ -1,0 +1,213 @@
+"""CPU model: processor sharing, utilization accounting, load reaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.node.cpu import CpuModel
+from tests.conftest import run_in_sim
+
+
+def test_unloaded_reference_machine_runs_at_face_value(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+
+    def proc():
+        return cpu.execute(1000.0)
+
+    assert run_in_sim(rt, proc) == pytest.approx(1000.0)
+
+
+def test_slow_machine_scales_by_clock_ratio(rt):
+    cpu = CpuModel(rt, speed_mhz=300.0)
+
+    def proc():
+        return cpu.execute(300.0)
+
+    # 300 ref-ms on a 300 MHz box = 300 * 800/300 = 800 local ms
+    assert run_in_sim(rt, proc) == pytest.approx(800.0)
+
+
+def test_background_load_stretches_execution(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+    cpu.set_background("user", 50.0)
+
+    def proc():
+        return cpu.execute(500.0)
+
+    # Only 50 % share available → twice as long.
+    assert run_in_sim(rt, proc) == pytest.approx(1000.0)
+
+
+def test_mid_task_load_change_replans_remaining_work(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+    result = {}
+
+    def loader():
+        rt.sleep(500.0)
+        cpu.set_background("user", 50.0)
+
+    def task():
+        result["elapsed"] = cpu.execute(1000.0)
+
+    rt.spawn(loader, name="loader")
+    rt.spawn(task, name="task")
+    rt.kernel.run()
+    # 500 ms at full speed (500 done) + 500 remaining at half speed = 1000.
+    assert result["elapsed"] == pytest.approx(1500.0)
+
+
+def test_full_background_starves_task_until_release(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+    cpu.set_background("hog", 100.0)
+    result = {}
+
+    def releaser():
+        rt.sleep(300.0)
+        cpu.clear_background("hog")
+
+    def task():
+        result["elapsed"] = cpu.execute(100.0)
+
+    rt.spawn(releaser, name="releaser")
+    rt.spawn(task, name="task")
+    rt.kernel.run()
+    assert result["elapsed"] == pytest.approx(400.0)
+
+
+def test_partial_demand_runs_proportionally_slower(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+
+    def proc():
+        return cpu.execute(100.0, demand_percent=50.0)
+
+    assert run_in_sim(rt, proc) == pytest.approx(200.0)
+
+
+def test_concurrent_tasks_share_processor_fairly(rt):
+    """Two simultaneous foreign tasks each get half the CPU."""
+    cpu = CpuModel(rt, speed_mhz=800.0)
+    elapsed = {}
+
+    def task(name):
+        elapsed[name] = cpu.execute(100.0)
+
+    rt.spawn(lambda: task("a"), name="a")
+    rt.spawn(lambda: task("b"), name="b")
+    rt.kernel.run()
+    # Identical tasks started together: both finish at 200 ms (half rate).
+    assert elapsed["a"] == pytest.approx(200.0)
+    assert elapsed["b"] == pytest.approx(200.0)
+
+
+def test_late_joiner_slows_running_task(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+    elapsed = {}
+
+    def long_task():
+        elapsed["long"] = cpu.execute(200.0)
+
+    def short_task():
+        rt.sleep(100.0)
+        elapsed["short"] = cpu.execute(50.0)
+
+    rt.spawn(long_task, name="long")
+    rt.spawn(short_task, name="short")
+    rt.kernel.run()
+    # long runs alone for 100 ms (100 done), shares for 100 ms (50 done),
+    # short finishes at t=200 having done its 50; long finishes its last
+    # 50 alone by t=250.
+    assert elapsed["short"] == pytest.approx(100.0)
+    assert elapsed["long"] == pytest.approx(250.0)
+
+
+def test_instantaneous_utilization_views(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+    observed = {}
+
+    def observer():
+        rt.sleep(50.0)
+        observed["during"] = (cpu.total_percent(), cpu.external_percent())
+
+    def task():
+        cpu.set_background("user", 30.0)
+        cpu.execute(200.0)
+        observed["after"] = (cpu.total_percent(), cpu.external_percent())
+
+    rt.spawn(observer, name="observer")
+    rt.spawn(task, name="task")
+    rt.kernel.run()
+    # During: task takes the remaining 70 % → total pinned at 100.
+    assert observed["during"] == (100.0, 30.0)
+    assert observed["after"] == (30.0, 30.0)
+
+
+def test_windowed_average_tracks_busy_fraction(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+
+    def proc():
+        cpu.execute(250.0)   # busy 0..250 at 100 %
+        rt.sleep(750.0)      # idle 250..1000
+        return cpu.average_total(window_ms=1000.0)
+
+    assert run_in_sim(rt, proc) == pytest.approx(25.0)
+
+
+def test_external_average_excludes_foreign_task(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+
+    def proc():
+        cpu.set_background("user", 40.0)
+        cpu.execute(60.0)  # total goes to 100, external stays 40
+        rt.sleep(900.0)
+        return cpu.average_external(window_ms=1000.0)
+
+    assert run_in_sim(rt, proc) == pytest.approx(40.0, abs=1.0)
+
+
+def test_busy_ms_accumulates(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+
+    def proc():
+        cpu.execute(100.0)
+        cpu.execute(200.0)
+        return cpu.busy_ms
+
+    assert run_in_sim(rt, proc) == pytest.approx(300.0)
+
+
+def test_zero_work_is_instant(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+
+    def proc():
+        return cpu.execute(0.0)
+
+    assert run_in_sim(rt, proc) == 0.0
+
+
+def test_negative_work_rejected(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+
+    def proc():
+        with pytest.raises(SimulationError):
+            cpu.execute(-5.0)
+        return True
+
+    assert run_in_sim(rt, proc)
+
+
+def test_background_clamped_to_valid_range(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+    cpu.set_background("a", 150.0)
+    assert cpu.background_percent() == 100.0
+    cpu.set_background("a", -10.0)
+    assert cpu.background_percent() == 0.0
+
+
+def test_multiple_background_sources_sum(rt):
+    cpu = CpuModel(rt, speed_mhz=800.0)
+    cpu.set_background("a", 30.0)
+    cpu.set_background("b", 25.0)
+    assert cpu.background_percent() == 55.0
+    cpu.clear_background("a")
+    assert cpu.background_percent() == 25.0

@@ -1,0 +1,84 @@
+"""SimulatedRuntime binding surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import SimulatedRuntime
+
+
+def test_context_manager_shuts_down():
+    with SimulatedRuntime() as runtime:
+        handle = runtime.spawn(lambda: runtime.sleep(10.0), name="p")
+        runtime.run()
+        assert not handle.is_alive()
+    # After exit, spawning is rejected (kernel shut down).
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        runtime.spawn(lambda: None)
+
+
+def test_join_blocks_until_process_done(rt):
+    order = []
+
+    def worker():
+        rt.sleep(100.0)
+        order.append("worker")
+
+    def waiter():
+        handle = rt.spawn(worker, name="worker")
+        handle.join()
+        order.append("waiter")
+        return rt.now()
+
+    proc = rt.kernel.spawn(waiter, name="waiter")
+    rt.kernel.run()
+    assert order == ["worker", "waiter"]
+    assert proc.result >= 100.0
+
+
+def test_join_timeout_returns_early(rt):
+    def worker():
+        rt.sleep(10_000.0)
+
+    def waiter():
+        handle = rt.spawn(worker, name="worker")
+        handle.join(timeout_ms=50.0)
+        return handle.is_alive(), rt.now()
+
+    proc = rt.kernel.spawn(waiter, name="waiter")
+    rt.kernel.run(until=200.0)
+    alive, t = proc.result
+    assert alive
+    assert 50.0 <= t <= 60.0
+
+
+def test_call_later_cancel(rt):
+    fired = []
+
+    def proc():
+        handle = rt.call_later(50.0, lambda: fired.append("x"))
+        rt.sleep(10.0)
+        handle.cancel()
+        rt.sleep(100.0)
+        return list(fired)
+
+    handle = rt.kernel.spawn(proc, name="p")
+    rt.kernel.run()
+    assert handle.result == []
+
+
+def test_run_until_is_resumable(rt):
+    ticks = []
+
+    def proc():
+        for _ in range(4):
+            rt.sleep(100.0)
+            ticks.append(rt.now())
+
+    rt.kernel.spawn(proc, name="ticker")
+    rt.run(until=250.0)
+    assert ticks == [100.0, 200.0]
+    rt.run()
+    assert ticks == [100.0, 200.0, 300.0, 400.0]

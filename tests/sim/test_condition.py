@@ -1,0 +1,218 @@
+"""Unit tests for simulated condition variables and locks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimCondition, SimKernel, SimLock
+
+
+def test_wait_timeout_returns_false_and_advances_clock():
+    with SimKernel() as kernel:
+        cond = SimCondition(kernel)
+
+        def proc():
+            with cond:
+                notified = cond.wait(timeout=40.0)
+            return (notified, kernel.now())
+
+        p = kernel.spawn(proc)
+        kernel.run()
+        assert p.result == (False, 40.0)
+
+
+def test_notify_wakes_single_waiter():
+    with SimKernel() as kernel:
+        cond = SimCondition(kernel)
+        woken = []
+
+        def waiter(name):
+            with cond:
+                ok = cond.wait(timeout=1000.0)
+            woken.append((name, ok, kernel.now()))
+
+        kernel.spawn(lambda: waiter("a"))
+        kernel.spawn(lambda: waiter("b"))
+
+        def notifier():
+            kernel.sleep(10.0)
+            with cond:
+                cond.notify(1)
+
+        kernel.spawn(notifier)
+        kernel.run()
+
+    # First waiter (a) gets notified at t=10; b times out at t=1000.
+    assert ("a", True, 10.0) in woken
+    assert ("b", False, 1000.0) in woken
+
+
+def test_notify_all_wakes_everyone():
+    with SimKernel() as kernel:
+        cond = SimCondition(kernel)
+        results = []
+
+        def waiter(i):
+            with cond:
+                results.append((i, cond.wait(timeout=500.0)))
+
+        for i in range(5):
+            kernel.spawn(lambda i=i: waiter(i))
+
+        def notifier():
+            kernel.sleep(20.0)
+            with cond:
+                cond.notify_all()
+
+        kernel.spawn(notifier)
+        kernel.run()
+    assert sorted(results) == [(i, True) for i in range(5)]
+
+
+def test_notified_waiter_not_double_woken_by_timeout():
+    """A waiter notified before its timeout must not be woken twice."""
+    with SimKernel() as kernel:
+        cond = SimCondition(kernel)
+        wakes = []
+
+        def waiter():
+            with cond:
+                ok = cond.wait(timeout=50.0)
+            wakes.append((ok, kernel.now()))
+            kernel.sleep(200.0)  # if the stale timeout fires it would corrupt this sleep
+            wakes.append(("slept", kernel.now()))
+
+        kernel.spawn(waiter)
+
+        def notifier():
+            kernel.sleep(10.0)
+            with cond:
+                cond.notify_all()
+
+        kernel.spawn(notifier)
+        kernel.run()
+    assert wakes == [(True, 10.0), ("slept", 210.0)]
+
+
+def test_timed_out_waiter_not_woken_by_later_notify():
+    with SimKernel() as kernel:
+        cond = SimCondition(kernel)
+        log = []
+
+        def waiter():
+            with cond:
+                ok = cond.wait(timeout=10.0)
+            log.append(("timeout", ok, kernel.now()))
+            kernel.sleep(100.0)
+            log.append(("after", kernel.now()))
+
+        kernel.spawn(waiter)
+
+        def notifier():
+            kernel.sleep(50.0)
+            with cond:
+                cond.notify_all()  # nobody should be waiting now
+
+        kernel.spawn(notifier)
+        kernel.run()
+    assert log == [("timeout", False, 10.0), ("after", 110.0)]
+
+
+def test_wait_releases_and_reacquires_lock():
+    with SimKernel() as kernel:
+        lock = SimLock(kernel)
+        cond = SimCondition(kernel, lock)
+        log = []
+
+        def waiter():
+            with cond:
+                log.append("wait-start")
+                cond.wait(timeout=100.0)
+                log.append("wait-end")
+
+        def other():
+            kernel.sleep(5.0)
+            with lock:  # must be acquirable while waiter is blocked
+                log.append("other-in")
+            with cond:
+                cond.notify_all()
+
+        kernel.spawn(waiter)
+        kernel.spawn(other)
+        kernel.run()
+    assert log == ["wait-start", "other-in", "wait-end"]
+
+
+def test_lock_detects_cross_process_misuse():
+    with SimKernel() as kernel:
+        lock = SimLock(kernel)
+
+        def holder():
+            lock.acquire()
+            kernel.sleep(100.0)  # blocks while holding — a bug in client code
+            lock.release()
+
+        def intruder():
+            kernel.sleep(10.0)
+            lock.acquire()
+
+        kernel.spawn(holder)
+        kernel.spawn(intruder)
+        with pytest.raises(SimulationError, match="owned by"):
+            kernel.run()
+
+
+def test_release_unacquired_lock_raises():
+    with SimKernel() as kernel:
+        lock = SimLock(kernel)
+
+        def proc():
+            lock.release()
+
+        kernel.spawn(proc)
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+
+def test_reentrant_acquire():
+    with SimKernel() as kernel:
+        lock = SimLock(kernel)
+
+        def proc():
+            with lock:
+                with lock:
+                    pass
+            return "ok"
+
+        p = kernel.spawn(proc)
+        kernel.run()
+        assert p.result == "ok"
+
+
+def test_producer_consumer_queue_pattern():
+    """The monitor pattern the tuple space relies on."""
+    with SimKernel() as kernel:
+        cond = SimCondition(kernel)
+        queue: list[int] = []
+        consumed: list[tuple[int, float]] = []
+
+        def producer():
+            for i in range(5):
+                kernel.sleep(10.0)
+                with cond:
+                    queue.append(i)
+                    cond.notify_all()
+
+        def consumer():
+            for _ in range(5):
+                with cond:
+                    while not queue:
+                        cond.wait()
+                    item = queue.pop(0)
+                consumed.append((item, kernel.now()))
+
+        kernel.spawn(producer)
+        kernel.spawn(consumer)
+        kernel.run()
+    assert consumed == [(i, 10.0 * (i + 1)) for i in range(5)]

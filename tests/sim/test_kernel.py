@@ -1,0 +1,222 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import SimKernel
+
+
+def test_clock_starts_at_zero():
+    with SimKernel() as kernel:
+        assert kernel.now() == 0.0
+
+
+def test_call_later_runs_in_time_order():
+    fired = []
+    with SimKernel() as kernel:
+        kernel.call_later(20.0, lambda: fired.append(("b", kernel.now())))
+        kernel.call_later(10.0, lambda: fired.append(("a", kernel.now())))
+        kernel.call_later(30.0, lambda: fired.append(("c", kernel.now())))
+        kernel.run()
+    assert fired == [("a", 10.0), ("b", 20.0), ("c", 30.0)]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    fired = []
+    with SimKernel() as kernel:
+        for i in range(5):
+            kernel.call_later(5.0, lambda i=i: fired.append(i))
+        kernel.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_event_does_not_fire():
+    fired = []
+    with SimKernel() as kernel:
+        handle = kernel.call_later(10.0, lambda: fired.append("x"))
+        handle.cancel()
+        kernel.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_negative_delay_rejected():
+    with SimKernel() as kernel:
+        with pytest.raises(SimulationError):
+            kernel.call_later(-1.0, lambda: None)
+
+
+def test_process_sleep_advances_virtual_time():
+    times = []
+
+    with SimKernel() as kernel:
+        def proc():
+            times.append(kernel.now())
+            kernel.sleep(100.0)
+            times.append(kernel.now())
+            kernel.sleep(50.0)
+            times.append(kernel.now())
+
+        kernel.spawn(proc, name="sleeper")
+        kernel.run()
+    assert times == [0.0, 100.0, 150.0]
+
+
+def test_two_processes_interleave_deterministically():
+    log = []
+
+    with SimKernel() as kernel:
+        def proc(name, period):
+            for _ in range(3):
+                kernel.sleep(period)
+                log.append((name, kernel.now()))
+
+        kernel.spawn(lambda: proc("fast", 10.0), name="fast")
+        kernel.spawn(lambda: proc("slow", 25.0), name="slow")
+        kernel.run()
+
+    assert log == [
+        ("fast", 10.0),
+        ("fast", 20.0),
+        ("slow", 25.0),
+        ("fast", 30.0),
+        ("slow", 50.0),
+        ("slow", 75.0),
+    ]
+
+
+def test_spawn_from_inside_process():
+    log = []
+
+    with SimKernel() as kernel:
+        def child():
+            log.append(("child", kernel.now()))
+
+        def parent():
+            kernel.sleep(10.0)
+            kernel.spawn(child, name="child")
+            kernel.sleep(10.0)
+            log.append(("parent", kernel.now()))
+
+        kernel.spawn(parent, name="parent")
+        kernel.run()
+
+    assert log == [("child", 10.0), ("parent", 20.0)]
+
+
+def test_process_result_recorded():
+    with SimKernel() as kernel:
+        proc = kernel.spawn(lambda: 42, name="answer")
+        kernel.run()
+        assert proc.finished
+        assert proc.result == 42
+
+
+def test_process_error_propagates_from_run():
+    with SimKernel() as kernel:
+        def boom():
+            kernel.sleep(5.0)
+            raise ValueError("boom")
+
+        kernel.spawn(boom, name="boom")
+        with pytest.raises(SimulationError, match="boom"):
+            kernel.run()
+
+
+def test_run_until_limits_clock():
+    fired = []
+    with SimKernel() as kernel:
+        kernel.call_later(10.0, lambda: fired.append(10))
+        kernel.call_later(1000.0, lambda: fired.append(1000))
+        now = kernel.run(until=100.0)
+    assert fired == [10]
+    assert now == 100.0
+
+
+def test_run_until_can_continue():
+    fired = []
+    with SimKernel() as kernel:
+        kernel.call_later(10.0, lambda: fired.append(10))
+        kernel.call_later(1000.0, lambda: fired.append(1000))
+        kernel.run(until=100.0)
+        kernel.run()
+    assert fired == [10, 1000]
+
+
+def test_deadlock_detection():
+    with SimKernel() as kernel:
+        from repro.sim import SimCondition
+
+        cond = SimCondition(kernel)
+
+        def stuck():
+            with cond:
+                cond.wait()
+
+        kernel.spawn(stuck, name="stuck")
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+
+def test_shutdown_unwinds_blocked_processes():
+    kernel = SimKernel()
+    from repro.sim import SimCondition
+
+    cond = SimCondition(kernel)
+    cleanup = []
+
+    def stuck():
+        try:
+            with cond:
+                cond.wait(timeout=None)
+        finally:
+            cleanup.append("unwound")
+
+    proc = kernel.spawn(stuck, name="stuck")
+    kernel.run(until=10.0)
+    assert not proc.finished
+    kernel.shutdown()
+    assert proc.finished
+    assert cleanup == ["unwound"]
+
+
+def test_shutdown_is_idempotent():
+    kernel = SimKernel()
+    kernel.spawn(lambda: None, name="noop")
+    kernel.run()
+    kernel.shutdown()
+    kernel.shutdown()
+
+
+def test_spawn_after_shutdown_rejected():
+    kernel = SimKernel()
+    kernel.shutdown()
+    with pytest.raises(SimulationError):
+        kernel.spawn(lambda: None)
+
+
+def test_sleep_zero_yields_but_does_not_advance():
+    with SimKernel() as kernel:
+        def proc():
+            kernel.sleep(0.0)
+            return kernel.now()
+
+        p = kernel.spawn(proc, name="zero")
+        kernel.run()
+        assert p.result == 0.0
+
+
+def test_many_processes_scale():
+    with SimKernel() as kernel:
+        counter = []
+
+        def proc(i):
+            kernel.sleep(float(i % 7))
+            counter.append(i)
+
+        for i in range(200):
+            kernel.spawn(lambda i=i: proc(i), name=f"p{i}")
+        kernel.run()
+        assert len(counter) == 200

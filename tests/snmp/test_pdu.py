@@ -1,0 +1,154 @@
+"""BER-subset codec: unit and property-based round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CodecError
+from repro.snmp import GetNextRequest, GetRequest, GetResponse, SetRequest, Oid
+from repro.snmp.pdu import decode_message, encode_message
+
+
+def roundtrip(pdu):
+    return decode_message(encode_message(pdu))
+
+
+def test_get_request_round_trip():
+    pdu = GetRequest(
+        request_id=42,
+        varbinds=[(Oid("1.3.6.1.2.1.25.3.3.1.2.1"), None)],
+        community="cluster",
+    )
+    out = roundtrip(pdu)
+    assert isinstance(out, GetRequest)
+    assert out.request_id == 42
+    assert out.community == "cluster"
+    assert out.varbinds == [(Oid("1.3.6.1.2.1.25.3.3.1.2.1"), None)]
+
+
+def test_response_with_integer_value():
+    pdu = GetResponse(request_id=7, varbinds=[(Oid("1.3.6.1"), 87)])
+    assert roundtrip(pdu).varbinds == [(Oid("1.3.6.1"), 87)]
+
+
+def test_negative_and_large_integers():
+    pdu = GetResponse(
+        request_id=1,
+        varbinds=[
+            (Oid("1.3.6.1"), -1),
+            (Oid("1.3.6.2"), -(2**31)),
+            (Oid("1.3.6.3"), 2**40 + 17),
+            (Oid("1.3.6.4"), 0),
+            (Oid("1.3.6.5"), 127),
+            (Oid("1.3.6.6"), 128),
+        ],
+    )
+    assert roundtrip(pdu).varbinds == pdu.varbinds
+
+
+def test_string_and_bytes_values():
+    pdu = GetResponse(
+        request_id=1,
+        varbinds=[(Oid("1.3.6.1"), "Windows NT 4.0"), (Oid("1.3.6.2"), "üñïçødé")],
+    )
+    assert roundtrip(pdu).varbinds == pdu.varbinds
+
+
+def test_oid_valued_varbind():
+    pdu = GetResponse(request_id=1, varbinds=[(Oid("1.3.6.1"), Oid("1.3.6.1.4.1"))])
+    assert roundtrip(pdu).varbinds == pdu.varbinds
+
+
+def test_float_rounds_to_integer():
+    pdu = GetResponse(request_id=1, varbinds=[(Oid("1.3.6.1"), 41.7)])
+    assert roundtrip(pdu).varbinds == [(Oid("1.3.6.1"), 42)]
+
+
+def test_all_pdu_types_preserve_class():
+    for cls in (GetRequest, GetNextRequest, GetResponse, SetRequest):
+        assert isinstance(roundtrip(cls(request_id=3)), cls)
+
+
+def test_error_fields_round_trip():
+    pdu = GetResponse(request_id=9, error_status=2, error_index=1,
+                      varbinds=[(Oid("1.3.6.1"), None)])
+    out = roundtrip(pdu)
+    assert (out.error_status, out.error_index) == (2, 1)
+
+
+def test_long_form_length_for_big_messages():
+    varbinds = [(Oid(f"1.3.6.1.9.{i}"), "x" * 50) for i in range(20)]
+    pdu = GetResponse(request_id=1, varbinds=varbinds)
+    encoded = encode_message(pdu)
+    assert len(encoded) > 300  # forces long-form lengths
+    assert roundtrip(pdu).varbinds == varbinds
+
+
+def test_large_subidentifiers_use_base128():
+    oid = Oid("1.3.6.1.4.1.20010.1.2.0")
+    pdu = GetRequest(request_id=1, varbinds=[(oid, None)])
+    assert roundtrip(pdu).varbinds[0][0] == oid
+
+
+@pytest.mark.parametrize(
+    "data",
+    [b"", b"\x30", b"\x30\x05abc", b"\x02\x01\x00", b"\x30\x81", b"\x30\x02\x02\x01"],
+)
+def test_malformed_bytes_raise_codec_error(data):
+    with pytest.raises(CodecError):
+        decode_message(data)
+
+
+def test_truncated_valid_message_fails():
+    encoded = encode_message(GetRequest(request_id=5, varbinds=[(Oid("1.3.6.1"), None)]))
+    with pytest.raises(CodecError):
+        decode_message(encoded[: len(encoded) // 2])
+
+
+# -- property-based ------------------------------------------------------------
+
+oid_strategy = st.builds(
+    lambda first, second, rest: Oid([first, second] + rest),
+    st.integers(0, 2),
+    st.integers(0, 39),
+    st.lists(st.integers(0, 2**21), max_size=6),
+)
+value_strategy = st.one_of(
+    st.none(),
+    st.integers(-(2**47), 2**47),
+    st.text(max_size=40),
+)
+pdu_strategy = st.builds(
+    GetResponse,
+    request_id=st.integers(0, 2**31 - 1),
+    varbinds=st.lists(st.tuples(oid_strategy, value_strategy), max_size=8),
+    error_status=st.integers(0, 5),
+    error_index=st.integers(0, 8),
+    community=st.text(alphabet=st.characters(codec="ascii", exclude_characters="\x00"),
+                      max_size=16),
+)
+
+
+@given(pdu=pdu_strategy)
+def test_codec_round_trip_property(pdu):
+    out = roundtrip(pdu)
+    assert out.request_id == pdu.request_id
+    assert out.error_status == pdu.error_status
+    assert out.error_index == pdu.error_index
+    assert out.community == pdu.community
+    assert out.varbinds == pdu.varbinds
+
+
+@given(oid=oid_strategy)
+def test_oid_codec_round_trip_property(oid):
+    pdu = GetRequest(request_id=1, varbinds=[(oid, None)])
+    assert roundtrip(pdu).varbinds[0][0] == oid
+
+
+@given(data=st.binary(max_size=64))
+def test_decoder_never_crashes_on_garbage(data):
+    try:
+        decode_message(data)
+    except CodecError:
+        pass  # the only acceptable failure mode

@@ -1,0 +1,40 @@
+"""CLI smoke tests (fast paths only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                    "table2", "exp3", "all"):
+        args = parser.parse_args([command] if command not in ("exp3",) else [command])
+        assert args.command == command
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_fig7_small_sweep(capsys):
+    assert main(["fig7", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Scalability — ray-tracing" in out
+    assert "speedups" in out
+
+
+def test_fig10_with_ascii(capsys):
+    assert main(["fig10", "--ascii"]) == 0
+    out = capsys.readouterr().out
+    assert "signal cycle: start → stop → start → pause → resume" in out
+    assert "CPU %" in out
+
+
+def test_exp3_custom_app_and_workers(capsys):
+    assert main(["exp3", "--app", "web-prefetch", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Dynamic worker behaviour — web-prefetch (2 workers)" in out

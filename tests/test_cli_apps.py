@@ -1,0 +1,44 @@
+"""CLI application commands: price and render."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_price_put_option(capsys):
+    assert main(["price", "--type", "put", "--strike", "110",
+                 "--simulations", "1000", "--workers", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "price    :" in out
+    assert "interval :" in out
+    # An ITM put on these terms is worth well over intrinsic-zero.
+    price = float(out.split("price    :")[1].split()[0])
+    assert 5.0 < price < 25.0
+
+
+def test_price_rejects_bad_type():
+    with pytest.raises(SystemExit):
+        main(["price", "--type", "swaption"])
+
+
+def test_render_builtin_scene(tmp_path, capsys):
+    target = tmp_path / "out.ppm"
+    assert main(["render", "--size", "48", "--output", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    data = target.read_bytes()
+    assert data.startswith(b"P6\n48 48\n255\n")
+
+
+def test_render_json_scene_with_aa(tmp_path, capsys):
+    from repro.apps.raytrace import default_scene, save_scene
+
+    scene_file = tmp_path / "scene.json"
+    save_scene(default_scene(), scene_file)
+    target = tmp_path / "out.ppm"
+    assert main(["render", str(scene_file), "--size", "48",
+                 "--aa", "2", "--output", str(target)]) == 0
+    assert "AA 2x2" in capsys.readouterr().out
+    assert target.exists()

@@ -1,0 +1,143 @@
+"""JavaSpaces05-style batch operations: write_all / take_multiple / contents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpaceError
+from repro.net import Address, Network
+from repro.tuplespace import JavaSpace, SpaceProxy, SpaceServer, TransactionManager
+from tests.conftest import run_in_sim
+from tests.tuplespace.entries import TaskEntry
+
+
+@pytest.fixture()
+def space(rt):
+    return JavaSpace(rt)
+
+
+def test_write_all_stores_everything(rt, space):
+    def proc():
+        leases = space.write_all([TaskEntry("a", i, None) for i in range(5)])
+        return len(leases), space.count(TaskEntry())
+
+    assert run_in_sim(rt, proc) == (5, 5)
+
+
+def test_write_all_atomic_under_transaction(rt, space):
+    txns = TransactionManager(rt)
+
+    def proc():
+        txn = txns.create()
+        space.write_all([TaskEntry("a", i, None) for i in range(4)], txn=txn)
+        before = space.count(TaskEntry())
+        txn.abort()
+        return before, space.count(TaskEntry())
+
+    assert run_in_sim(rt, proc) == (0, 0)
+
+
+def test_take_multiple_drains_up_to_cap(rt, space):
+    def proc():
+        space.write_all([TaskEntry("a", i, None) for i in range(7)])
+        batch = space.take_multiple(TaskEntry(), max_entries=5, timeout_ms=0.0)
+        rest = space.take_multiple(TaskEntry(), max_entries=5, timeout_ms=0.0)
+        return [e.task_id for e in batch], [e.task_id for e in rest]
+
+    batch, rest = run_in_sim(rt, proc)
+    assert batch == [0, 1, 2, 3, 4]
+    assert rest == [5, 6]
+
+
+def test_take_multiple_returns_early_with_fewer_matches(rt, space):
+    def proc():
+        space.write(TaskEntry("a", 1, None))
+        return space.take_multiple(TaskEntry(), max_entries=10, timeout_ms=0.0)
+
+    assert len(run_in_sim(rt, proc)) == 1
+
+
+def test_take_multiple_blocks_for_first_entry_only(rt, space):
+    def writer():
+        rt.sleep(50.0)
+        space.write(TaskEntry("a", 1, None))
+        # A second entry arrives later — take_multiple must NOT wait for it.
+        rt.sleep(500.0)
+        space.write(TaskEntry("a", 2, None))
+
+    def taker():
+        batch = space.take_multiple(TaskEntry(), max_entries=5, timeout_ms=None)
+        return len(batch), rt.now()
+
+    rt.spawn(writer, name="writer")
+    proc = rt.kernel.spawn(taker, name="taker")
+    rt.kernel.run_until_idle()
+    count, t = proc.result
+    assert count == 1
+    assert t == pytest.approx(50.0)
+
+
+def test_take_multiple_timeout_empty(rt, space):
+    def proc():
+        return space.take_multiple(TaskEntry(), max_entries=3, timeout_ms=20.0)
+
+    assert run_in_sim(rt, proc) == []
+
+
+def test_take_multiple_rejects_bad_cap(rt, space):
+    def proc():
+        with pytest.raises(SpaceError):
+            space.take_multiple(TaskEntry(), max_entries=0)
+        return True
+
+    assert run_in_sim(rt, proc)
+
+
+def test_contents_is_nondestructive_snapshot(rt, space):
+    def proc():
+        space.write_all([TaskEntry("a", i, [i]) for i in range(3)])
+        view = space.contents(TaskEntry())
+        view[0].payload.append(99)  # mutating the copy is harmless
+        still = space.count(TaskEntry())
+        fresh = space.contents(TaskEntry())
+        return len(view), still, fresh[0].payload
+
+    count, still, payload = run_in_sim(rt, proc)
+    assert count == 3
+    assert still == 3
+    assert payload == [0]
+
+
+def test_contents_respects_transaction_visibility(rt, space):
+    txns = TransactionManager(rt)
+
+    def proc():
+        txn = txns.create()
+        space.write(TaskEntry("a", 1, None), txn=txn)
+        outside = len(space.contents(TaskEntry()))
+        inside = len(space.contents(TaskEntry(), txn=txn))
+        txn.commit()
+        return outside, inside
+
+    assert run_in_sim(rt, proc) == (0, 1)
+
+
+def test_batch_ops_over_proxy(rt):
+    net = Network(rt)
+    space = JavaSpace(rt)
+    SpaceServer(rt, space, net, Address("master", 4155)).start()
+
+    def proc():
+        proxy = SpaceProxy(net, "client", Address("master", 4155))
+        written = proxy.write_all([TaskEntry("a", i, None) for i in range(6)])
+        view = proxy.contents(TaskEntry())
+        batch = proxy.take_multiple(TaskEntry(), max_entries=4, timeout_ms=100.0)
+        proxy.close()
+        return written, len(view), [e.task_id for e in batch]
+
+    proc_handle = rt.kernel.spawn(proc, name="test-root")
+    rt.kernel.run_until_idle()
+    written, viewed, batch = proc_handle.result
+    assert written == 6
+    assert viewed == 6
+    assert batch == [0, 1, 2, 3]

@@ -1,0 +1,85 @@
+"""Template matching rules (JavaSpaces associative lookup)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tuplespace import entry_fields, matches
+from repro.tuplespace.entry import values_equal
+
+from tests.tuplespace.entries import PriorityTask, ResultEntry, TaskEntry
+
+
+def test_wildcard_template_matches_everything_of_class():
+    template = TaskEntry()
+    assert matches(template, TaskEntry("app", 1, "x"))
+    assert matches(template, TaskEntry(None, None, None))
+
+
+def test_exact_field_must_match():
+    template = TaskEntry(app="raytrace")
+    assert matches(template, TaskEntry("raytrace", 5, "p"))
+    assert not matches(template, TaskEntry("options", 5, "p"))
+
+
+def test_multiple_fields_all_must_match():
+    template = TaskEntry(app="a", task_id=3)
+    assert matches(template, TaskEntry("a", 3, "z"))
+    assert not matches(template, TaskEntry("a", 4, "z"))
+    assert not matches(template, TaskEntry("b", 3, "z"))
+
+
+def test_class_mismatch_never_matches():
+    assert not matches(TaskEntry(), ResultEntry("a", 1, 0))
+
+
+def test_subclass_matches_superclass_template():
+    template = TaskEntry(app="a")
+    assert matches(template, PriorityTask("a", 1, "p", priority=9))
+
+
+def test_superclass_does_not_match_subclass_template():
+    template = PriorityTask(app="a")
+    assert not matches(template, TaskEntry("a", 1, "p"))
+
+
+def test_subclass_template_field_matching():
+    template = PriorityTask(priority=2)
+    assert matches(template, PriorityTask("a", 1, "p", priority=2))
+    assert not matches(template, PriorityTask("a", 1, "p", priority=3))
+
+
+def test_template_matches_exact_copy():
+    entry = TaskEntry("app", 42, {"data": [1, 2]})
+    copy = TaskEntry("app", 42, {"data": [1, 2]})
+    assert matches(entry, copy)
+
+
+def test_entry_fields_excludes_private():
+    entry = TaskEntry("a", 1, "p")
+    entry._secret = "hidden"
+    fields = entry_fields(entry)
+    assert "_secret" not in fields
+    assert set(fields) == {"app", "task_id", "payload"}
+
+
+def test_private_fields_do_not_participate_in_matching():
+    template = TaskEntry(app="a")
+    template._secret = "x"
+    candidate = TaskEntry("a", 1, "p")
+    assert matches(template, candidate)
+
+
+def test_numpy_payload_equality():
+    a = TaskEntry("a", 1, np.array([1.0, 2.0]))
+    b = TaskEntry("a", 1, np.array([1.0, 2.0]))
+    assert matches(a, b)
+    c = TaskEntry("a", 1, np.array([1.0, 3.0]))
+    assert not matches(a, c)
+
+
+def test_values_equal_handles_mixed_types():
+    assert values_equal(1, 1.0)
+    assert not values_equal(np.array([1]), np.array([1, 2]))
+    assert values_equal("x", "x")
+    assert not values_equal("x", 0)

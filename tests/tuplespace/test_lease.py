@@ -1,0 +1,121 @@
+"""Lease semantics (unit + property tests)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LeaseError
+from repro.tuplespace import FOREVER, Lease
+from repro.runtime import SimulatedRuntime
+from tests.conftest import run_in_sim
+
+
+def test_forever_lease_never_expires(rt):
+    lease = Lease(rt, FOREVER)
+
+    def proc():
+        rt.sleep(1_000_000.0)
+        return lease.is_expired(), lease.remaining_ms()
+
+    expired, remaining = run_in_sim(rt, proc)
+    assert not expired
+    assert math.isinf(remaining)
+
+
+def test_finite_lease_expires_exactly(rt):
+    lease = Lease(rt, 100.0)
+
+    def proc():
+        rt.sleep(99.9)
+        before = lease.is_expired()
+        rt.sleep(0.2)
+        return before, lease.is_expired()
+
+    assert run_in_sim(rt, proc) == (False, True)
+
+
+def test_remaining_counts_down(rt):
+    lease = Lease(rt, 100.0)
+
+    def proc():
+        rt.sleep(30.0)
+        return lease.remaining_ms()
+
+    assert run_in_sim(rt, proc) == pytest.approx(70.0)
+
+
+def test_negative_duration_rejected(rt):
+    with pytest.raises(LeaseError):
+        Lease(rt, -1.0)
+
+
+def test_renew_extends_from_now(rt):
+    lease = Lease(rt, 100.0)
+
+    def proc():
+        rt.sleep(90.0)
+        lease.renew(100.0)
+        rt.sleep(90.0)   # t=180 < 190
+        alive = not lease.is_expired()
+        rt.sleep(20.0)   # t=200 > 190
+        return alive, lease.is_expired()
+
+    assert run_in_sim(rt, proc) == (True, True)
+
+
+def test_renew_to_forever(rt):
+    lease = Lease(rt, 100.0)
+    lease.renew(FOREVER)
+
+    def proc():
+        rt.sleep(10_000.0)
+        return lease.is_expired()
+
+    assert run_in_sim(rt, proc) is False
+
+
+def test_renew_after_expiry_rejected(rt):
+    lease = Lease(rt, 50.0)
+
+    def proc():
+        rt.sleep(60.0)
+        with pytest.raises(LeaseError):
+            lease.renew(100.0)
+        return True
+
+    assert run_in_sim(rt, proc)
+
+
+def test_cancel_fires_callback_once(rt):
+    calls = []
+    lease = Lease(rt, FOREVER, on_cancel=lambda: calls.append(1))
+    lease.cancel()
+    lease.cancel()
+    assert calls == [1]
+    assert lease.is_expired()
+    assert lease.remaining_ms() == 0.0
+
+
+@given(duration=st.floats(1.0, 10_000.0), checkpoint=st.floats(0.0, 1.0))
+def test_expiry_boundary_property(duration, checkpoint):
+    """A lease is alive strictly before its expiry and dead at/after it."""
+    runtime = SimulatedRuntime()
+    try:
+        lease = Lease(runtime, duration)
+
+        def proc():
+            runtime.sleep(duration * checkpoint * 0.999)
+            alive = not lease.is_expired()
+            runtime.sleep(duration * 1.01)
+            return alive, lease.is_expired()
+
+        handle = runtime.kernel.spawn(proc, name="p")
+        runtime.kernel.run()
+        alive_before, dead_after = handle.result
+        assert alive_before
+        assert dead_after
+    finally:
+        runtime.shutdown()

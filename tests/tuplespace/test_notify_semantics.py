@@ -1,0 +1,138 @@
+"""Deeper notify semantics: sequences, multiple registrations, isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tuplespace import JavaSpace, TransactionManager
+from tests.conftest import run_in_sim
+from tests.tuplespace.entries import ResultEntry, TaskEntry
+
+
+@pytest.fixture()
+def space(rt):
+    return JavaSpace(rt)
+
+
+def test_sequence_numbers_monotonic_per_registration(rt, space):
+    events = []
+
+    def proc():
+        space.notify(TaskEntry(), events.append)
+        for i in range(5):
+            space.write(TaskEntry("a", i, None))
+        rt.sleep(1.0)
+        return [e.sequence for e in events]
+
+    assert run_in_sim(rt, proc) == [1, 2, 3, 4, 5]
+
+
+def test_independent_registrations_have_independent_sequences(rt, space):
+    a_events, b_events = [], []
+
+    def proc():
+        space.notify(TaskEntry(app="a"), a_events.append)
+        space.notify(TaskEntry(app="b"), b_events.append)
+        space.write(TaskEntry("a", 1, None))
+        space.write(TaskEntry("b", 1, None))
+        space.write(TaskEntry("b", 2, None))
+        rt.sleep(1.0)
+
+    run_in_sim(rt, proc)
+    assert [e.sequence for e in a_events] == [1]
+    assert [e.sequence for e in b_events] == [1, 2]
+
+
+def test_registration_ids_distinguish_sources(rt, space):
+    events = []
+
+    def proc():
+        reg_a = space.notify(TaskEntry(app="a"), events.append)
+        reg_b = space.notify(TaskEntry(app="b"), events.append)
+        space.write(TaskEntry("a", 1, None))
+        space.write(TaskEntry("b", 1, None))
+        rt.sleep(1.0)
+        return reg_a.registration_id, reg_b.registration_id
+
+    id_a, id_b = run_in_sim(rt, proc)
+    assert id_a != id_b
+    assert {e.registration_id for e in events} == {id_a, id_b}
+
+
+def test_listener_exception_does_not_break_space(rt, space):
+    """A broken listener must not poison writes or other listeners."""
+    good_events = []
+
+    def bad_listener(event):
+        raise RuntimeError("listener bug")
+
+    def proc():
+        space.notify(TaskEntry(), bad_listener)
+        space.notify(TaskEntry(), good_events.append)
+        space.write(TaskEntry("a", 1, None))
+        rt.sleep(1.0)
+        # The space still works afterwards.
+        return space.take(TaskEntry(), timeout_ms=0.0) is not None
+
+    # The bad listener's error surfaces as a kernel-event failure only if
+    # unhandled; the space must isolate it.
+    assert run_in_sim(rt, proc) is True
+    assert len(good_events) == 1
+
+
+def test_take_does_not_fire_notify(rt, space):
+    events = []
+
+    def proc():
+        space.write(TaskEntry("a", 1, None))
+        space.notify(TaskEntry(), events.append)
+        space.take(TaskEntry(), timeout_ms=0.0)
+        rt.sleep(1.0)
+        return len(events)
+
+    assert run_in_sim(rt, proc) == 0
+
+
+def test_aborted_write_never_notifies(rt, space):
+    events = []
+    txns = TransactionManager(rt)
+
+    def proc():
+        space.notify(TaskEntry(), events.append)
+        txn = txns.create()
+        space.write(TaskEntry("a", 1, None), txn=txn)
+        txn.abort()
+        rt.sleep(1.0)
+        return len(events)
+
+    assert run_in_sim(rt, proc) == 0
+
+
+def test_restored_take_does_not_renotify(rt, space):
+    """An aborted take restores visibility but is not a new write."""
+    events = []
+    txns = TransactionManager(rt)
+
+    def proc():
+        space.write(TaskEntry("a", 1, None))  # fires once (no listener yet)
+        space.notify(TaskEntry(), events.append)
+        txn = txns.create()
+        space.take(TaskEntry(), txn=txn, timeout_ms=0.0)
+        txn.abort()
+        rt.sleep(1.0)
+        return len(events)
+
+    assert run_in_sim(rt, proc) == 0
+
+
+def test_notify_on_class_not_subclass_of_template(rt, space):
+    events = []
+
+    def proc():
+        space.notify(ResultEntry(), events.append)
+        space.write(TaskEntry("a", 1, None))   # different class: no event
+        space.write(ResultEntry("a", 1, 0))
+        rt.sleep(1.0)
+        return len(events)
+
+    assert run_in_sim(rt, proc) == 1

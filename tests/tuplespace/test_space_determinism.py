@@ -1,0 +1,78 @@
+"""Determinism property: identical op sequences → identical space behaviour."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import SimulatedRuntime
+from repro.tuplespace import JavaSpace
+from tests.tuplespace.entries import TaskEntry
+
+# An op sequence: write(app, id) | take(app or wildcard)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.sampled_from("abc"), st.integers(0, 9)),
+        st.tuples(st.just("take"), st.one_of(st.none(), st.sampled_from("abc"))),
+    ),
+    max_size=25,
+)
+
+
+def run_ops(op_list):
+    runtime = SimulatedRuntime()
+    try:
+        space = JavaSpace(runtime)
+        log = []
+
+        def body():
+            for op in op_list:
+                if op[0] == "write":
+                    _, app, task_id = op
+                    space.write(TaskEntry(app, task_id, None))
+                    log.append(("wrote", app, task_id))
+                else:
+                    _, app = op
+                    taken = space.take(TaskEntry(app=app), timeout_ms=0.0)
+                    log.append(
+                        ("took", app, taken.app, taken.task_id)
+                        if taken else ("miss", app)
+                    )
+
+        proc = runtime.kernel.spawn(body, name="ops")
+        runtime.kernel.run_until_idle()
+        assert proc.finished
+        return log
+    finally:
+        runtime.shutdown()
+
+
+@settings(max_examples=40, deadline=None)
+@given(op_list=ops)
+def test_identical_op_sequences_produce_identical_logs(op_list):
+    assert run_ops(op_list) == run_ops(op_list)
+
+
+@settings(max_examples=40, deadline=None)
+@given(op_list=ops)
+def test_takes_follow_fifo_per_matching_set(op_list):
+    """Every take returns the oldest still-present matching entry, and a
+    miss really means no matching entry was present."""
+    log = run_ops(op_list)
+    present: list[tuple[str, int]] = []  # (app, task_id), insertion order
+    for event in log:
+        if event[0] == "wrote":
+            present.append((event[1], event[2]))
+        elif event[0] == "took":
+            template_app, taken_app, task_id = event[1], event[2], event[3]
+            candidates = [
+                e for e in present
+                if template_app is None or e[0] == template_app
+            ]
+            assert candidates, "take returned an entry that wasn't present"
+            assert candidates[0] == (taken_app, task_id)  # FIFO
+            present.remove((taken_app, task_id))
+        else:  # miss
+            template_app = event[1]
+            assert not any(
+                template_app is None or e[0] == template_app for e in present
+            )

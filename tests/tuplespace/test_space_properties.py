@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) on tuple-space invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import SimulatedRuntime
+from repro.tuplespace import JavaSpace, TransactionManager, matches
+from tests.tuplespace.entries import TaskEntry
+
+# Small payload universe keeps shrinking effective.
+payloads = st.one_of(
+    st.none(),
+    st.integers(-5, 5),
+    st.text(alphabet="abc", max_size=3),
+    st.lists(st.integers(0, 3), max_size=3),
+)
+apps = st.sampled_from(["alpha", "beta", "gamma"])
+entries = st.builds(TaskEntry, app=apps, task_id=st.integers(0, 9), payload=payloads)
+maybe = lambda s: st.one_of(st.none(), s)  # noqa: E731
+templates = st.builds(
+    TaskEntry, app=maybe(apps), task_id=maybe(st.integers(0, 9)), payload=st.none()
+)
+
+
+@given(entry=entries)
+def test_entry_matches_its_own_copy(entry):
+    clone = TaskEntry(entry.app, entry.task_id, entry.payload)
+    assert matches(entry, clone)
+
+
+@given(entry=entries, template=templates)
+def test_match_iff_fieldwise_consistent(entry, template):
+    expected = all(
+        getattr(template, f) is None or getattr(template, f) == getattr(entry, f)
+        for f in ("app", "task_id", "payload")
+    )
+    assert matches(template, entry) == expected
+
+
+def _with_space(fn):
+    """Run ``fn(rt, space)`` inside a fresh simulated process."""
+    runtime = SimulatedRuntime()
+    try:
+        space = JavaSpace(runtime)
+        proc = runtime.kernel.spawn(lambda: fn(runtime, space), name="prop")
+        runtime.kernel.run()
+        return proc.result
+    finally:
+        runtime.shutdown()
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=st.lists(entries, min_size=1, max_size=12), template=templates)
+def test_conservation_takes_plus_remaining_equals_written(batch, template):
+    def body(rt, space):
+        for entry in batch:
+            space.write(entry)
+        taken = []
+        while True:
+            got = space.take(template, timeout_ms=0.0)
+            if got is None:
+                break
+            taken.append(got)
+        remaining = space.count(TaskEntry())
+        return len(taken), remaining
+
+    n_taken, remaining = _with_space(body)
+    expected_taken = sum(1 for e in batch if matches(template, e))
+    assert n_taken == expected_taken
+    assert remaining == len(batch) - expected_taken
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=st.lists(entries, min_size=1, max_size=10))
+def test_take_returns_entries_matching_template(batch):
+    template = TaskEntry(app="alpha")
+
+    def body(rt, space):
+        for entry in batch:
+            space.write(entry)
+        out = []
+        while True:
+            got = space.take(template, timeout_ms=0.0)
+            if got is None:
+                return out
+            out.append(got)
+
+    for entry in _with_space(body):
+        assert entry.app == "alpha"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batch=st.lists(entries, min_size=1, max_size=8),
+    commit=st.booleans(),
+)
+def test_transaction_all_or_nothing(batch, commit):
+    def body(rt, space):
+        txns = TransactionManager(rt)
+        txn = txns.create()
+        for entry in batch:
+            space.write(entry, txn=txn)
+        if commit:
+            txn.commit()
+        else:
+            txn.abort()
+        return space.count(TaskEntry())
+
+    visible = _with_space(body)
+    assert visible == (len(batch) if commit else 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batch=st.lists(entries, min_size=1, max_size=8),
+    n_abort=st.integers(0, 8),
+)
+def test_aborted_takes_restore_everything(batch, n_abort):
+    def body(rt, space):
+        txns = TransactionManager(rt)
+        for entry in batch:
+            space.write(entry)
+        txn = txns.create()
+        for _ in range(min(n_abort, len(batch))):
+            space.take(TaskEntry(), txn=txn, timeout_ms=0.0)
+        txn.abort()
+        return space.count(TaskEntry())
+
+    assert _with_space(body) == len(batch)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lease_short=st.floats(1.0, 50.0),
+    lease_long=st.floats(200.0, 400.0),
+    wait=st.floats(60.0, 150.0),
+)
+def test_lease_expiry_is_a_watertight_boundary(lease_short, lease_long, wait):
+    def body(rt, space):
+        space.write(TaskEntry("short", 1, None), lease_ms=lease_short)
+        space.write(TaskEntry("long", 2, None), lease_ms=lease_long)
+        rt.sleep(wait)  # lease_short < wait < lease_long
+        return (
+            space.read(TaskEntry(app="short"), timeout_ms=0.0),
+            space.read(TaskEntry(app="long"), timeout_ms=0.0),
+        )
+
+    short, long_ = _with_space(body)
+    assert short is None
+    assert long_ is not None

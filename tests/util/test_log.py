@@ -1,0 +1,65 @@
+"""Logging wiring tests."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.util.log import configure, get_logger
+
+
+def test_loggers_namespaced_under_repro():
+    assert get_logger("worker").name == "repro.worker"
+    assert get_logger("netmgmt").name == "repro.netmgmt"
+
+
+def test_configure_is_idempotent():
+    root = logging.getLogger("repro")
+    before = list(root.handlers)
+    try:
+        configure(force=True)
+        once = len(root.handlers)
+        configure()
+        assert len(root.handlers) == once
+    finally:
+        root.handlers = before
+
+
+def test_configured_stream_receives_component_logs():
+    stream = io.StringIO()
+    root = logging.getLogger("repro")
+    before = list(root.handlers)
+    try:
+        configure(level=logging.INFO, stream=stream, force=True)
+        get_logger("worker").info("hello from %s", "w1")
+        assert "repro.worker" in stream.getvalue()
+        assert "hello from w1" in stream.getvalue()
+    finally:
+        root.handlers = before
+
+
+def test_framework_signals_logged(rt, caplog):
+    from repro.core import AdaptiveClusterFramework
+    from repro.node import testbed_small
+    from tests.core.toyapp import SumOfSquares
+
+    cluster = testbed_small(rt, workers=1)
+    framework = AdaptiveClusterFramework(rt, cluster, SumOfSquares(n=2))
+
+    with caplog.at_level(logging.INFO, logger="repro"):
+        def experiment():
+            framework.start()
+            framework.run()
+            framework.shutdown()
+
+        proc = rt.kernel.spawn(experiment, name="experiment")
+        rt.kernel.run_until_idle()
+        if proc.error is not None:
+            raise proc.error
+
+    messages = [r.message for r in caplog.records]
+    assert any("-> Signal.START" in m or "start" in m.lower() for m in messages)
+    assert any("stopped --" in m or "--start-->" in m.replace(" ", "")
+               or "running" in m for m in messages)

@@ -1,0 +1,65 @@
+"""Utility module tests: ids, serialization."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import EntryError
+from repro.util import IdGenerator, check_serializable, serialized_size, uuid_hex
+from repro.util.serialization import deserialize, serialize
+
+
+def test_id_generator_monotonic_and_prefixed():
+    gen = IdGenerator("task")
+    assert gen.next() == "task-1"
+    assert gen.next() == "task-2"
+    assert gen.next_int() == 3
+
+
+def test_id_generator_thread_safe():
+    gen = IdGenerator()
+    seen: list[str] = []
+
+    def grab():
+        for _ in range(200):
+            seen.append(gen.next())
+
+    threads = [threading.Thread(target=grab) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(seen) == len(set(seen)) == 800
+
+
+def test_uuid_hex_unique():
+    assert uuid_hex() != uuid_hex()
+    assert len(uuid_hex()) == 32
+
+
+def test_serialize_round_trip():
+    payload = {"a": [1, 2, 3], "b": np.arange(4)}
+    out = deserialize(serialize(payload))
+    assert out["a"] == [1, 2, 3]
+    assert np.array_equal(out["b"], np.arange(4))
+
+
+def test_serialized_size_grows_with_content():
+    small = serialized_size([0])
+    large = serialized_size(list(range(1000)))
+    assert large > small
+
+
+def test_unserializable_raises_entry_error():
+    with pytest.raises(EntryError, match="not serializable"):
+        check_serializable(lambda: None)
+    with pytest.raises(EntryError):
+        serialize(threading.Lock())
+
+
+def test_deserialize_garbage_raises():
+    with pytest.raises(EntryError):
+        deserialize(b"not a pickle")
