@@ -106,6 +106,50 @@ def test_micro_kernel_event_rate(benchmark):
     benchmark.pedantic(burst, rounds=3, iterations=1)
 
 
+def test_micro_contention_write_take(benchmark):
+    """One writer feeding 16 takers parked on distinct templates.
+
+    The interesting metric (asserted, not just timed): targeted wait
+    queues wake only the taker whose template matches, so wakeups stay
+    O(writes) instead of O(writes * takers) as under a global notify_all.
+    """
+    n_takers = 16
+    writes_per_taker = 20
+
+    def contended_round():
+        runtime = SimulatedRuntime()
+        space = JavaSpace(runtime)
+        taken = []
+
+        def taker(t):
+            template = TaskEntry(app=f"app{t}")
+            for _ in range(writes_per_taker):
+                got = space.take(template, timeout_ms=100_000.0)
+                assert got is not None
+                taken.append(got.task_id)
+
+        def writer():
+            runtime.sleep(10.0)  # all takers parked
+            for i in range(writes_per_taker):
+                for t in range(n_takers):
+                    space.write(TaskEntry(f"app{t}", i, None))
+
+        def root():
+            for t in range(n_takers):
+                runtime.spawn(lambda t=t: taker(t), name=f"taker{t}")
+            runtime.spawn(writer, name="writer")
+
+        runtime.kernel.spawn(root, name="root")
+        runtime.kernel.run_until_idle()
+        assert len(taken) == n_takers * writes_per_taker
+        # Each write wakes exactly the one matching waiter.
+        wakeups_per_write = space.stats["wakeups"] / (n_takers * writes_per_taker)
+        assert wakeups_per_write <= 1.0 + 1e-9
+        runtime.shutdown()
+
+    benchmark.pedantic(contended_round, rounds=3, iterations=1)
+
+
 def test_micro_process_handoff_rate(benchmark):
     """Thread-backed process context switches per second."""
 

@@ -1,0 +1,249 @@
+"""Run the substrate microbenchmarks and record BENCH_micro.json.
+
+This is the perf-trajectory harness: it times the same workloads as
+``bench_micro_substrates.py`` (space write+take, template selectivity,
+kernel event rate, process handoff rate, and the blocked-taker contention
+workload) without the pytest-benchmark machinery, so it can run anywhere —
+CI smoke jobs, pre/post comparisons, bisection scripts.
+
+Output schema (``BENCH_micro.json``)::
+
+    {
+      "schema": 1,
+      "baseline": {<metric>: <ops/s>, ...},   # first ever recording, kept
+      "current":  {<metric>: <ops/s>, ...},   # overwritten on every run
+      "speedup":  {<metric>: current/baseline, ...}
+    }
+
+The ``baseline`` section is preserved across runs (it is seeded from the
+first recording and only replaced with ``--rebaseline``), so the JSON
+always answers "how much faster than when we started measuring?".
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_micro.py [--rounds N] [--smoke]
+        [--rebaseline] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.runtime import SimulatedRuntime
+from repro.sim import SimKernel
+from repro.tuplespace import JavaSpace
+from tests.tuplespace.entries import TaskEntry
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_micro.json"
+
+
+def _time(fn: Callable[[], int], rounds: int) -> float:
+    """Best-of-``rounds`` ops/second for ``fn`` (returns its op count)."""
+    best = 0.0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            best = max(best, ops / elapsed)
+    return best
+
+
+# ---------------------------------------------------------------- workloads --
+
+def space_write_take(n: int = 2000) -> int:
+    """Write+take cycles through the space (in-process, no network)."""
+    runtime = SimulatedRuntime()
+    space = JavaSpace(runtime)
+
+    def body():
+        for i in range(n):
+            space.write(TaskEntry("bench", i, i))
+        for _ in range(n):
+            space.take(TaskEntry(), timeout_ms=0.0)
+
+    proc = runtime.kernel.spawn(body, name="bench")
+    runtime.kernel.run_until_idle()
+    assert proc.finished and proc.error is None
+    runtime.shutdown()
+    return 2 * n
+
+
+def space_selectivity(n: int = 1000, takes: int = 100) -> int:
+    """Selective takes against an ``n``-entry store."""
+    runtime = SimulatedRuntime()
+    space = JavaSpace(runtime)
+
+    def body():
+        for i in range(n):
+            space.write(TaskEntry(f"app{i % 10}", i, None))
+        for _ in range(takes):
+            assert space.take(TaskEntry(app="app7"), timeout_ms=0.0) is not None
+
+    proc = runtime.kernel.spawn(body, name="bench")
+    runtime.kernel.run_until_idle()
+    assert proc.finished and proc.error is None
+    runtime.shutdown()
+    return n + takes
+
+
+def kernel_event_rate(n: int = 20000) -> int:
+    """Pure event-loop throughput (no process handoffs)."""
+    kernel = SimKernel()
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+
+    for i in range(n):
+        kernel.call_later(float(i % 97), tick)
+    kernel.run()
+    assert counter["n"] == n
+    kernel.shutdown()
+    return n
+
+
+def process_handoff_rate(n: int = 2000) -> int:
+    """Thread-backed process context switches."""
+    kernel = SimKernel()
+
+    def proc():
+        for _ in range(n):
+            kernel.sleep(1.0)
+
+    kernel.spawn(proc, name="pinger")
+    kernel.run()
+    kernel.shutdown()
+    return n
+
+
+def contention_write_take(writes: int = 500, takers: int = 16) -> int:
+    """1 writer, ``takers`` blocked takers on distinct templates.
+
+    Only one taker's template matches the written entries; a scalable
+    space wakes just that taker per write, not the whole herd.
+    """
+    runtime = SimulatedRuntime()
+    space = JavaSpace(runtime)
+    taken = []
+
+    def taker(app: str):
+        while True:
+            entry = space.take(TaskEntry(app=app), timeout_ms=5000.0)
+            if entry is None:
+                return
+            taken.append(entry.task_id)
+
+    def writer():
+        for i in range(writes):
+            space.write(TaskEntry("app0", i, None))
+            runtime.sleep(1.0)
+
+    for t in range(takers):
+        runtime.spawn(lambda t=t: taker(f"app{t}"), name=f"taker{t}")
+    runtime.spawn(writer, name="writer")
+    runtime.kernel.run_until_idle()
+    assert len(taken) == writes
+    runtime.shutdown()
+    return writes
+
+
+def contention_wakeups_per_write(writes: int = 200, takers: int = 16) -> float:
+    """Condition wakeups issued per write under the contention workload.
+
+    Pre-overhaul (``notify_all``) this is ~``takers``; with per-template
+    wait queues it is ~1.  Reported directly (not ops/s).  Returns 0 when
+    the space does not expose a wakeup counter (pre-overhaul builds).
+    """
+    runtime = SimulatedRuntime()
+    space = JavaSpace(runtime)
+
+    def taker(app: str):
+        while space.take(TaskEntry(app=app), timeout_ms=2000.0) is not None:
+            pass
+
+    def writer():
+        for i in range(writes):
+            space.write(TaskEntry("app0", i, None))
+            runtime.sleep(1.0)
+
+    for t in range(takers):
+        runtime.spawn(lambda t=t: taker(f"app{t}"), name=f"taker{t}")
+    runtime.spawn(writer, name="writer")
+    runtime.kernel.run_until_idle()
+    wakeups = space.stats.get("wakeups", 0)
+    runtime.shutdown()
+    return wakeups / writes
+
+
+# -------------------------------------------------------------------- driver --
+
+def run(rounds: int, smoke: bool) -> dict[str, float]:
+    scale = 10 if smoke else 1
+    results = {
+        "space_write_take_ops_per_s": _time(
+            lambda: space_write_take(2000 // scale), rounds),
+        "space_selectivity_ops_per_s": _time(
+            lambda: space_selectivity(1000 // scale, 100 // scale), rounds),
+        "kernel_events_per_s": _time(
+            lambda: kernel_event_rate(20000 // scale), rounds),
+        "process_handoffs_per_s": _time(
+            lambda: process_handoff_rate(2000 // scale), rounds),
+        "contention_write_take_ops_per_s": _time(
+            lambda: contention_write_take(500 // scale), rounds),
+        "contention_wakeups_per_write": contention_wakeups_per_write(
+            200 // scale),
+    }
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="take the best of N rounds per workload")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads; checks the harness, not perf")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="replace the stored baseline with this run")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    if args.rounds < 1:
+        parser.error(f"--rounds must be >= 1 (got {args.rounds})")
+
+    current = run(args.rounds, args.smoke)
+
+    doc: dict = {"schema": 1}
+    if args.output.exists():
+        try:
+            doc = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            pass
+    baseline = doc.get("baseline")
+    if baseline is None or args.rebaseline:
+        baseline = dict(current)
+
+    speedup = {
+        k: round(current[k] / baseline[k], 3)
+        for k in current
+        if k in baseline and baseline[k] and k.endswith("_per_s")
+    }
+    doc.update({"schema": 1, "baseline": baseline, "current": current,
+                "speedup": speedup})
+    if not args.smoke:
+        args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    for key in sorted(current):
+        extra = f"  ({speedup[key]}x vs baseline)" if key in speedup else ""
+        print(f"{key:>36}: {current[key]:>14.1f}{extra}")
+    if args.smoke:
+        print("smoke run: harness OK, BENCH_micro.json left untouched")
+    else:
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ events.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from repro.errors import SimulationError
@@ -87,7 +88,7 @@ class SimCondition:
     def __init__(self, kernel: SimKernel, lock: Optional[SimLock] = None) -> None:
         self._kernel = kernel
         self._lock = lock if lock is not None else SimLock(kernel)
-        self._waiters: list[_Waiter] = []
+        self._waiters: deque[_Waiter] = deque()
 
     # Delegate the lock protocol so ``with cond:`` works.
     def acquire(self) -> bool:
@@ -139,7 +140,7 @@ class SimCondition:
         kernel = self._kernel
         woken = 0
         while self._waiters and woken < n:
-            waiter = self._waiters.pop(0)
+            waiter = self._waiters.popleft()
             if waiter.woken:
                 continue
             waiter.woken = True

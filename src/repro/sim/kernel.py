@@ -11,6 +11,16 @@ at explicit blocking points, code between blocking points is atomic with
 respect to other simulated processes — no data races, deterministic
 schedules.
 
+The scheduler is a calendar queue: a min-heap of *distinct* timestamps plus
+a FIFO deque per timestamp.  Simulated workloads reuse timestamps heavily
+(quantized network latencies, fixed-period sleeps), so the O(log n) heap
+operation is paid once per distinct time while every individual event is an
+O(1) deque append/popleft.  FIFO bucket order reproduces exactly the old
+``(time, seq)`` total order, so schedules stay deterministic.  Process
+failures are reported through an O(1) flag (``_failed``) set by the failing
+process itself, so the per-event fail-fast check never walks the process
+table.
+
 Time is measured in **milliseconds** of virtual time (matching the paper's
 plots).
 
@@ -25,8 +35,8 @@ a context manager) so pytest never leaks threads.
 from __future__ import annotations
 
 import heapq
-import itertools
 import threading
+from collections import deque
 import traceback
 from typing import Any, Callable, Optional
 
@@ -35,35 +45,22 @@ from repro.errors import DeadlockError, SimKilled, SimulationError
 __all__ = ["SimKernel", "SimProcess"]
 
 
-class _Event:
-    """Heap entry: fire ``action`` at virtual time ``time``."""
+class EventHandle:
+    """Queue payload and cancellation handle for one scheduled action.
 
-    __slots__ = ("time", "seq", "action", "cancelled")
+    Ordering lives in the calendar queue (time bucket + FIFO position), so
+    this object is never compared — which keeps it a single allocation per
+    ``call_later`` (the scheduler's hottest constructor).
+    """
 
-    def __init__(self, time: float, seq: int, action: Callable[[], None]) -> None:
-        self.time = time
-        self.seq = seq
+    __slots__ = ("action", "cancelled")
+
+    def __init__(self, action: Callable[[], None]) -> None:
         self.action = action
         self.cancelled = False
 
-    def __lt__(self, other: "_Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-
-class EventHandle:
-    """Returned by :meth:`SimKernel.call_later`; allows cancellation."""
-
-    __slots__ = ("_event",)
-
-    def __init__(self, event: _Event) -> None:
-        self._event = event
-
     def cancel(self) -> None:
-        self._event.cancelled = True
-
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
+        self.cancelled = True
 
 
 class SimProcess:
@@ -81,6 +78,7 @@ class SimProcess:
         self.killed = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
+        self.error_tb: str = ""
         self._fn = fn
         self._resume = threading.Event()
         self._yielded = threading.Event()
@@ -104,6 +102,7 @@ class SimProcess:
         except BaseException as exc:  # noqa: BLE001 - recorded and re-raised by run()
             self.error = exc
             self.error_tb = traceback.format_exc()
+            self.kernel._failed.append(self)
         finally:
             self.finished = True
             self.kernel._current = None
@@ -135,11 +134,14 @@ class SimKernel:
     """Deterministic discrete-event kernel with thread-backed processes."""
 
     def __init__(self) -> None:
-        self._heap: list[_Event] = []
-        self._seq = itertools.count()
+        # Calendar queue: min-heap of distinct times + FIFO bucket per time.
+        # A time is in ``_times`` iff its bucket exists in ``_buckets``.
+        self._times: list[float] = []
+        self._buckets: dict[float, deque[EventHandle]] = {}
         self._now = 0.0
         self._current: Optional[SimProcess] = None
         self.processes: list[SimProcess] = []
+        self._failed: list[SimProcess] = []  # set by the failing process
         self._running = False
         self._shutdown = False
 
@@ -163,9 +165,14 @@ class SimKernel:
         """Schedule ``action`` to run on the kernel thread after ``delay_ms``."""
         if delay_ms < 0:
             raise SimulationError(f"negative delay: {delay_ms}")
-        event = _Event(self._now + delay_ms, next(self._seq), action)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        handle = EventHandle(action)
+        time_ms = self._now + delay_ms
+        bucket = self._buckets.get(time_ms)
+        if bucket is None:
+            self._buckets[time_ms] = bucket = deque()
+            heapq.heappush(self._times, time_ms)
+        bucket.append(handle)
+        return handle
 
     def spawn(self, fn: Callable[[], Any], name: str = "proc") -> SimProcess:
         """Create a process; it starts at the current virtual time."""
@@ -202,35 +209,45 @@ class SimKernel:
     # -- main loop --------------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
-        """Process events in order until the heap drains or ``until`` is passed.
+        """Process events in order until the queue drains or ``until`` is passed.
 
         Returns the virtual time at exit.  Raises the first error recorded
         by any process (fail fast), and :class:`DeadlockError` if processes
-        remain blocked with an empty heap — unless the kernel was shut down.
+        remain blocked with an empty queue — unless the kernel was shut down.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
         try:
+            times = self._times
+            buckets = self._buckets
+            pop_time = heapq.heappop
+            failed = self._failed
             events = 0
-            while self._heap:
-                event = heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
-                if until is not None and event.time > until:
-                    heapq.heappush(self._heap, event)
-                    self._now = until
+            while times:
+                time_ms = times[0]
+                if until is not None and time_ms > until:
                     break
-                events += 1
-                if events > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
-                self._now = event.time
-                event.action()
-                self._raise_process_error()
-            else:
-                if until is not None:
-                    self._now = max(self._now, until)
-            if not self._heap and not self._shutdown:
+                # Actions may append same-time events mid-drain; the inner
+                # loop picks them up in FIFO order.  Later times open new
+                # buckets, so this bucket stays the queue minimum until dry.
+                bucket = buckets[time_ms]
+                self._now = time_ms
+                while bucket:
+                    event = bucket.popleft()
+                    if event.cancelled:
+                        continue
+                    events += 1
+                    if events > max_events:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    event.action()
+                    if failed:
+                        self._raise_process_error()
+                pop_time(times)
+                del buckets[time_ms]
+            if until is not None:
+                self._now = max(self._now, until)
+            if not times and not self._shutdown:
                 blocked = [p.name for p in self.processes if not p.finished]
                 if blocked and until is None:
                     raise DeadlockError(
@@ -240,29 +257,45 @@ class SimKernel:
         finally:
             self._running = False
 
-    def run_until_idle(self) -> float:
+    def run_until_idle(self, max_events: int = 50_000_000) -> float:
         """Run until no events remain, tolerating still-blocked processes.
 
         Useful for experiments whose server loops wait forever by design.
+        ``max_events`` guards against runaway event storms, as in ``run``.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.action()
-            self._raise_process_error()
+        times = self._times
+        buckets = self._buckets
+        pop_time = heapq.heappop
+        failed = self._failed
+        events = 0
+        while times:
+            time_ms = times[0]
+            bucket = buckets[time_ms]
+            self._now = time_ms
+            while bucket:
+                event = bucket.popleft()
+                if event.cancelled:
+                    continue
+                events += 1
+                if events > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                event.action()
+                if failed:
+                    self._raise_process_error()
+            pop_time(times)
+            del buckets[time_ms]
         return self._now
 
     def _raise_process_error(self) -> None:
-        for proc in self.processes:
-            if proc.error is not None:
-                err = proc.error
-                proc.error = None
-                tb = getattr(proc, "error_tb", "")
-                raise SimulationError(
-                    f"process {proc.name!r} failed: {err!r}\n{tb}"
-                ) from err
+        while self._failed:
+            proc = self._failed.pop(0)
+            if proc.error is None:
+                continue
+            err = proc.error
+            proc.error = None
+            raise SimulationError(
+                f"process {proc.name!r} failed: {err!r}\n{proc.error_tb}"
+            ) from err
 
     # -- teardown ----------------------------------------------------------------
 
@@ -275,4 +308,5 @@ class SimKernel:
                 proc._resume_and_wait()
         for proc in self.processes:
             proc.join_native()
-        self._heap.clear()
+        self._times.clear()
+        self._buckets.clear()

@@ -4,6 +4,13 @@ JavaSpaces semantics: a template ``T`` matches a candidate entry ``E`` iff
 ``E`` is of ``T``'s class or a subclass, and every non-``None`` public
 field of ``T`` equals the corresponding field of ``E``.  ``None`` fields
 are wildcards.
+
+Matching is the innermost loop of every space operation, so this module
+avoids building a dict per candidate: ``matches`` walks ``vars()``
+directly, and ``match_items``/``matches_fields`` let the space hoist the
+template's non-``None`` fields out of the candidate loop entirely.
+``entry_fields`` keeps its public dict-returning API but serves the field
+*names* from a per-class cache.
 """
 
 from __future__ import annotations
@@ -12,7 +19,14 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["Entry", "entry_fields", "matches", "values_equal"]
+__all__ = [
+    "Entry",
+    "entry_fields",
+    "match_items",
+    "matches",
+    "matches_fields",
+    "values_equal",
+]
 
 
 class Entry:
@@ -28,9 +42,27 @@ class Entry:
         return f"{type(self).__name__}({fields})"
 
 
+#: cls → (public field names, total attr count when cached).  Instances of
+#: one class almost always share an attribute layout; the count check
+#: detects the rare instance that diverges and falls back to a recompute.
+_FIELDS_CACHE: dict[type, tuple[tuple[str, ...], int]] = {}
+
+
 def entry_fields(entry: Entry) -> dict[str, Any]:
     """Public (matchable) fields of an entry instance."""
-    return {k: v for k, v in vars(entry).items() if not k.startswith("_")}
+    attrs = vars(entry)
+    cls = type(entry)
+    cached = _FIELDS_CACHE.get(cls)
+    if cached is not None:
+        names, total = cached
+        if total == len(attrs):
+            try:
+                return {name: attrs[name] for name in names}
+            except KeyError:
+                pass
+    names = tuple(k for k in attrs if not k.startswith("_"))
+    _FIELDS_CACHE[cls] = (names, len(attrs))
+    return {name: attrs[name] for name in names}
 
 
 def values_equal(a: Any, b: Any) -> bool:
@@ -46,16 +78,44 @@ def values_equal(a: Any, b: Any) -> bool:
         return False
 
 
+def match_items(template: Entry) -> list[tuple[str, Any]]:
+    """The template's non-``None`` public fields as ``(name, value)`` pairs.
+
+    Computing this once per operation (instead of per candidate) is what
+    makes a scan over a large bucket cheap.
+    """
+    return [
+        (name, value)
+        for name, value in vars(template).items()
+        if value is not None and not name.startswith("_")
+    ]
+
+
+def matches_fields(items: list[tuple[str, Any]], candidate: Entry) -> bool:
+    """Field-wise match of precomputed ``match_items`` against a candidate.
+
+    The caller is responsible for the class check (``isinstance`` or an
+    equivalent bucket-level ``issubclass`` test).
+    """
+    candidate_attrs = vars(candidate)
+    for name, value in items:
+        if name not in candidate_attrs:
+            return False
+        if not values_equal(candidate_attrs[name], value):
+            return False
+    return True
+
+
 def matches(template: Entry, candidate: Entry) -> bool:
     """True iff ``template`` matches ``candidate`` under JavaSpaces rules."""
     if not isinstance(candidate, type(template)):
         return False
-    candidate_fields = vars(candidate)
-    for name, value in entry_fields(template).items():
-        if value is None:
+    candidate_attrs = vars(candidate)
+    for name, value in vars(template).items():
+        if value is None or name.startswith("_"):
             continue
-        if name not in candidate_fields:
+        if name not in candidate_attrs:
             return False
-        if not values_equal(candidate_fields[name], value):
+        if not values_equal(candidate_attrs[name], value):
             return False
     return True

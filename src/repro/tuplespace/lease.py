@@ -44,7 +44,12 @@ class Lease:
         self.cancelled = False
 
     def is_expired(self) -> bool:
-        return self.cancelled or self._runtime.now() >= self.expiration_ms
+        if self.cancelled:
+            return True
+        expiration = self.expiration_ms
+        # FOREVER short-circuit: visibility checks run per candidate on the
+        # space's hot path, and most entries never carry a finite lease.
+        return expiration != FOREVER and self._runtime.now() >= expiration
 
     def remaining_ms(self) -> float:
         if self.cancelled:

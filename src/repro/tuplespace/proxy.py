@@ -111,47 +111,64 @@ class SpaceServer:
             txn = transactions.get(txn_id)
             if txn is None:
                 raise TransactionError(f"unknown transaction id {txn_id}")
+        handler = _DISPATCH.get(op)
+        if handler is None:
+            raise SpaceError(f"unknown operation: {op!r}")
+        return handler(self, args, txn, transactions, conn)
 
-        if op == "write":
-            lease = self.space.write(args["entry"], txn=txn, lease_ms=args["lease_ms"])
-            return {"remaining_ms": lease.remaining_ms()}
-        if op in ("read", "take"):
-            method = self.space.read if op == "read" else self.space.take
-            return method(args["template"], txn=txn, timeout_ms=args["timeout_ms"])
-        if op == "count":
-            return self.space.count(args["template"], txn=txn)
-        if op == "write_all":
-            leases = self.space.write_all(args["entries"], txn=txn,
-                                          lease_ms=args["lease_ms"])
-            return {"count": len(leases)}
-        if op == "take_multiple":
-            return self.space.take_multiple(
-                args["template"], args["max_entries"], txn=txn,
-                timeout_ms=args["timeout_ms"],
-            )
-        if op == "contents":
-            return self.space.contents(args["template"], txn=txn)
-        if op == "txn_create":
-            new_txn = self.txn_manager.create(args["timeout_ms"])
-            transactions[new_txn.txn_id] = new_txn
-            return new_txn.txn_id
-        if op == "txn_commit":
-            txn = transactions.pop(args["id"], None)
-            if txn is None:
-                raise TransactionError(f"unknown transaction id {args['id']}")
-            txn.commit()
-            return None
-        if op == "txn_abort":
-            txn = transactions.pop(args["id"], None)
-            if txn is None:
-                raise TransactionError(f"unknown transaction id {args['id']}")
-            txn.abort()
-            return None
-        if op == "notify":
-            return self._register_notify(args, conn)
-        if op == "ping":
-            return "pong"
-        raise SpaceError(f"unknown operation: {op!r}")
+    # -- per-op handlers, bound through the _DISPATCH table ---------------------
+
+    def _op_write(self, args, txn, transactions, conn) -> Any:
+        lease = self.space.write(args["entry"], txn=txn, lease_ms=args["lease_ms"])
+        return {"remaining_ms": lease.remaining_ms()}
+
+    def _op_read(self, args, txn, transactions, conn) -> Any:
+        return self.space.read(args["template"], txn=txn, timeout_ms=args["timeout_ms"])
+
+    def _op_take(self, args, txn, transactions, conn) -> Any:
+        return self.space.take(args["template"], txn=txn, timeout_ms=args["timeout_ms"])
+
+    def _op_count(self, args, txn, transactions, conn) -> Any:
+        return self.space.count(args["template"], txn=txn)
+
+    def _op_write_all(self, args, txn, transactions, conn) -> Any:
+        leases = self.space.write_all(args["entries"], txn=txn,
+                                      lease_ms=args["lease_ms"])
+        return {"count": len(leases)}
+
+    def _op_take_multiple(self, args, txn, transactions, conn) -> Any:
+        return self.space.take_multiple(
+            args["template"], args["max_entries"], txn=txn,
+            timeout_ms=args["timeout_ms"],
+        )
+
+    def _op_contents(self, args, txn, transactions, conn) -> Any:
+        return self.space.contents(args["template"], txn=txn)
+
+    def _op_txn_create(self, args, txn, transactions, conn) -> Any:
+        new_txn = self.txn_manager.create(args["timeout_ms"])
+        transactions[new_txn.txn_id] = new_txn
+        return new_txn.txn_id
+
+    def _op_txn_commit(self, args, txn, transactions, conn) -> Any:
+        txn = transactions.pop(args["id"], None)
+        if txn is None:
+            raise TransactionError(f"unknown transaction id {args['id']}")
+        txn.commit()
+        return None
+
+    def _op_txn_abort(self, args, txn, transactions, conn) -> Any:
+        txn = transactions.pop(args["id"], None)
+        if txn is None:
+            raise TransactionError(f"unknown transaction id {args['id']}")
+        txn.abort()
+        return None
+
+    def _op_notify(self, args, txn, transactions, conn) -> Any:
+        return self._register_notify(args, conn)
+
+    def _op_ping(self, args, txn, transactions, conn) -> Any:
+        return "pong"
 
     def _register_notify(self, args: dict[str, Any], conn: StreamSocket) -> int:
         """Forward matching events to the client's event channel."""
@@ -172,6 +189,24 @@ class SpaceServer:
 
         reg = self.space.notify(args["template"], listener, lease_ms=args["lease_ms"])
         return reg.registration_id
+
+
+#: op name → unbound SpaceServer handler; a dict probe replaces the former
+#: if-chain so dispatch cost no longer depends on the op's position.
+_DISPATCH: dict[str, Callable[..., Any]] = {
+    "write": SpaceServer._op_write,
+    "read": SpaceServer._op_read,
+    "take": SpaceServer._op_take,
+    "count": SpaceServer._op_count,
+    "write_all": SpaceServer._op_write_all,
+    "take_multiple": SpaceServer._op_take_multiple,
+    "contents": SpaceServer._op_contents,
+    "txn_create": SpaceServer._op_txn_create,
+    "txn_commit": SpaceServer._op_txn_commit,
+    "txn_abort": SpaceServer._op_txn_abort,
+    "notify": SpaceServer._op_notify,
+    "ping": SpaceServer._op_ping,
+}
 
 
 class RemoteTransaction:

@@ -1,28 +1,41 @@
 """The tuple space engine (in-process JavaSpace).
 
-Concurrency: one monitor condition guards the store; blocking ``read``/
-``take`` wait on it and re-scan on every visibility change (write, commit,
-abort, restored take).  Entries are kept in per-class buckets scanned in
-insertion order, which makes matching deterministic (JavaSpaces itself
-promises no order; determinism is a strict strengthening that experiments
-rely on).
+Concurrency: one monitor lock guards the store.  Blocked ``read``/``take``
+callers park on *per-template-class wait queues* — a visibility change
+(write, commit, abort-restore, read-lock release) wakes only the waiters
+whose template class and field values can match the affected entry, not
+the whole herd.  Each waiter has its own condition sharing the store lock,
+so a targeted ``notify`` costs O(matching waiters) instead of the old
+``notify_all`` cost of O(all waiters) re-scans per write.
 
-Isolation: entries are serialized at ``write`` and deserialized on every
-``read``/``take``, so callers never share mutable state through the space —
-the behaviour of the real JavaSpaces proxy, which marshals entries.
+Entries are kept in per-class buckets scanned in insertion order, which
+makes matching deterministic (JavaSpaces itself promises no order;
+determinism is a strict strengthening that experiments rely on).  An
+``entry_id → _Stored`` map gives O(1) transaction bookkeeping, and lease
+expiry is driven by a deadline min-heap: ``_reap_expired`` is O(expired)
+per call and free when every lease is FOREVER.
+
+Isolation: entries are serialized at ``write`` and a private snapshot is
+deserialized *lazily* the first time field matching needs it — a
+class-only template (the master/worker hot path) never pays the second
+pickle pass at all.  Callers still never share mutable state through the
+space: every ``read``/``take`` returns a fresh copy deserialized from the
+stored bytes, the behaviour of the real JavaSpaces proxy.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import SpaceError
 from repro.runtime.base import Runtime
-from repro.tuplespace.entry import Entry, matches
+from repro.tuplespace.entry import Entry, match_items, matches_fields
 from repro.tuplespace.events import EventRegistration, RemoteEvent
 from repro.tuplespace.lease import FOREVER, Lease
 from repro.tuplespace.transaction import Transaction
+from repro.util.serialization import deserialize, serialize
 
 __all__ = ["JavaSpace"]
 
@@ -32,18 +45,58 @@ _TAKEN = "taken"
 
 
 class _Stored:
-    """One entry in the store, with its lock state."""
+    """One entry in the store, with its lock state.
 
-    __slots__ = ("entry_id", "entry", "data", "lease", "state", "owner_txn", "read_lockers")
+    ``entry`` (the private matching snapshot) is deserialized on first
+    access; ``cls`` and ``index_keys`` are recorded at write time so the
+    common paths — class-only matching, index maintenance, removal —
+    never force the snapshot.
+    """
 
-    def __init__(self, entry_id: int, entry: Entry, data: bytes, lease: Lease) -> None:
+    __slots__ = (
+        "entry_id", "cls", "data", "lease", "state", "owner_txn",
+        "read_lockers", "index_keys", "_snapshot",
+    )
+
+    def __init__(self, entry_id: int, cls: type, data: bytes, lease: Lease) -> None:
         self.entry_id = entry_id
-        self.entry = entry            # private snapshot used for matching
+        self.cls = cls                # entry class (pickle preserves identity)
         self.data = data              # serialized form returned to clients
         self.lease = lease
         self.state = _AVAILABLE
         self.owner_txn: Optional[Transaction] = None
         self.read_lockers: set[int] = set()  # txn ids holding shared locks
+        self.index_keys: list[tuple[str, Any]] = []
+        self._snapshot: Optional[Entry] = None
+
+    @property
+    def entry(self) -> Entry:
+        """Private matching snapshot, materialized on first field match."""
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = self._snapshot = deserialize(self.data)
+        return snapshot
+
+
+class _Waiter:
+    """One blocked ``read``/``take`` caller, parked on its own condition."""
+
+    __slots__ = ("template_cls", "items", "cond", "take", "txn", "woken")
+
+    def __init__(
+        self,
+        template_cls: type,
+        items: list[tuple[str, Any]],
+        cond: Any,
+        take: bool,
+        txn: Optional[Transaction],
+    ) -> None:
+        self.template_cls = template_cls
+        self.items = items            # precomputed non-None template fields
+        self.cond = cond              # shares the space lock
+        self.take = take
+        self.txn = txn
+        self.woken = False            # set by the waker; at most one notify
 
 
 class _TxnOps:
@@ -61,14 +114,13 @@ class JavaSpace:
     """A shared, associative, transactional object repository."""
 
     def __init__(self, runtime: Runtime, name: str = "JavaSpaces") -> None:
-        from repro.util.serialization import deserialize, serialize
-
         self._serialize = serialize
         self._deserialize = deserialize
         self.runtime = runtime
         self.name = name
-        self._cond = runtime.condition()
+        self._lock = runtime.lock()
         self._buckets: dict[type, dict[int, _Stored]] = {}
+        self._by_id: dict[int, _Stored] = {}  # O(1) entry_id lookup
         # Per-class field-value index: cls → field → value → {entry ids}.
         # Only hashable field values are indexed; templates fall back to a
         # scan for the rest.  Cuts selective matching from O(bucket) to
@@ -78,6 +130,14 @@ class JavaSpace:
         # is incomplete for them (an ndarray can still equal a hashable
         # template value), so matching falls back to scanning.
         self._unindexable: dict[type, set[str]] = {}
+        # Blocked callers keyed by template class; a visibility change only
+        # touches the queues along the entry class's MRO.
+        self._waiters: dict[type, list[_Waiter]] = {}
+        # Lease bookkeeping: (expiration_ms, entry_id) min-heap for finite
+        # leases plus a list of explicitly cancelled entry ids, so reaping
+        # is O(expired) and skips entirely when every lease is FOREVER.
+        self._lease_heap: list[tuple[float, int]] = []
+        self._lease_cancelled: list[int] = []
         self._ids = itertools.count(1)
         self._txn_ops: dict[int, _TxnOps] = {}
         self._registrations: list[EventRegistration] = []
@@ -85,6 +145,7 @@ class JavaSpace:
         self.stats = {
             "writes": 0, "reads": 0, "takes": 0,
             "expired": 0, "events": 0, "bytes_written": 0,
+            "wakeups": 0, "listener_errors": 0,
         }
 
     # ------------------------------------------------------------------ write --
@@ -103,13 +164,8 @@ class JavaSpace:
         if not isinstance(entry, Entry):
             raise SpaceError(f"not an Entry: {type(entry).__name__}")
         data = self._serialize(entry)           # enforces serializability
-        snapshot = self._deserialize(data)      # private, caller can't mutate it
-        with self._cond:
-            stored = _Stored(next(self._ids), snapshot, data, Lease(self.runtime, lease_ms))
-            self._buckets.setdefault(type(snapshot), {})[stored.entry_id] = stored
-            self._index_entry(stored)
-            self.stats["writes"] += 1
-            self.stats["bytes_written"] += len(data)
+        with self._lock:
+            stored = self._store(entry, data, lease_ms)
             if txn is not None:
                 txn._enlist(self)
                 stored.state = _PENDING_WRITE
@@ -118,6 +174,24 @@ class JavaSpace:
             else:
                 self._entry_became_visible(stored)
             return stored.lease
+
+    def _store(self, entry: Entry, data: bytes, lease_ms: float) -> _Stored:
+        """Insert one serialized entry (store, id map, index, lease heap)."""
+        entry_id = next(self._ids)
+        cancelled = self._lease_cancelled
+        lease = Lease(
+            self.runtime, lease_ms,
+            on_cancel=lambda eid=entry_id: cancelled.append(eid),
+        )
+        stored = _Stored(entry_id, type(entry), data, lease)
+        self._buckets.setdefault(stored.cls, {})[entry_id] = stored
+        self._by_id[entry_id] = stored
+        self._index_entry(stored, entry)
+        if lease.expiration_ms != FOREVER:
+            heappush(self._lease_heap, (lease.expiration_ms, entry_id))
+        self.stats["writes"] += 1
+        self.stats["bytes_written"] += len(data)
+        return stored
 
     # -------------------------------------------------------------- read/take --
 
@@ -132,7 +206,8 @@ class JavaSpace:
         ``timeout_ms=None`` waits forever; ``0`` polls.  Under a transaction
         the entry gets a shared lock until the transaction completes.
         """
-        return self._acquire(template, txn, timeout_ms, take=False)
+        got = self._acquire_batch(template, txn, timeout_ms, take=False, max_entries=1)
+        return got[0] if got else None
 
     def take(
         self,
@@ -141,7 +216,8 @@ class JavaSpace:
         timeout_ms: Optional[float] = None,
     ) -> Optional[Entry]:
         """Remove and return a matching entry (exactly-once semantics)."""
-        return self._acquire(template, txn, timeout_ms, take=True)
+        got = self._acquire_batch(template, txn, timeout_ms, take=True, max_entries=1)
+        return got[0] if got else None
 
     def read_if_exists(self, template: Entry, txn: Optional[Transaction] = None) -> Optional[Entry]:
         return self.read(template, txn, timeout_ms=0.0)
@@ -161,9 +237,34 @@ class JavaSpace:
         txn: Optional[Transaction] = None,
         lease_ms: float = FOREVER,
     ) -> list[Lease]:
-        """Write a batch of entries; under a transaction the batch commits
-        or rolls back atomically (it is simply N writes in one txn)."""
-        return [self.write(entry, txn=txn, lease_ms=lease_ms) for entry in entries]
+        """Write a batch of entries in one monitor pass.
+
+        Serialization happens before the lock is taken; the store/index
+        inserts share one lock acquisition, and each blocked waiter is
+        woken at most once for the whole batch (it leaves its queue on the
+        first notify).  Under a transaction the batch commits or rolls
+        back atomically.
+        """
+        for entry in entries:
+            if not isinstance(entry, Entry):
+                raise SpaceError(f"not an Entry: {type(entry).__name__}")
+        serialized = [self._serialize(entry) for entry in entries]
+        with self._lock:
+            ops = None
+            if txn is not None:
+                txn._enlist(self)
+                ops = self._ops(txn)
+            leases: list[Lease] = []
+            for entry, data in zip(entries, serialized):
+                stored = self._store(entry, data, lease_ms)
+                leases.append(stored.lease)
+                if ops is not None:
+                    stored.state = _PENDING_WRITE
+                    stored.owner_txn = txn
+                    ops.writes.append(stored.entry_id)
+                else:
+                    self._entry_became_visible(stored)
+            return leases
 
     def take_multiple(
         self,
@@ -172,66 +273,78 @@ class JavaSpace:
         txn: Optional[Transaction] = None,
         timeout_ms: Optional[float] = None,
     ) -> list[Entry]:
-        """Take up to ``max_entries`` matches.
+        """Take up to ``max_entries`` matches in one monitor pass.
 
         JavaSpaces05 semantics: blocks (up to ``timeout_ms``) until at
         least one entry matches, then drains whatever is immediately
         available up to the cap — it does not wait for the cap to fill.
+        The drain happens under a single lock acquisition instead of N
+        re-entries.
         """
         if max_entries < 1:
             raise SpaceError(f"max_entries must be >= 1: {max_entries}")
-        first = self.take(template, txn=txn, timeout_ms=timeout_ms)
-        if first is None:
-            return []
-        taken = [first]
-        while len(taken) < max_entries:
-            extra = self.take(template, txn=txn, timeout_ms=0.0)
-            if extra is None:
-                break
-            taken.append(extra)
-        return taken
+        return self._acquire_batch(template, txn, timeout_ms, take=True,
+                                   max_entries=max_entries)
 
     def contents(
         self, template: Entry, txn: Optional[Transaction] = None
     ) -> list[Entry]:
         """Copies of every currently visible matching entry (a snapshot
         iterator; does not lock or remove anything)."""
-        with self._cond:
+        with self._lock:
             self._reap_expired()
-            template_type = type(template)
-            out: list[Entry] = []
-            for cls, bucket in self._buckets.items():
-                if not issubclass(cls, template_type):
-                    continue
-                for stored in bucket.values():
-                    if self._visible(stored, txn) and matches(template, stored.entry):
-                        out.append(self._deserialize(stored.data))
-            return out
+            return [self._deserialize(stored.data)
+                    for stored in self._iter_matching(template, txn)]
 
-    def _acquire(
+    def _acquire_batch(
         self,
         template: Entry,
         txn: Optional[Transaction],
         timeout_ms: Optional[float],
         take: bool,
-    ) -> Optional[Entry]:
+        max_entries: int,
+    ) -> list[Entry]:
         if not isinstance(template, Entry):
             raise SpaceError(f"template is not an Entry: {type(template).__name__}")
         if txn is not None:
             txn.ensure_active()
         deadline = None if timeout_ms is None else self.runtime.now() + timeout_ms
-        with self._cond:
+        template_cls = type(template)
+        items = match_items(template)
+        waiter: Optional[_Waiter] = None
+        with self._lock:
             while True:
-                self._reap_expired(template)
-                stored = self._find(template, txn, take=take)
-                if stored is not None:
-                    return self._claim(stored, txn, take=take)
+                self._reap_expired()
+                out: list[Entry] = []
+                while len(out) < max_entries:
+                    stored = self._find(template_cls, items, txn, take)
+                    if stored is None:
+                        break
+                    out.append(self._claim(stored, txn, take))
+                if out:
+                    return out
                 remaining: Optional[float] = None
                 if deadline is not None:
                     remaining = deadline - self.runtime.now()
                     if remaining <= 0:
-                        return None
-                self._cond.wait(remaining)
+                        return []
+                if waiter is None:
+                    waiter = _Waiter(template_cls, items,
+                                     self.runtime.condition(self._lock), take, txn)
+                    if txn is not None:
+                        # Enlist before parking so the transaction's
+                        # completion reaches _wake_txn_waiters even if this
+                        # blocked call was its only contact with the space.
+                        txn._enlist(self)
+                queue = self._waiters.setdefault(template_cls, [])
+                waiter.woken = False
+                queue.append(waiter)
+                try:
+                    waiter.cond.wait(remaining)
+                finally:
+                    # On timeout (no targeted notify) we are still queued.
+                    if not waiter.woken and waiter in queue:
+                        queue.remove(waiter)
                 if txn is not None:
                     txn.ensure_active()
 
@@ -267,7 +380,7 @@ class JavaSpace:
         Events are delivered asynchronously (outside the space monitor);
         listeners must not block.
         """
-        with self._cond:
+        with self._lock:
             reg = EventRegistration(
                 next(self._reg_ids),
                 self.snapshot(template),
@@ -288,12 +401,17 @@ class JavaSpace:
 
     def _complete_transaction(self, txn: Transaction, commit: bool) -> None:
         """Called by Transaction.commit/abort with the outcome."""
-        with self._cond:
+        with self._lock:
+            # Waiters blocked *under* this transaction can never succeed
+            # once it completes; wake them so they observe the abort/commit
+            # instead of sleeping to their timeout.
+            self._wake_txn_waiters(txn)
             ops = self._txn_ops.pop(txn.txn_id, None)
             if ops is None:
                 return
+            by_id = self._by_id
             for entry_id in ops.writes:
-                stored = self._lookup(entry_id)
+                stored = by_id.get(entry_id)
                 if stored is None:
                     continue
                 if stored.state == _TAKEN:
@@ -309,22 +427,31 @@ class JavaSpace:
                     self._remove(stored)
             written_here = set(ops.writes)
             for entry_id in ops.takes:
-                stored = self._lookup(entry_id)
+                stored = by_id.get(entry_id)
                 if stored is None:
                     continue
                 if commit or entry_id in written_here:
                     # Commit consumes the take; on abort, an entry this same
                     # transaction wrote was never visible, so discard it too.
                     self._remove(stored)
+                elif stored.lease.is_expired():
+                    # The lease ran out while the take was pending; the
+                    # restored entry would be invisible, so reap it now.
+                    self.stats["expired"] += 1
+                    self._remove(stored)
                 else:
                     stored.state = _AVAILABLE
                     stored.owner_txn = None
-                    self._cond.notify_all()
+                    self._wake_waiters(stored)
             for entry_id in ops.reads:
-                stored = self._lookup(entry_id)
-                if stored is not None:
-                    stored.read_lockers.discard(txn.txn_id)
-            self._cond.notify_all()
+                stored = by_id.get(entry_id)
+                if stored is None:
+                    continue
+                stored.read_lockers.discard(txn.txn_id)
+                # Releasing the last shared lock can unblock a taker.
+                if (not stored.read_lockers and stored.state == _AVAILABLE
+                        and not stored.lease.is_expired()):
+                    self._wake_waiters(stored)
 
     # ---------------------------------------------------------------- internals --
 
@@ -336,48 +463,54 @@ class JavaSpace:
         except TypeError:
             return False
 
-    def _index_entry(self, stored: _Stored) -> None:
-        from repro.tuplespace.entry import entry_fields
+    def _index_entry(self, stored: _Stored, entry: Entry) -> None:
+        """Index the caller's entry at write time (no snapshot needed).
 
-        cls = type(stored.entry)
+        The indexed ``(field, value)`` pairs are recorded on ``stored`` so
+        removal never recomputes them.  Index correctness relies on values
+        whose hash/equality survive pickling — true of every sane key type,
+        and the index is only ever a pre-filter: ``matches`` still confirms
+        against the isolated snapshot.
+        """
+        cls = stored.cls
         index = self._indexes.setdefault(cls, {})
-        for name, value in entry_fields(stored.entry).items():
-            if value is None:
-                continue
+        keys = stored.index_keys
+        for name, value in match_items(entry):
             if self._hashable(value):
                 index.setdefault(name, {}).setdefault(value, set()).add(
                     stored.entry_id
                 )
+                keys.append((name, value))
             else:
                 self._unindexable.setdefault(cls, set()).add(name)
 
     def _unindex_entry(self, stored: _Stored) -> None:
-        from repro.tuplespace.entry import entry_fields
-
-        index = self._indexes.get(type(stored.entry))
+        if not stored.index_keys:
+            return
+        index = self._indexes.get(stored.cls)
         if index is None:
             return
-        for name, value in entry_fields(stored.entry).items():
-            if value is not None and self._hashable(value):
-                ids = index.get(name, {}).get(value)
-                if ids is not None:
-                    ids.discard(stored.entry_id)
-                    if not ids:
-                        del index[name][value]
+        for name, value in stored.index_keys:
+            by_value = index.get(name)
+            ids = by_value.get(value) if by_value is not None else None
+            if ids is not None:
+                ids.discard(stored.entry_id)
+                if not ids:
+                    del by_value[value]
 
-    def _candidate_ids(self, cls: type, template: Entry) -> Optional[list[int]]:
+    def _candidate_ids(
+        self, cls: type, items: list[tuple[str, Any]]
+    ) -> Optional[list[int]]:
         """Entry ids pre-filtered by the indexed template fields.
 
         Returns None when no indexed field narrows the search (scan the
         bucket); an empty list means a definite miss.
         """
-        from repro.tuplespace.entry import entry_fields
-
         index = self._indexes.get(cls, {})
-        poisoned = self._unindexable.get(cls, set())
+        poisoned = self._unindexable.get(cls)
         ids: Optional[set[int]] = None
-        for name, value in entry_fields(template).items():
-            if value is None or name in poisoned or not self._hashable(value):
+        for name, value in items:
+            if (poisoned is not None and name in poisoned) or not self._hashable(value):
                 continue
             matching = index.get(name, {}).get(value, set())
             ids = set(matching) if ids is None else ids & matching
@@ -385,13 +518,47 @@ class JavaSpace:
                 return []
         return None if ids is None else sorted(ids)  # FIFO within matches
 
-    def _find(self, template: Entry, txn: Optional[Transaction], take: bool) -> Optional[_Stored]:
-        template_type = type(template)
+    def _find(
+        self,
+        template_cls: type,
+        items: list[tuple[str, Any]],
+        txn: Optional[Transaction],
+        take: bool,
+    ) -> Optional[_Stored]:
         for cls, bucket in self._buckets.items():
-            if not issubclass(cls, template_type):
+            if not bucket or not issubclass(cls, template_cls):
                 continue
-            candidates = self._candidate_ids(cls, template)
-            stored_iter = (
+            if items:
+                candidates = self._candidate_ids(cls, items)
+                stored_iter: Any = (
+                    bucket.values()
+                    if candidates is None
+                    else (bucket[i] for i in candidates if i in bucket)
+                )
+            else:
+                stored_iter = bucket.values()
+            for stored in stored_iter:
+                if not self._visible(stored, txn):
+                    continue
+                if take and stored.read_lockers and not self._takeable(stored, txn):
+                    continue
+                # Class-only templates match without touching the snapshot.
+                if not items or matches_fields(items, stored.entry):
+                    return stored
+        return None
+
+    def _iter_matching(
+        self, template: Entry, txn: Optional[Transaction]
+    ) -> Iterator[_Stored]:
+        """Visible entries matching ``template``, index-prefiltered, FIFO
+        within each class bucket (shared by ``contents`` and ``count``)."""
+        template_cls = type(template)
+        items = match_items(template)
+        for cls, bucket in self._buckets.items():
+            if not bucket or not issubclass(cls, template_cls):
+                continue
+            candidates = self._candidate_ids(cls, items) if items else None
+            stored_iter: Any = (
                 bucket.values()
                 if candidates is None
                 else (bucket[i] for i in candidates if i in bucket)
@@ -399,28 +566,70 @@ class JavaSpace:
             for stored in stored_iter:
                 if not self._visible(stored, txn):
                     continue
-                if take and not self._takeable(stored, txn):
-                    continue
-                if matches(template, stored.entry):
-                    return stored
-        return None
+                if not items or matches_fields(items, stored.entry):
+                    yield stored
 
     def _visible(self, stored: _Stored, txn: Optional[Transaction]) -> bool:
+        state = stored.state
+        if state == _TAKEN:
+            return False  # gone from every view
         if stored.lease.is_expired():
             return False
-        if stored.state == _AVAILABLE:
+        if state == _AVAILABLE:
             return True
-        if stored.state == _PENDING_WRITE:
-            return txn is not None and stored.owner_txn is txn
-        return False  # _TAKEN: gone from every view
+        return txn is not None and stored.owner_txn is txn  # _PENDING_WRITE
 
     def _takeable(self, stored: _Stored, txn: Optional[Transaction]) -> bool:
         """Shared read locks by *other* transactions block a take."""
         own = txn.txn_id if txn is not None else None
         return all(locker == own for locker in stored.read_lockers)
 
+    # ----------------------------------------------------------------- wakeups --
+
+    def _wake_waiters(self, stored: _Stored) -> None:
+        """Wake every parked waiter whose template can match ``stored``.
+
+        Only the wait queues along the entry class's MRO are consulted, and
+        each woken waiter leaves its queue — so a burst of writes notifies
+        a given waiter at most once, and non-matching waiters never wake.
+        """
+        waiters = self._waiters
+        if not waiters:
+            return
+        wakeups = 0
+        for cls in stored.cls.__mro__:
+            queue = waiters.get(cls)
+            if not queue:
+                continue
+            woke_here = False
+            for waiter in queue:
+                if waiter.woken:
+                    continue
+                if not waiter.items or matches_fields(waiter.items, stored.entry):
+                    waiter.woken = True
+                    waiter.cond.notify()
+                    wakeups += 1
+                    woke_here = True
+            if woke_here:
+                queue[:] = [w for w in queue if not w.woken]
+        if wakeups:
+            self.stats["wakeups"] += wakeups
+
+    def _wake_txn_waiters(self, txn: Transaction) -> None:
+        """Wake waiters blocked under ``txn`` so they observe its end."""
+        for queue in self._waiters.values():
+            woke_here = False
+            for waiter in queue:
+                if waiter.txn is txn and not waiter.woken:
+                    waiter.woken = True
+                    waiter.cond.notify()
+                    self.stats["wakeups"] += 1
+                    woke_here = True
+            if woke_here:
+                queue[:] = [w for w in queue if not w.woken]
+
     def _entry_became_visible(self, stored: _Stored) -> None:
-        self._cond.notify_all()
+        self._wake_waiters(stored)
         if not self._registrations:
             return
         alive: list[EventRegistration] = []
@@ -428,7 +637,10 @@ class JavaSpace:
             if not reg.active():
                 continue
             alive.append(reg)
-            if matches(reg.template, stored.entry):
+            if not issubclass(stored.cls, type(reg.template)):
+                continue
+            reg_items = match_items(reg.template)
+            if not reg_items or matches_fields(reg_items, stored.entry):
                 event = RemoteEvent(self.name, reg.registration_id, reg.next_sequence())
                 self.stats["events"] += 1
                 # Deliver outside the monitor; listeners must not block, and
@@ -442,39 +654,56 @@ class JavaSpace:
         try:
             registration.listener(event)
         except Exception:
-            self.stats["listener_errors"] = self.stats.get("listener_errors", 0) + 1
+            self.stats["listener_errors"] += 1
 
-    def _lookup(self, entry_id: int) -> Optional[_Stored]:
-        for bucket in self._buckets.values():
-            stored = bucket.get(entry_id)
-            if stored is not None:
-                return stored
-        return None
+    # ------------------------------------------------------------------ expiry --
 
     def _remove(self, stored: _Stored) -> None:
-        bucket = self._buckets.get(type(stored.entry))
+        bucket = self._buckets.get(stored.cls)
         if bucket is not None and bucket.pop(stored.entry_id, None) is not None:
+            self._by_id.pop(stored.entry_id, None)
             self._unindex_entry(stored)
 
-    def _reap_expired(self, template: Optional[Entry] = None) -> None:
-        for bucket in self._buckets.values():
-            expired = [s for s in bucket.values() if s.lease.is_expired() and s.state != _TAKEN]
-            for stored in expired:
+    def _reap_expired(self) -> None:
+        """Collect expired and cancelled entries.
+
+        O(reaped): cancelled ids arrive via lease ``on_cancel`` hooks, and
+        finite-lease deadlines sit in a min-heap — when every lease is
+        FOREVER and nothing was cancelled this is two empty checks.
+        """
+        cancelled = self._lease_cancelled
+        if cancelled:
+            for entry_id in cancelled:
+                stored = self._by_id.get(entry_id)
+                if stored is not None and stored.state != _TAKEN:
+                    self.stats["expired"] += 1
+                    self._remove(stored)
+            cancelled.clear()
+        heap = self._lease_heap
+        if not heap:
+            return
+        now = self.runtime.now()
+        while heap and heap[0][0] <= now:
+            _, entry_id = heappop(heap)
+            stored = self._by_id.get(entry_id)
+            if stored is None:
+                continue  # already taken/cancelled/removed
+            lease = stored.lease
+            if not lease.is_expired():
+                # Renewed since it was queued; re-arm at the new deadline.
+                if lease.expiration_ms != FOREVER:
+                    heappush(heap, (lease.expiration_ms, entry_id))
+                continue
+            if stored.state != _TAKEN:
                 self.stats["expired"] += 1
                 self._remove(stored)
+            # _TAKEN: the owning transaction settles its fate; an expired
+            # restore is reaped in _complete_transaction.
 
     # ------------------------------------------------------------------- misc --
 
     def count(self, template: Entry, txn: Optional[Transaction] = None) -> int:
         """Number of visible entries matching ``template`` (diagnostic)."""
-        with self._cond:
+        with self._lock:
             self._reap_expired()
-            total = 0
-            template_type = type(template)
-            for cls, bucket in self._buckets.items():
-                if not issubclass(cls, template_type):
-                    continue
-                for stored in bucket.values():
-                    if self._visible(stored, txn) and matches(template, stored.entry):
-                        total += 1
-            return total
+            return sum(1 for _ in self._iter_matching(template, txn))

@@ -41,13 +41,15 @@ class Transaction:
         self.txn_id = txn_id
         self.lease = lease
         self.state = _STATE_ACTIVE
-        self._spaces: list["JavaSpace"] = []
+        self._spaces: list["JavaSpace"] = []   # completion order (deterministic)
+        self._space_ids: set[int] = set()      # O(1) membership for _enlist
 
     # -- space enrolment (called by JavaSpace) --------------------------------
 
     def _enlist(self, space: "JavaSpace") -> None:
         self.ensure_active()
-        if space not in self._spaces:
+        if id(space) not in self._space_ids:
+            self._space_ids.add(id(space))
             self._spaces.append(space)
 
     # -- state ------------------------------------------------------------------

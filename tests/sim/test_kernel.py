@@ -220,3 +220,57 @@ def test_many_processes_scale():
             kernel.spawn(lambda i=i: proc(i), name=f"p{i}")
         kernel.run()
         assert len(counter) == 200
+
+
+def test_run_until_idle_guards_against_event_storms():
+    with SimKernel() as kernel:
+        def rearm():
+            kernel.call_later(0.0, rearm)  # schedules itself forever
+
+        kernel.call_later(0.0, rearm)
+        with pytest.raises(SimulationError, match="max_events"):
+            kernel.run_until_idle(max_events=100)
+
+
+def test_error_tb_initialized_before_any_failure():
+    with SimKernel() as kernel:
+        proc = kernel.spawn(lambda: None, name="ok")
+        assert proc.error_tb == ""
+        kernel.run()
+        assert proc.error_tb == ""
+
+
+def test_failing_process_records_traceback_text():
+    kernel = SimKernel()
+
+    def boom():
+        raise ValueError("kapow")
+
+    kernel.spawn(boom, name="boom")
+    with pytest.raises(SimulationError, match="kapow"):
+        kernel.run()
+    kernel.shutdown()
+
+
+def test_same_time_events_fire_in_schedule_order():
+    fired = []
+    with SimKernel() as kernel:
+        for i in range(50):
+            kernel.call_later(5.0, lambda i=i: fired.append(i))
+        kernel.run()
+        assert fired == list(range(50))
+
+
+def test_event_scheduled_at_current_time_during_drain_runs_same_pass():
+    fired = []
+    with SimKernel() as kernel:
+        def first():
+            fired.append("first")
+            kernel.call_later(0.0, lambda: fired.append("chained"))
+
+        kernel.call_later(5.0, first)
+        kernel.call_later(5.0, lambda: fired.append("second"))
+        kernel.run()
+        # FIFO within the 5.0 bucket: the chained event lands after
+        # everything already scheduled at that time.
+        assert fired == ["first", "second", "chained"]

@@ -1,0 +1,244 @@
+"""Property tests for targeted wakeups and single-lock batch operations.
+
+The space's per-template-class wait queues replaced a global
+``notify_all``-on-every-write.  These tests pin down the behaviors that
+rewrite must preserve:
+
+* FIFO-deterministic matching survives ``write_all`` / ``take_multiple``;
+* exactly-once take under concurrent blocked takers;
+* every visibility event — plain write, transaction commit, abort-restore
+  of a taken entry, transaction-lease expiry — wakes the waiters it can
+  satisfy, so no blocked waiter is ever stranded;
+* wakeup count scales with *matching* waiters, not total waiters;
+* the indexed ``contents`` / ``count`` paths agree with a reference scan
+  over the raw batch.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import SimulatedRuntime
+from repro.tuplespace import JavaSpace, TransactionManager, matches
+from tests.tuplespace.entries import ResultEntry, TaskEntry
+
+payloads = st.one_of(
+    st.none(),
+    st.integers(-5, 5),
+    st.text(alphabet="abc", max_size=3),
+)
+apps = st.sampled_from(["alpha", "beta", "gamma"])
+entries = st.builds(TaskEntry, app=apps, task_id=st.integers(0, 9), payload=payloads)
+maybe = lambda s: st.one_of(st.none(), s)  # noqa: E731
+templates = st.builds(
+    TaskEntry, app=maybe(apps), task_id=maybe(st.integers(0, 9)),
+    payload=maybe(st.integers(-5, 5)),
+)
+
+
+def _with_space(fn):
+    """Run ``fn(rt, space)`` inside a fresh simulated process."""
+    runtime = SimulatedRuntime()
+    try:
+        space = JavaSpace(runtime)
+        proc = runtime.kernel.spawn(lambda: fn(runtime, space), name="prop")
+        runtime.kernel.run_until_idle()
+        if proc.error is not None:  # pragma: no cover - kernel raises first
+            raise proc.error
+        assert proc.finished
+        return proc.result
+    finally:
+        runtime.shutdown()
+
+
+# -- FIFO order under batch operations ---------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(ids=st.lists(st.integers(0, 99), min_size=1, max_size=12),
+       use_batch=st.booleans())
+def test_takes_drain_in_write_order_after_batch_write(ids, use_batch):
+    def body(rt, space):
+        batch = [TaskEntry("app", i, None) for i in ids]
+        if use_batch:
+            space.write_all(batch)
+        else:
+            for entry in batch:
+                space.write(entry)
+        out = []
+        while True:
+            got = space.take(TaskEntry(), timeout_ms=0.0)
+            if got is None:
+                return out
+            out.append(got.task_id)
+
+    assert _with_space(body) == ids
+
+
+@settings(max_examples=40, deadline=None)
+@given(ids=st.lists(st.integers(0, 99), min_size=1, max_size=12),
+       cap=st.integers(1, 12))
+def test_take_multiple_returns_fifo_prefix(ids, cap):
+    def body(rt, space):
+        space.write_all([TaskEntry("app", i, None) for i in ids])
+        first = [e.task_id for e in
+                 space.take_multiple(TaskEntry(), cap, timeout_ms=0.0)]
+        rest = [e.task_id for e in
+                space.take_multiple(TaskEntry(), len(ids) + 1, timeout_ms=0.0)]
+        return first, rest
+
+    first, rest = _with_space(body)
+    assert first == ids[:cap]
+    assert first + rest == ids
+
+
+# -- exactly-once take + no stranded waiter on write --------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_entries=st.integers(0, 10), n_takers=st.integers(1, 8),
+       use_batch=st.booleans())
+def test_concurrent_takers_get_each_entry_exactly_once(n_entries, n_takers, use_batch):
+    def body(rt, space):
+        taken = []
+
+        def taker():
+            got = space.take(TaskEntry(), timeout_ms=1_000.0)
+            if got is not None:
+                taken.append(got.task_id)
+
+        for t in range(n_takers):
+            rt.spawn(taker, name=f"taker{t}")
+
+        def writer():
+            rt.sleep(10.0)  # all takers are parked by now
+            batch = [TaskEntry("app", i, None) for i in range(n_entries)]
+            if use_batch:
+                space.write_all(batch)
+            else:
+                for entry in batch:
+                    space.write(entry)
+
+        rt.spawn(writer, name="writer")
+        return taken
+
+    taken = _with_space(body)
+    assert len(taken) == min(n_entries, n_takers)
+    assert len(set(taken)) == len(taken)  # no entry delivered twice
+
+
+# -- no stranded waiter across every visibility event -------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(mode=st.sampled_from(["write", "commit", "abort_restore", "lease_expiry"]))
+def test_blocked_taker_wakes_on_every_visibility_event(mode):
+    """A parked taker must observe the entry no matter how it becomes visible."""
+
+    def body(rt, space):
+        txns = TransactionManager(rt)
+        results = []
+
+        def setup():
+            # For the restore modes the entry must already be hidden under a
+            # transaction before the taker parks.
+            if mode == "abort_restore":
+                space.write(TaskEntry("x", 1, None))
+                txn = txns.create()
+                space.take(TaskEntry(app="x"), txn=txn, timeout_ms=0.0)
+                return txn
+            if mode == "lease_expiry":
+                space.write(TaskEntry("x", 1, None))
+                txn = txns.create(timeout_ms=40.0)
+                space.take(TaskEntry(app="x"), txn=txn, timeout_ms=0.0)
+                return txn
+            return None
+
+        txn = setup()
+
+        def taker():
+            results.append(space.take(TaskEntry(app="x"), timeout_ms=5_000.0))
+
+        rt.spawn(taker, name="taker")
+
+        def driver():
+            rt.sleep(10.0)  # taker is parked
+            if mode == "write":
+                space.write(TaskEntry("x", 1, None))
+            elif mode == "commit":
+                wtxn = txns.create()
+                space.write(TaskEntry("x", 1, None), txn=wtxn)
+                rt.sleep(10.0)  # pending write stays invisible meanwhile
+                wtxn.commit()
+            elif mode == "abort_restore":
+                rt.sleep(10.0)
+                txn.abort()
+            # lease_expiry: the manager aborts the txn at t=40 on its own.
+
+        rt.spawn(driver, name="driver")
+        return results
+
+    results = _with_space(body)
+    assert len(results) == 1
+    assert results[0] is not None and results[0].task_id == 1
+
+
+# -- wakeup accounting --------------------------------------------------------
+
+
+def test_wakeups_scale_with_matching_waiters_not_total():
+    """16 parked takers on distinct templates: each write wakes exactly one."""
+    n_takers = 16
+
+    def body(rt, space):
+        for t in range(n_takers):
+            rt.spawn(
+                lambda t=t: space.take(TaskEntry(app=f"app{t}"), timeout_ms=5_000.0),
+                name=f"taker{t}",
+            )
+        rt.sleep(10.0)  # all takers parked
+        base = space.stats["wakeups"]
+        for t in range(n_takers):
+            space.write(TaskEntry(f"app{t}", t, None))
+        return space.stats["wakeups"] - base
+
+    # A blanket notify_all would have cost O(n_takers) wakeups per write
+    # (256 total); targeted queues wake exactly the matching waiter.
+    assert _with_space(body) == n_takers
+
+
+def test_non_matching_class_write_wakes_nobody():
+    def body(rt, space):
+        for t in range(8):
+            rt.spawn(
+                lambda t=t: space.take(TaskEntry(app=f"app{t}"), timeout_ms=100.0),
+                name=f"taker{t}",
+            )
+        rt.sleep(10.0)
+        base = space.stats["wakeups"]
+        for i in range(8):
+            space.write(ResultEntry("other", i, i))  # different entry class
+        return space.stats["wakeups"] - base
+
+    assert _with_space(body) == 0
+
+
+# -- indexed contents/count agree with a reference scan -----------------------
+
+
+def _key(entry):
+    return (entry.app, entry.task_id, repr(entry.payload))
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=st.lists(entries, min_size=0, max_size=12), template=templates)
+def test_contents_and_count_agree_with_reference_scan(batch, template):
+    def body(rt, space):
+        for entry in batch:
+            space.write(entry)
+        return [_key(e) for e in space.contents(template)], space.count(template)
+
+    got_keys, n = _with_space(body)
+    expected = sorted(_key(e) for e in batch if matches(template, e))
+    assert n == len(expected)
+    assert sorted(got_keys) == expected
