@@ -114,6 +114,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--simulations", type=int, default=10_000)
     p.add_argument("--workers", type=int, default=13)
 
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run (crash + flap + restart + poison)",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--tasks", type=int, default=24)
+    p.add_argument("--random-plan", action="store_true",
+                   help="draw the fault schedule from the seed instead of "
+                        "the fixed acceptance campaign")
+    p.add_argument("--verify-determinism", action="store_true",
+                   help="run twice and require identical recovery traces")
+
     p = sub.add_parser("render", help="render a JSON scene on the cluster")
     p.add_argument("scene", nargs="?", default=None,
                    help="scene JSON file (default: the built-in scene)")
@@ -145,6 +158,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(report.render())
     elif command == "price":
         _price(args)
+    elif command == "chaos":
+        return _chaos(args)
     elif command == "render":
         _render(args)
     return 0
@@ -189,6 +204,25 @@ def _price(args) -> None:
     print(f"price    : {solution['price']:.4f}")
     print(f"interval : [{solution['ci_low']:.4f}, {solution['ci_high']:.4f}]")
     print(f"parallel : {report.parallel_ms:,.0f} virtual ms")
+
+
+def _chaos(args) -> int:
+    from repro.experiments.chaos import chaos_experiment, verify_chaos_determinism
+
+    result = chaos_experiment(seed=args.seed, workers=args.workers,
+                              tasks=args.tasks, random_plan=args.random_plan)
+    print(result.format_summary())
+    if not result.correct:
+        print("FAIL: solution does not match the expected partial sum")
+        return 1
+    if args.verify_determinism:
+        ok = verify_chaos_determinism(seed=args.seed, workers=args.workers,
+                                      tasks=args.tasks,
+                                      random_plan=args.random_plan)
+        print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
+        if not ok:
+            return 1
+    return 0
 
 
 def _render(args) -> None:

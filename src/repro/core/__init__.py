@@ -20,7 +20,7 @@ together on a :class:`~repro.node.Cluster`.
 from repro.core.signals import Signal, ThresholdPolicy
 from repro.core.states import WorkerState, WorkerStateMachine
 from repro.core.inference import InferenceEngine
-from repro.core.entries import ResultEntry, TaskEntry
+from repro.core.entries import DeadLetterEntry, ResultEntry, TaskEntry
 from repro.core.application import Application
 from repro.core.metrics import Metrics
 from repro.core.master import Master, MasterReport
@@ -36,6 +36,7 @@ __all__ = [
     "InferenceEngine",
     "TaskEntry",
     "ResultEntry",
+    "DeadLetterEntry",
     "Application",
     "Metrics",
     "Master",

@@ -12,21 +12,30 @@ from typing import Any, Optional
 
 from repro.tuplespace.entry import Entry
 
-__all__ = ["TaskEntry", "ResultEntry"]
+__all__ = ["TaskEntry", "ResultEntry", "DeadLetterEntry"]
 
 
 class TaskEntry(Entry):
-    """One independent unit of application work."""
+    """One independent unit of application work.
+
+    ``attempts`` counts how many times a worker already failed on this
+    task (poison-task quarantine): a worker whose application code raises
+    re-writes the task with ``attempts + 1`` instead of crashing, and
+    after ``max_attempts`` the task becomes a :class:`DeadLetterEntry`.
+    ``None`` in a template is, as for every field, a wildcard.
+    """
 
     def __init__(
         self,
         app_id: Optional[str] = None,
         task_id: Optional[int] = None,
         payload: Any = None,
+        attempts: Optional[int] = None,
     ) -> None:
         self.app_id = app_id
         self.task_id = task_id
         self.payload = payload
+        self.attempts = attempts
 
 
 class ResultEntry(Entry):
@@ -45,3 +54,30 @@ class ResultEntry(Entry):
         self.payload = payload
         self.worker = worker
         self.compute_ms = compute_ms
+
+
+class DeadLetterEntry(Entry):
+    """A task given up on after ``max_attempts`` application failures.
+
+    Deliberately *not* a :class:`TaskEntry` subclass: workers match on the
+    ``TaskEntry`` type, so a quarantined task must fall outside their
+    template or it would be taken and fail forever.  The master drains
+    dead letters and reports them (partial-result policy) instead of
+    waiting for a result that can never come.
+    """
+
+    def __init__(
+        self,
+        app_id: Optional[str] = None,
+        task_id: Optional[int] = None,
+        payload: Any = None,
+        error: Optional[str] = None,
+        worker: Optional[str] = None,
+        attempts: Optional[int] = None,
+    ) -> None:
+        self.app_id = app_id
+        self.task_id = task_id
+        self.payload = payload
+        self.error = error
+        self.worker = worker
+        self.attempts = attempts

@@ -68,6 +68,16 @@ class FrameworkConfig:
     eager_scheduling: bool = False          # replicate straggling tasks
     straggler_timeout_ms: float = 5_000.0   # quiet period before replication
 
+    # -- robustness / self-healing (see DESIGN.md "Fault model & recovery") --
+    self_healing: bool = True               # reconnecting worker proxies
+    reconnect_max_retries: int = 8          # consecutive failures before giving up
+    reconnect_base_ms: float = 50.0         # backoff: base of the exponential
+    reconnect_max_ms: float = 2_000.0       # backoff cap
+    rpc_timeout_ms: Optional[float] = 10_000.0  # space RPC reply deadline
+    max_task_attempts: int = 3              # app failures before dead-letter
+    dead_letter_poll_ms: float = 1_000.0    # master's quarantine-drain period
+    give_up_after_ms: Optional[float] = None  # master's partial-result deadline
+
 
 class AdaptiveClusterFramework:
     """One deployment of the framework on a cluster, for one application."""
@@ -102,6 +112,8 @@ class AdaptiveClusterFramework:
             eager_scheduling=self.config.eager_scheduling,
             straggler_timeout_ms=self.config.straggler_timeout_ms,
             model_time=self._model_time,
+            dead_letter_poll_ms=self.config.dead_letter_poll_ms,
+            give_up_after_ms=self.config.give_up_after_ms,
         )
         self.worker_hosts: list[WorkerHost] = []
         self._started = False
@@ -181,6 +193,16 @@ class AdaptiveClusterFramework:
 
         # Worker hosts on every worker node.
         netmgmt_address = self.netmgmt.address if self.netmgmt else None
+        recovery = None
+        if config.self_healing:
+            from repro.tuplespace.proxy import RecoveryPolicy
+
+            recovery = RecoveryPolicy(
+                max_retries=config.reconnect_max_retries,
+                base_backoff_ms=config.reconnect_base_ms,
+                max_backoff_ms=config.reconnect_max_ms,
+                call_timeout_ms=config.rpc_timeout_ms,
+            )
         for node in cluster.workers:
             node.snmp_community = config.community
             host = WorkerHost(
@@ -193,6 +215,13 @@ class AdaptiveClusterFramework:
                 compute_real=config.compute_real,
                 transactional=config.transactional_takes,
                 model_time=self._model_time,
+                max_task_attempts=config.max_task_attempts,
+                recovery=recovery,
+                # Jitter from a per-worker named stream: deterministic
+                # under a fixed seed, independent across workers.
+                recovery_rng=cluster.streams.stream(
+                    f"recovery:{node.hostname}"
+                ),
             )
             host.start()
             self.worker_hosts.append(host)
@@ -231,6 +260,10 @@ class AdaptiveClusterFramework:
 
     def shutdown(self) -> None:
         """Stop every loop so a simulated run drains its event heap."""
+        # A master abandoned mid-run (experiments that observe workers,
+        # not completion) would otherwise keep scheduling its dead-letter
+        # poll forever and the simulation would never go idle.
+        self.master.cancel()
         for host in self.worker_hosts:
             host.stop()
         if self.netmgmt is not None:

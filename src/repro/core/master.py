@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.core.application import Application, Task
-from repro.core.entries import ResultEntry, TaskEntry
+from repro.core.entries import DeadLetterEntry, ResultEntry, TaskEntry
 from repro.core.metrics import Metrics
 from repro.node.machine import Node
 from repro.runtime.base import Runtime
@@ -41,6 +41,13 @@ class MasterReport:
     parallel_ms: float
     max_task_overhead_ms: float          # max instantaneous planning/agg cost
     results_by_worker: dict[str, int] = field(default_factory=dict)
+    #: task_id → error string for tasks the workers gave up on (poison
+    #: tasks).  Partial-result policy: the run still terminates, with
+    #: ``complete`` False and ``solution`` aggregated over what arrived.
+    dead_letters: dict[int, str] = field(default_factory=dict)
+    complete: bool = True
+    duplicate_results: int = 0
+    replicated_tasks: int = 0
 
     @property
     def planning_plus_aggregation_ms(self) -> float:
@@ -68,6 +75,8 @@ class Master:
         straggler_timeout_ms: float = 5_000.0,
         max_replicas: int = 2,
         model_time: bool = True,
+        dead_letter_poll_ms: float = 1_000.0,
+        give_up_after_ms: Optional[float] = None,
     ) -> None:
         self.runtime = runtime
         self.node = node
@@ -78,6 +87,13 @@ class Master:
         self.straggler_timeout_ms = straggler_timeout_ms
         self.max_replicas = max_replicas
         self.model_time = model_time  # charge planning/agg CPU (simulation only)
+        #: How often the aggregation loop wakes to drain dead letters when
+        #: no result arrives (virtual-time polls are one heap event each).
+        self.dead_letter_poll_ms = dead_letter_poll_ms
+        #: Quiet period after which the master abandons the run with a
+        #: partial result instead of spinning on replication forever.
+        #: ``None`` (default) keeps the wait-for-last-task semantics.
+        self.give_up_after_ms = give_up_after_ms
         self.replicated_tasks = 0
         self.duplicate_results = 0
         self._cancelled = False
@@ -111,19 +127,33 @@ class Master:
         template = ResultEntry(app_id=app.app_id)
         results: dict[int, Any] = {}
         by_worker: dict[str, int] = {}
+        dead: dict[int, str] = {}
         task_by_id = {task.task_id: task for task in tasks}
         replicas: dict[int, int] = {}
         last_progress = self.runtime.now()
-        while len(results) < len(tasks):
+        while len(results) + len(dead) < len(tasks):
             if self._cancelled:
                 break
-            wait_ms = self.straggler_timeout_ms if self.eager_scheduling else None
+            wait_ms = (self.straggler_timeout_ms if self.eager_scheduling
+                       else self.dead_letter_poll_ms)
             entry = self.space.take(template, timeout_ms=wait_ms)
             if entry is None:
-                # Eager scheduling: everything is taken but a result is
-                # overdue — race replicas against the stragglers.
-                if self.runtime.now() - last_progress >= self.straggler_timeout_ms:
-                    self._replicate_stragglers(task_by_id, results, replicas)
+                # No result: look for quarantined tasks (their result will
+                # never come), then consider straggler replication / giving
+                # up with a partial solution.
+                if self._drain_dead_letters(dead, results):
+                    last_progress = self.runtime.now()
+                    continue
+                now = self.runtime.now()
+                if self.eager_scheduling and \
+                        now - last_progress >= self.straggler_timeout_ms:
+                    self._replicate_stragglers(task_by_id, results, replicas, dead)
+                if self.give_up_after_ms is not None and \
+                        now - last_progress >= self.give_up_after_ms:
+                    missing = len(tasks) - len(results) - len(dead)
+                    self.metrics.event("master-gave-up", app=app.app_id,
+                                       missing=missing)
+                    break
                 continue
             last_progress = self.runtime.now()
             if entry.task_id in results:
@@ -134,12 +164,26 @@ class Master:
             if self.model_time and cost > 0:
                 self.node.cpu.execute(cost)
             results[entry.task_id] = entry.payload
+            # A replica's late success trumps an earlier dead letter.
+            dead.pop(entry.task_id, None)
             if entry.worker:
                 by_worker[entry.worker] = by_worker.get(entry.worker, 0) + 1
             max_overhead = max(max_overhead, self.runtime.now() - t0)
+        self._drain_dead_letters(dead, results)
         if self.eager_scheduling:
             self._drain_leftovers(template, task_by_id)
-        solution = None if self._cancelled else app.aggregate(results)
+        complete = not self._cancelled and len(results) == len(tasks)
+        if self._cancelled:
+            solution = None
+        elif complete:
+            solution = app.aggregate(results)
+        else:
+            # Partial-result policy: hand the application what arrived;
+            # apps that insist on completeness make the solution None.
+            try:
+                solution = app.aggregate(results)
+            except Exception:  # noqa: BLE001 - partial set rejected by the app
+                solution = None
         now = self.runtime.now()
         aggregation_ms = now - aggregation_started
         parallel_ms = now - started
@@ -147,6 +191,8 @@ class Master:
         if self.replicated_tasks:
             self.metrics.scalar(f"master/{app.app_id}/replicated_tasks",
                                 self.replicated_tasks)
+        if dead:
+            self.metrics.scalar(f"master/{app.app_id}/dead_letters", len(dead))
         self.metrics.scalar(f"master/{app.app_id}/aggregation_ms", aggregation_ms)
         self.metrics.scalar(f"master/{app.app_id}/parallel_ms", parallel_ms)
         return MasterReport(
@@ -158,24 +204,53 @@ class Master:
             parallel_ms=parallel_ms,
             max_task_overhead_ms=max_overhead,
             results_by_worker=by_worker,
+            dead_letters=dead,
+            complete=complete,
+            duplicate_results=self.duplicate_results,
+            replicated_tasks=self.replicated_tasks,
         )
 
     # -- eager scheduling internals ------------------------------------------------
+
+    def _drain_dead_letters(self, dead: dict[int, str],
+                            results: dict[int, Any]) -> bool:
+        """Consume every quarantined task currently in the space.
+
+        A dead letter for a task that some replica already completed is
+        dropped — the result won the race.  Returns True if anything new
+        was recorded (progress, for the give-up clock)."""
+        template = DeadLetterEntry(app_id=self.app.app_id)
+        progressed = False
+        while True:
+            entry = self.space.take_if_exists(template)
+            if entry is None:
+                return progressed
+            if entry.task_id in results or entry.task_id in dead:
+                continue
+            dead[entry.task_id] = entry.error or "unknown error"
+            progressed = True
+            self.metrics.event(
+                "dead-letter-received", app=self.app.app_id,
+                task_id=entry.task_id, worker=entry.worker,
+                attempts=entry.attempts,
+            )
 
     def _replicate_stragglers(
         self,
         task_by_id: dict[int, Task],
         results: dict[int, Any],
         replicas: dict[int, int],
+        dead: dict[int, str],
     ) -> None:
         """Re-write task entries whose result is overdue.
 
         Only tasks with no visible entry left in the space (i.e. taken by
         some worker that has gone quiet) are replicated, at most
-        ``max_replicas`` times each.
+        ``max_replicas`` times each.  Dead-lettered tasks are not raced:
+        they failed deterministically, another attempt would too.
         """
         for task_id, task in task_by_id.items():
-            if task_id in results:
+            if task_id in results or task_id in dead:
                 continue
             if replicas.get(task_id, 0) >= self.max_replicas:
                 continue

@@ -21,10 +21,15 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.errors import ConnectionClosedError, IllegalTransitionError
+from repro.errors import (
+    ConnectionClosedError,
+    ConnectionRefusedError_,
+    IllegalTransitionError,
+    SpaceError,
+)
 from repro.core.application import Application
 from repro.core.config_engine import RemoteNodeConfigurationEngine
-from repro.core.entries import ResultEntry, TaskEntry
+from repro.core.entries import DeadLetterEntry, ResultEntry, TaskEntry
 from repro.core.metrics import Metrics
 from repro.core.signals import Signal
 from repro.core.states import WorkerState, WorkerStateMachine
@@ -32,7 +37,7 @@ from repro.net.address import Address
 from repro.net.network import Network, StreamSocket
 from repro.node.machine import Node
 from repro.runtime.base import Runtime
-from repro.tuplespace.proxy import SpaceProxy
+from repro.tuplespace.proxy import RecoveryPolicy, RemoteTransaction, SpaceProxy
 from repro.util.log import get_logger
 
 __all__ = ["WorkerHost"]
@@ -56,6 +61,9 @@ class WorkerHost:
         compute_real: bool = True,
         transactional: bool = False,
         model_time: bool = True,
+        max_task_attempts: int = 3,
+        recovery: Optional[RecoveryPolicy] = None,
+        recovery_rng: Any = None,
     ) -> None:
         self.runtime = runtime
         self.node = node
@@ -70,6 +78,12 @@ class WorkerHost:
         # simulation (results real, time modelled); False on the threaded
         # runtime, where the real computation takes real time already.
         self.model_time = model_time
+        # Poison-task quarantine: after this many application failures a
+        # task is written out as a DeadLetterEntry instead of retried.
+        self.max_task_attempts = max_task_attempts
+        # Self-healing: reconnect/backoff policy (None = legacy fail-stop).
+        self.recovery = recovery
+        self._recovery_rng = recovery_rng
         self.crashed = False
         self.network: Network = node.network
         self.engine = RemoteNodeConfigurationEngine(
@@ -276,16 +290,67 @@ class WorkerHost:
             self.engine.load_classes(self.app.app_id)
             self.metrics.event("class-load", worker=self.node.hostname)
         self._honored(Signal.START, start_received_at)
-        proxy = SpaceProxy(self.network, self.node.hostname, self.space_address)
+        proxy = SpaceProxy(
+            self.network, self.node.hostname, self.space_address,
+            recovery=self.recovery, rng=self._recovery_rng, metrics=self.metrics,
+        )
         self._proxy = proxy
         template = TaskEntry(app_id=self.app.app_id)
+        disconnects = 0                       # consecutive failed cycles
+        disconnected_at: Optional[float] = None
         try:
             while self.running and generation == self._loop_generation:
                 if not self.engine.wait_for_clearance(self._honored):
                     break
-                self._one_task(proxy, template)
-        except ConnectionClosedError:
-            pass  # space server gone or this node crashed
+                try:
+                    self._one_task(proxy, template)
+                except (ConnectionClosedError, ConnectionRefusedError_):
+                    # Space unreachable: either this node died, or the link
+                    # or server did.  In the latter case, with a recovery
+                    # policy, back off and retry — a healed partition or a
+                    # restarted space server must not kill the worker.
+                    if self.crashed or not self.running or self.recovery is None:
+                        raise
+                    disconnects += 1
+                    if disconnected_at is None:
+                        disconnected_at = self.runtime.now()
+                    if disconnects > self.recovery.max_retries:
+                        self.metrics.event(
+                            "worker-gave-up", worker=self.node.hostname,
+                            attempts=disconnects - 1,
+                        )
+                        if self.machine.can_apply(Signal.STOP):
+                            self.machine.apply(Signal.STOP)
+                        break
+                    self.metrics.event(
+                        "worker-reconnect", worker=self.node.hostname,
+                        attempt=disconnects,
+                    )
+                    self.runtime.sleep(
+                        self.recovery.backoff_ms(disconnects, self._recovery_rng)
+                    )
+                else:
+                    if disconnected_at is not None:
+                        self.metrics.event(
+                            "worker-recovered", worker=self.node.hostname,
+                            latency_ms=self.runtime.now() - disconnected_at,
+                            attempts=disconnects,
+                        )
+                        disconnected_at = None
+                    disconnects = 0
+        except (ConnectionClosedError, ConnectionRefusedError_):
+            pass  # space server gone for good or this node crashed
+        except Exception as exc:  # noqa: BLE001 - must not kill the host silently
+            # An unexpected error (bad reply, marshalled server error…)
+            # used to unwind the host with no trace and leave the state
+            # machine claiming Running.  Record it and stop cleanly.
+            self.metrics.event(
+                "worker-error", worker=self.node.hostname, error=repr(exc),
+            )
+            _log.warning("t=%.0fms %s: worker loop error: %r",
+                         self.runtime.now(), self.node.hostname, exc)
+            if self.machine.can_apply(Signal.STOP):
+                self.machine.apply(Signal.STOP)
         finally:
             if not self.crashed:
                 proxy.close()
@@ -304,33 +369,81 @@ class WorkerHost:
 
         With ``transactional`` takes, the whole cycle runs under a space
         transaction: if this node dies before committing, the server
-        aborts and the task entry reappears for other workers.
+        aborts and the task entry reappears for other workers.  The
+        ``finally`` guarantees the transaction never outlives the cycle —
+        an application exception must not strand a FOREVER-leased txn
+        holding the taken task hostage.
         """
         txn = proxy.transaction() if self.transactional else None
-        task = proxy.take(template, txn=txn, timeout_ms=self.worker_poll_ms)
-        if task is None:
+        try:
+            task = proxy.take(template, txn=txn, timeout_ms=self.worker_poll_ms)
+            if task is None:
+                return
+            if self.first_take_ms is None:
+                self.first_take_ms = self.runtime.now()
+            compute_started = self.runtime.now()
+            try:
+                payload = self._compute(task.payload, task.task_id)
+            except Exception as exc:  # noqa: BLE001 - poison-task quarantine
+                self._quarantine(proxy, txn, task, exc)
+                return
+            compute_ms = self.runtime.now() - compute_started
+            proxy.write(
+                ResultEntry(
+                    app_id=self.app.app_id,
+                    task_id=task.task_id,
+                    payload=payload,
+                    worker=self.node.hostname,
+                    compute_ms=compute_ms,
+                ),
+                txn=txn,
+            )
             if txn is not None:
-                txn.abort()
-            return
-        if self.first_take_ms is None:
-            self.first_take_ms = self.runtime.now()
-        compute_started = self.runtime.now()
-        payload = self._compute(task.payload, task.task_id)
-        compute_ms = self.runtime.now() - compute_started
-        proxy.write(
-            ResultEntry(
-                app_id=self.app.app_id,
-                task_id=task.task_id,
-                payload=payload,
-                worker=self.node.hostname,
-                compute_ms=compute_ms,
-            ),
-            txn=txn,
-        )
+                txn.commit()
+            self.last_result_ms = self.runtime.now()
+            self.tasks_done += 1
+        finally:
+            if txn is not None and not txn.completed:
+                self._abort_quietly(txn)
+
+    def _quarantine(self, proxy: SpaceProxy, txn: Optional[RemoteTransaction],
+                    task: TaskEntry, exc: Exception) -> None:
+        """Application code failed on ``task``: requeue it with a bumped
+        attempt count, or dead-letter it once the budget is exhausted.
+
+        Committing the same transaction that took the task makes the swap
+        atomic: the original entry disappears exactly when its replacement
+        (or dead letter) becomes visible."""
+        attempts = (task.attempts or 0) + 1
+        if attempts >= self.max_task_attempts:
+            self.metrics.event(
+                "dead-letter", worker=self.node.hostname,
+                task_id=task.task_id, attempts=attempts, error=repr(exc),
+            )
+            replacement: Any = DeadLetterEntry(
+                app_id=self.app.app_id, task_id=task.task_id,
+                payload=task.payload, error=repr(exc),
+                worker=self.node.hostname, attempts=attempts,
+            )
+        else:
+            self.metrics.event(
+                "task-requeued", worker=self.node.hostname,
+                task_id=task.task_id, attempts=attempts, error=repr(exc),
+            )
+            replacement = TaskEntry(
+                self.app.app_id, task.task_id, task.payload, attempts=attempts,
+            )
+        proxy.write(replacement, txn=txn)
         if txn is not None:
             txn.commit()
-        self.last_result_ms = self.runtime.now()
-        self.tasks_done += 1
+
+    def _abort_quietly(self, txn: RemoteTransaction) -> None:
+        """Abort a leftover transaction; the connection may already be
+        gone, in which case the server aborted it when the link dropped."""
+        try:
+            txn.abort()
+        except (ConnectionClosedError, ConnectionRefusedError_, SpaceError):
+            txn.completed = True
 
     def _compute(self, payload: Any, task_id: int) -> Any:
         """Charge the modelled CPU cost, then run the real computation."""

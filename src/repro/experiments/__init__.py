@@ -28,6 +28,11 @@ from repro.experiments.scalability import ScalabilityResult, scalability_experim
 from repro.experiments.adaptation import AdaptationResult, adaptation_experiment
 from repro.experiments.dynamics import DynamicsResult, dynamics_experiment
 from repro.experiments.classify import classify_applications
+from repro.experiments.chaos import (
+    ChaosResult,
+    chaos_experiment,
+    verify_chaos_determinism,
+)
 
 __all__ = [
     "APP_FACTORIES",
@@ -41,6 +46,9 @@ __all__ = [
     "dynamics_experiment",
     "DynamicsResult",
     "classify_applications",
+    "ChaosResult",
+    "chaos_experiment",
+    "verify_chaos_determinism",
     "make_options_app",
     "make_raytrace_app",
     "make_prefetch_app",

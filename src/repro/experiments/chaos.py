@@ -1,0 +1,197 @@
+"""Chaos experiment: self-healing under a seeded fault campaign.
+
+The acceptance scenario for the robustness layer: a deployment with
+reconnecting proxies, transactional takes and poison-task quarantine runs
+a bag-of-tasks job while a :class:`~repro.faults.FaultPlan` crashes a
+worker, flaps a link, and restarts the space server — plus one poison
+task whose application code always raises.  The run must still terminate
+with the correct solution over the non-poison tasks, the poison task
+dead-lettered in the :class:`~repro.core.master.MasterReport`, and an
+identical recovery-event trace when replayed from the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.application import Application, ClassLoadProfile, Task
+from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
+from repro.core.master import MasterReport
+from repro.experiments.harness import run_simulation
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.node.cluster import testbed_small
+from repro.runtime import SimulatedRuntime
+from repro.sim.rng import RandomStreams
+
+__all__ = ["PoisonedSquares", "ChaosResult", "chaos_experiment",
+           "default_chaos_plan", "verify_chaos_determinism"]
+
+
+class PoisonedSquares(Application):
+    """Sum of squares with designated poison tasks that always raise.
+
+    Unlike the strict toy app, ``aggregate`` tolerates a partial result
+    set — the partial-result policy is the point of the experiment."""
+
+    app_id = "chaos-squares"
+
+    def __init__(self, n: int = 24, poison: Sequence[int] = (7,),
+                 task_cost: float = 800.0) -> None:
+        self.n = n
+        self.poison = frozenset(poison)
+        self._task_cost = task_cost
+
+    def plan(self) -> list[Task]:
+        return [Task(task_id=i, payload=i) for i in range(self.n)]
+
+    def execute(self, payload: Any) -> Any:
+        if payload in self.poison:
+            raise RuntimeError(f"poison task {payload}")
+        return payload * payload
+
+    def aggregate(self, results: dict[int, Any]) -> Any:
+        return sum(results.values())
+
+    def expected_solution(self) -> int:
+        """The correct sum over every task that can possibly complete."""
+        return sum(i * i for i in range(self.n) if i not in self.poison)
+
+    def task_cost_ms(self, task: Task) -> float:
+        return self._task_cost
+
+    def planning_cost_ms(self, task: Task) -> float:
+        return 2.0
+
+    def aggregation_cost_ms(self, task_id: int, result: Any) -> float:
+        return 1.0
+
+    def classload_profile(self) -> ClassLoadProfile:
+        return ClassLoadProfile(work_ref_ms=100.0, demand_percent=80.0,
+                                bundle_bytes=50_000)
+
+
+#: The recovery-observability events that make up the replayable trace.
+TRACE_EVENTS = frozenset({
+    "fault-injected", "fault-healed",
+    "proxy-reconnected", "proxy-retry",
+    "worker-reconnect", "worker-recovered", "worker-gave-up", "worker-error",
+    "task-requeued", "dead-letter", "dead-letter-received",
+    "task-replicated", "master-gave-up",
+})
+
+
+@dataclass
+class ChaosResult:
+    """Everything the chaos acceptance criteria check."""
+
+    seed: int
+    report: MasterReport
+    expected_solution: int
+    trace: list[tuple[float, str, tuple]] = field(default_factory=list)
+    faults_injected: int = 0
+    faults_healed: int = 0
+
+    @property
+    def correct(self) -> bool:
+        return self.report.solution == self.expected_solution
+
+    def events_named(self, name: str) -> list[tuple[float, tuple]]:
+        return [(t, p) for t, n, p in self.trace if n == name]
+
+    def format_summary(self) -> str:
+        r = self.report
+        lines = [
+            f"Chaos run — seed {self.seed}",
+            f"  solution   : {r.solution} (expected {self.expected_solution}, "
+            f"{'OK' if self.correct else 'WRONG'})",
+            f"  complete   : {r.complete}; dead letters: {dict(r.dead_letters)}",
+            f"  faults     : {self.faults_injected} injected, "
+            f"{self.faults_healed} healed",
+            f"  duplicates : {r.duplicate_results}; replicas: {r.replicated_tasks}",
+            f"  trace      : {len(self.trace)} recovery events",
+        ]
+        for t, name, payload in self.trace:
+            lines.append(f"    t={t:>9.1f}ms {name:<20} {dict(payload)}")
+        return "\n".join(lines)
+
+
+def default_chaos_plan(hosts: Sequence[str]) -> FaultPlan:
+    """The hand-written acceptance campaign: one of each failure mode."""
+    hosts = list(hosts)
+    plan = FaultPlan()
+    if len(hosts) > 0:
+        plan.add(FaultEvent(2_500.0, FaultKind.WORKER_CRASH, target=hosts[0]))
+    if len(hosts) > 1:
+        plan.add(FaultEvent(4_000.0, FaultKind.LINK_FLAP, target=hosts[1],
+                            duration_ms=1_500.0))
+    plan.add(FaultEvent(6_000.0, FaultKind.SERVER_RESTART, duration_ms=800.0))
+    return plan
+
+
+def chaos_experiment(
+    seed: int = 42,
+    workers: int = 4,
+    tasks: int = 24,
+    poison: Sequence[int] = (7,),
+    plan: Optional[FaultPlan] = None,
+    random_plan: bool = False,
+    give_up_after_ms: float = 30_000.0,
+) -> ChaosResult:
+    """Run the acceptance scenario; fully replayable from ``seed``."""
+
+    def body(runtime: SimulatedRuntime) -> ChaosResult:
+        streams = RandomStreams(seed)
+        cluster = testbed_small(runtime, workers=workers, streams=streams)
+        app = PoisonedSquares(n=tasks, poison=poison)
+        framework = AdaptiveClusterFramework(
+            runtime, cluster, app,
+            FrameworkConfig(
+                monitoring=False,           # faults drive the run, not load
+                compute_real=True,
+                transactional_takes=True,   # crash-safe takes
+                eager_scheduling=True,      # replicate around dead workers
+                straggler_timeout_ms=2_000.0,
+                max_task_attempts=2,
+                rpc_timeout_ms=1_000.0,     # notice a partitioned server fast
+                dead_letter_poll_ms=500.0,
+                give_up_after_ms=give_up_after_ms,
+            ),
+        )
+        framework.start()
+        framework.start_all_workers()
+        hostnames = [node.hostname for node in cluster.workers]
+        campaign = plan
+        if campaign is None:
+            campaign = (FaultPlan.generate(streams.stream("fault-plan"),
+                                           hostnames)
+                        if random_plan else default_chaos_plan(hostnames))
+        injector = FaultInjector.for_framework(
+            framework, campaign, rng=streams.stream("chaos-net"))
+        injector.arm()
+        report = framework.master.run()
+        injector.disarm()       # late plan entries must not hit the teardown
+        framework.shutdown()
+        trace = [
+            (t, name, tuple(sorted(payload.items())))
+            for t, name, payload in framework.metrics.events
+            if name in TRACE_EVENTS
+        ]
+        return ChaosResult(
+            seed=seed,
+            report=report,
+            expected_solution=app.expected_solution(),
+            trace=trace,
+            faults_injected=injector.injected,
+            faults_healed=injector.healed,
+        )
+
+    return run_simulation(body)
+
+
+def verify_chaos_determinism(seed: int = 42, **kwargs: Any) -> bool:
+    """Run the campaign twice; True iff the recovery traces are identical."""
+    first = chaos_experiment(seed=seed, **kwargs)
+    second = chaos_experiment(seed=seed, **kwargs)
+    return first.trace == second.trace and \
+        first.report.solution == second.report.solution

@@ -1,0 +1,13 @@
+"""Deterministic chaos injection for the simulated cluster.
+
+The fault model and its recovery mechanisms are catalogued in DESIGN.md
+("Fault model & recovery").  A :class:`FaultPlan` is replayable data, a
+:class:`FaultInjector` arms it against a live deployment, and
+:class:`~repro.net.network.ChaosProfile` supplies the probabilistic
+message-level faults.
+"""
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultEvent", "FaultKind", "FaultPlan", "FaultInjector"]

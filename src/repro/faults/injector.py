@@ -1,0 +1,135 @@
+"""Arms a :class:`~repro.faults.plan.FaultPlan` on a live deployment.
+
+One runtime process per scheduled event sleeps in virtual time until the
+event fires, applies the fault, and — for faults with a duration — sleeps
+again and heals it.  Everything runs on the simulation clock, so a chaos
+campaign is as deterministic as the plan and the RNG streams feeding it.
+
+Every injection and heal is recorded as a metrics event
+(``fault-injected`` / ``fault-healed``) so recovery latencies can be read
+straight out of the trace next to ``proxy-reconnected`` /
+``worker-recovered`` / ``dead-letter`` events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.metrics import Metrics
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.net.network import Network
+from repro.runtime.base import Runtime
+from repro.util.log import get_logger
+
+__all__ = ["FaultInjector"]
+
+_log = get_logger("faults")
+
+
+class FaultInjector:
+    """Applies a fault plan to workers, links, and the space server."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        network: Network,
+        plan: FaultPlan,
+        metrics: Metrics,
+        worker_hosts: Optional[dict[str, object]] = None,
+        space_server: Optional[object] = None,
+        rng=None,
+    ) -> None:
+        self.runtime = runtime
+        self.network = network
+        self.plan = plan
+        self.metrics = metrics
+        self.worker_hosts = worker_hosts or {}
+        self.space_server = space_server
+        self._rng = rng          # drives ChaosProfile drop/delay draws
+        self.injected = 0
+        self.healed = 0
+        self._armed = False
+        self._disarmed = False
+
+    @classmethod
+    def for_framework(cls, framework, plan: FaultPlan, rng=None) -> "FaultInjector":
+        """Wire an injector to a started AdaptiveClusterFramework."""
+        hosts = {h.node.hostname: h for h in framework.worker_hosts}
+        return cls(
+            framework.runtime, framework.cluster.network, plan,
+            framework.metrics, worker_hosts=hosts,
+            space_server=framework.space_server, rng=rng,
+        )
+
+    def arm(self) -> None:
+        """Schedule every event in the plan (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        for index, event in enumerate(self.plan):
+            self.runtime.spawn(
+                lambda e=event: self._run_event(e),
+                name=f"fault:{index}:{event.kind}",
+            )
+
+    def disarm(self) -> None:
+        """Suppress any event that has not fired yet (the run is over;
+        faults must not hit a framework being shut down)."""
+        self._disarmed = True
+
+    # -- internals ------------------------------------------------------------------
+
+    def _run_event(self, event: FaultEvent) -> None:
+        delay = event.at_ms - self.runtime.now()
+        if delay > 0:
+            self.runtime.sleep(delay)
+        if self._disarmed:
+            return
+        self._apply(event)
+        if event.duration_ms is not None and event.kind != FaultKind.WORKER_CRASH:
+            self.runtime.sleep(event.duration_ms)
+            if not self._disarmed:
+                self._heal(event)
+
+    def _record(self, phase: str, event: FaultEvent) -> None:
+        self.metrics.event(
+            phase, kind=event.kind, target=event.target,
+            duration_ms=event.duration_ms,
+        )
+        _log.info("t=%.0fms %s: %s", self.runtime.now(), phase,
+                  event.describe())
+
+    def _apply(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind == FaultKind.WORKER_CRASH:
+            host = self.worker_hosts.get(event.target)
+            if host is None:
+                return
+            host.crash()
+        elif kind == FaultKind.LINK_FLAP:
+            if event.target is None:
+                return
+            self.network.isolate(event.target)
+        elif kind == FaultKind.SERVER_RESTART:
+            if self.space_server is None:
+                return
+            self.space_server.crash()
+        elif kind == FaultKind.CHAOS_WINDOW:
+            self.network.set_chaos(event.profile, rng=self._rng)
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.injected += 1
+        self._record("fault-injected", event)
+
+    def _heal(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind == FaultKind.LINK_FLAP:
+            self.network.heal(event.target)
+        elif kind == FaultKind.SERVER_RESTART:
+            self.space_server.start()
+        elif kind == FaultKind.CHAOS_WINDOW:
+            self.network.clear_chaos()
+        else:
+            return
+        self.healed += 1
+        self._record("fault-healed", event)

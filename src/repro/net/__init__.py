@@ -16,6 +16,7 @@ exactly like a real network would.
 from repro.net.address import Address
 from repro.net.latency import LatencyModel
 from repro.net.network import (
+    ChaosProfile,
     DatagramSocket,
     Listener,
     MessageQueue,
@@ -25,6 +26,7 @@ from repro.net.network import (
 
 __all__ = [
     "Address",
+    "ChaosProfile",
     "LatencyModel",
     "Network",
     "DatagramSocket",

@@ -8,6 +8,7 @@ works under virtual and wall-clock time.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
@@ -23,7 +24,26 @@ from repro.net.latency import LatencyModel
 from repro.runtime.base import Runtime
 from repro.util.serialization import deserialize, serialize
 
-__all__ = ["Network", "DatagramSocket", "StreamSocket", "Listener", "MessageQueue"]
+__all__ = ["ChaosProfile", "Network", "DatagramSocket", "StreamSocket", "Listener",
+           "MessageQueue"]
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Probabilistic misbehaviour layered on top of the latency model.
+
+    Datagrams are dropped silently (UDP semantics).  Streams are reliable
+    by contract, so a "dropped" stream message models a segment lost past
+    the retry budget: the connection is reset and both endpoints observe
+    :class:`ConnectionClosedError` — which is what a flaky link looks like
+    to a TCP application.  Extra delay is exponential with mean
+    ``extra_delay_ms``, applied with probability ``delay_probability``.
+    """
+
+    datagram_drop: float = 0.0
+    stream_drop: float = 0.0
+    extra_delay_ms: float = 0.0
+    delay_probability: float = 1.0
 
 
 class MessageQueue:
@@ -201,11 +221,50 @@ class Network:
         self._multicast: dict[Address, set[DatagramSocket]] = {}
         self._egress_free_at: dict[str, float] = {}  # bandwidth contention
         self._isolated: set[str] = set()             # partitioned hosts
+        self._chaos: Optional[ChaosProfile] = None
+        self._chaos_rng: Optional[np.random.Generator] = None
         self._ephemeral_port = 49152
         self.stats = {"datagrams": 0, "datagram_bytes": 0, "messages": 0, "message_bytes": 0,
-                      "dropped": 0}
+                      "dropped": 0, "resets": 0}
 
     # -- fault injection ----------------------------------------------------------
+
+    def set_chaos(self, profile: ChaosProfile,
+                  rng: Optional[np.random.Generator] = None) -> None:
+        """Enable probabilistic drop/delay injection.
+
+        ``rng`` should be a dedicated seeded stream (e.g.
+        ``RandomStreams.stream("chaos")``) so enabling chaos never perturbs
+        the draws of the baseline latency model.
+        """
+        self._chaos = profile
+        if rng is not None:
+            self._chaos_rng = rng
+
+    def clear_chaos(self) -> None:
+        self._chaos = None
+
+    def _chaos_drops(self, probability: float) -> bool:
+        if self._chaos is None or probability <= 0.0 or self._chaos_rng is None:
+            return False
+        return bool(self._chaos_rng.random() < probability)
+
+    def _chaos_delay_ms(self) -> float:
+        chaos = self._chaos
+        if chaos is None or chaos.extra_delay_ms <= 0.0 or self._chaos_rng is None:
+            return 0.0
+        if chaos.delay_probability < 1.0 and \
+                self._chaos_rng.random() >= chaos.delay_probability:
+            return 0.0
+        return float(self._chaos_rng.exponential(chaos.extra_delay_ms))
+
+    def _reset_stream(self, a: "StreamSocket", b: "StreamSocket") -> None:
+        """Tear down both endpoints at once (TCP reset, not graceful EOF)."""
+        self.stats["resets"] += 1
+        for sock in (a, b):
+            if not sock.closed:
+                sock.closed = True
+                sock._queue.close()
 
     def isolate(self, host: str) -> None:
         """Partition ``host`` off the segment: all its traffic (both
@@ -280,8 +339,12 @@ class Network:
         self._schedule_datagram(data, source, target)
 
     def _schedule_datagram(self, data: bytes, source: Address, target: DatagramSocket) -> None:
+        if self._chaos is not None and self._chaos_drops(self._chaos.datagram_drop):
+            self.stats["dropped"] += 1
+            return
         delay = self.latency.delay_ms(len(data), self._rng)
         delay += self._egress_delay(source.host, len(data))
+        delay += self._chaos_delay_ms()
         self.runtime.call_later(delay, lambda: target._deliver(data, source))
 
     # -- multicast ----------------------------------------------------------------
@@ -329,9 +392,21 @@ class Network:
         if self._partitioned(sender.local.host, receiver.local.host):
             self.stats["dropped"] += 1
             return  # vanishes on the wire; the receiver just waits
+        if self._chaos is not None and self._chaos_drops(self._chaos.stream_drop):
+            # A reliable stream that loses a segment for good is a dead
+            # connection: reset both endpoints after the one-way delay.
+            # (No sequence number is allocated, so the reorder buffer of
+            # messages already in flight is not poisoned.)
+            self.stats["dropped"] += 1
+            self.runtime.call_later(
+                self.latency.base_ms,
+                lambda: self._reset_stream(sender, receiver),
+            )
+            return
         now = self.runtime.now()
         delay = self.latency.delay_ms(len(data), self._rng)
         delay += self._egress_delay(sender.local.host, len(data))
+        delay += self._chaos_delay_ms()
         # Reliable ordered delivery: never deliver before an earlier message.
         arrival = max(now + delay, receiver._last_arrival)
         receiver._last_arrival = arrival

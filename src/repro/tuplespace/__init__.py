@@ -23,9 +23,10 @@ from repro.tuplespace.lease import Lease, FOREVER
 from repro.tuplespace.events import EventRegistration, RemoteEvent
 from repro.tuplespace.transaction import Transaction, TransactionManager
 from repro.tuplespace.space import JavaSpace
-from repro.tuplespace.proxy import SpaceProxy, SpaceServer
+from repro.tuplespace.proxy import RecoveryPolicy, SpaceProxy, SpaceServer
 
 __all__ = [
+    "RecoveryPolicy",
     "Entry",
     "entry_fields",
     "matches",

@@ -11,9 +11,15 @@ transactions (a worker crash mid-task restores the task entry).
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.errors import ConnectionClosedError, SpaceError, TransactionError
+from repro.errors import (
+    ConnectionClosedError,
+    ConnectionRefusedError_,
+    SpaceError,
+    TransactionError,
+)
 from repro.net.address import Address
 from repro.net.network import Network, StreamSocket
 from repro.runtime.base import Runtime
@@ -23,7 +29,40 @@ from repro.tuplespace.lease import FOREVER
 from repro.tuplespace.space import JavaSpace
 from repro.tuplespace.transaction import Transaction, TransactionManager
 
-__all__ = ["SpaceServer", "SpaceProxy", "RemoteTransaction"]
+__all__ = ["SpaceServer", "SpaceProxy", "RemoteTransaction", "RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Self-healing parameters for a :class:`SpaceProxy`.
+
+    Backoff is capped exponential with multiplicative jitter drawn from a
+    simulation RNG stream (never the wall clock), so recovery schedules
+    replay exactly under a fixed seed.  ``call_timeout_ms`` bounds how long
+    one RPC waits for its reply before the connection is declared dead —
+    without it a request lost to a partition would block forever.
+    """
+
+    max_retries: int = 8
+    base_backoff_ms: float = 50.0
+    max_backoff_ms: float = 2_000.0
+    jitter: float = 0.5
+    call_timeout_ms: Optional[float] = 10_000.0
+
+    def backoff_ms(self, attempt: int, rng: Any = None) -> float:
+        delay = min(self.max_backoff_ms,
+                    self.base_backoff_ms * (2.0 ** max(0, attempt - 1)))
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * float(rng.random())
+        return delay
+
+
+#: Operations safe to re-issue blindly after a reconnect: they either do
+#: not mutate the space or (``txn_create``) create fresh state.  A retried
+#: ``take``/``write`` could consume or duplicate an entry whose first
+#: attempt actually landed, so those surface the disconnect to the caller,
+#: whose transaction was aborted server-side anyway.
+_IDEMPOTENT_OPS = frozenset({"read", "count", "contents", "ping", "txn_create"})
 
 
 class SpaceServer:
@@ -45,30 +84,48 @@ class SpaceServer:
         self._listener = None
         self._running = False
         self._conn_ids = itertools.count(1)
+        self._connections: set[StreamSocket] = set()
         self._event_channels: dict[Address, StreamSocket] = {}
+        self.restarts = 0
 
     def start(self) -> None:
+        """Start (or, after :meth:`stop`/:meth:`crash`, restart) serving."""
         if self._running:
             return
+        if self._listener is not None:
+            self.restarts += 1
         self._listener = self.network.listen(self.address)
         self._running = True
         self.runtime.spawn(self._accept_loop, name=f"space-server:{self.address}")
 
     def stop(self) -> None:
+        """Graceful stop: refuse new connections, leave open ones alone."""
         self._running = False
         if self._listener is not None:
             self._listener.close()
 
+    def crash(self) -> None:
+        """Abrupt server death: every live connection drops, so clients see
+        :class:`ConnectionClosedError` and their open transactions abort —
+        in-flight takes roll back exactly as on a real server restart.
+        The space contents survive (restart = same JVM state here; a
+        durable space is a non-goal of the paper's model)."""
+        self.stop()
+        for conn in list(self._connections):
+            conn.close()
+
     # -- server loops -----------------------------------------------------------
 
     def _accept_loop(self) -> None:
+        listener = self._listener
         while self._running:
             try:
-                conn = self._listener.accept(timeout_ms=None)
+                conn = listener.accept(timeout_ms=None)
             except ConnectionClosedError:
                 return
             if conn is None:
                 continue
+            self._connections.add(conn)
             conn_id = next(self._conn_ids)
             self.runtime.spawn(
                 lambda c=conn: self._serve(c), name=f"space-conn-{conn_id}"
@@ -92,6 +149,7 @@ class SpaceServer:
         except ConnectionClosedError:
             pass
         finally:
+            self._connections.discard(conn)
             for txn in transactions.values():
                 if txn.state == "active":
                     txn.abort()
@@ -242,16 +300,37 @@ class SpaceProxy:
 
     One proxy per client process: requests are serialized on a single
     connection (matching the blocking JavaSpaces client API).
+
+    With a :class:`RecoveryPolicy` the proxy is *self-healing*: a dropped
+    or timed-out connection is re-established with capped exponential
+    backoff (jitter drawn from ``rng``, virtual time only), idempotent
+    operations are transparently re-issued, and non-idempotent ones raise
+    :class:`ConnectionClosedError` to let the caller restart its work
+    cycle — its server-side transaction was already aborted by the drop.
     """
 
-    def __init__(self, network: Network, host: str, server_address: Address) -> None:
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        server_address: Address,
+        recovery: Optional[RecoveryPolicy] = None,
+        rng: Any = None,
+        metrics: Any = None,
+    ) -> None:
         self.network = network
         self.host = host
         self.server_address = server_address
+        self.recovery = recovery
+        self._rng = rng
+        self._metrics = metrics
         self._conn: Optional[StreamSocket] = None
         self._event_listener = None
         self._event_handlers: dict[int, Callable[[RemoteEvent], Any]] = {}
         self._failed = False
+        self._connects = 0
+        self.reconnects = 0
+        self.retries = 0
 
     # -- plumbing ------------------------------------------------------------------
 
@@ -269,17 +348,52 @@ class SpaceProxy:
             raise ConnectionClosedError("proxy host crashed")
         if self._conn is None or self._conn.closed:
             self._conn = self.network.connect(self.host, self.server_address)
+            self._connects += 1
+            if self._connects > 1:
+                self.reconnects += 1
+                if self._metrics is not None:
+                    self._metrics.event("proxy-reconnected", host=self.host)
         return self._conn
 
-    def _call(self, op: str, args: dict[str, Any]) -> Any:
+    def _drop_connection(self) -> None:
+        """Discard the current connection so a late reply from a dead RPC
+        can never be mistaken for the next call's answer."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _call_once(self, op: str, args: dict[str, Any]) -> Any:
         conn = self._connection()
         conn.send({"op": op, "args": args})
-        reply = conn.receive(timeout_ms=None)
+        timeout_ms = self.recovery.call_timeout_ms if self.recovery else None
+        reply = conn.receive(timeout_ms=timeout_ms)
         if reply is None:
-            raise ConnectionClosedError("no reply from space server")
+            self._drop_connection()
+            raise ConnectionClosedError(f"space rpc {op!r} timed out")
         if reply.get("ok"):
             return reply.get("value")
         raise SpaceError(f"remote {op} failed: {reply.get('type')}: {reply.get('error')}")
+
+    def _call(self, op: str, args: dict[str, Any]) -> Any:
+        retriable = self.recovery is not None and op in _IDEMPOTENT_OPS
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(op, args)
+            except (ConnectionClosedError, ConnectionRefusedError_):
+                self._drop_connection()
+                if self._failed or not retriable:
+                    raise
+                attempt += 1
+                if attempt > self.recovery.max_retries:
+                    raise
+                self.retries += 1
+                if self._metrics is not None:
+                    self._metrics.event("proxy-retry", host=self.host, op=op,
+                                        attempt=attempt)
+                self.network.runtime.sleep(
+                    self.recovery.backoff_ms(attempt, self._rng)
+                )
 
     def close(self) -> None:
         if self._conn is not None:
