@@ -124,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--random-plan", action="store_true",
                    help="draw the fault schedule from the seed instead of "
                         "the fixed acceptance campaign")
+    p.add_argument("--fault", action="append", dest="faults",
+                   choices=["kill-primary-space", "kill-master"],
+                   help="run the coordinator-fault campaign instead "
+                        "(hot standby + master checkpoints); repeatable")
     p.add_argument("--verify-determinism", action="store_true",
                    help="run twice and require identical recovery traces")
 
@@ -209,6 +213,8 @@ def _price(args) -> None:
 def _chaos(args) -> int:
     from repro.experiments.chaos import chaos_experiment, verify_chaos_determinism
 
+    if args.faults:
+        return _coordination_chaos(args)
     result = chaos_experiment(seed=args.seed, workers=args.workers,
                               tasks=args.tasks, random_plan=args.random_plan)
     print(result.format_summary())
@@ -219,6 +225,31 @@ def _chaos(args) -> int:
         ok = verify_chaos_determinism(seed=args.seed, workers=args.workers,
                                       tasks=args.tasks,
                                       random_plan=args.random_plan)
+        print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
+        if not ok:
+            return 1
+    return 0
+
+
+def _coordination_chaos(args) -> int:
+    from repro.experiments.chaos import (
+        coordination_chaos_experiment,
+        verify_coordination_determinism,
+    )
+
+    result = coordination_chaos_experiment(
+        seed=args.seed, workers=args.workers, tasks=args.tasks,
+        faults=args.faults,
+    )
+    print(result.format_summary())
+    if not result.exactly_once:
+        print("FAIL: job did not complete every task exactly-once")
+        return 1
+    if args.verify_determinism:
+        ok = verify_coordination_determinism(
+            seed=args.seed, workers=args.workers, tasks=args.tasks,
+            faults=args.faults,
+        )
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:
             return 1

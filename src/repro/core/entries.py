@@ -12,7 +12,7 @@ from typing import Any, Optional
 
 from repro.tuplespace.entry import Entry
 
-__all__ = ["TaskEntry", "ResultEntry", "DeadLetterEntry"]
+__all__ = ["TaskEntry", "ResultEntry", "DeadLetterEntry", "MasterCheckpointEntry"]
 
 
 class TaskEntry(Entry):
@@ -54,6 +54,38 @@ class ResultEntry(Entry):
         self.payload = payload
         self.worker = worker
         self.compute_ms = compute_ms
+
+
+class MasterCheckpointEntry(Entry):
+    """The master's periodic progress record, written into the space.
+
+    A restarted master adopts the highest-``seq`` checkpoint and resumes:
+    adopted ``results``/``dead`` are never re-aggregated (exactly-once),
+    and only tasks with no trace left anywhere — not checkpointed, no
+    task/result/dead-letter entry visible — are re-seeded.  Written under
+    a short lease so an abandoned run's checkpoint ages out of the space
+    instead of leaking.
+    """
+
+    def __init__(
+        self,
+        app_id: Optional[str] = None,
+        seq: Optional[int] = None,
+        results: Optional[dict[int, Any]] = None,
+        dead: Optional[dict[int, str]] = None,
+        by_worker: Optional[dict[str, int]] = None,
+        outstanding: Optional[list[int]] = None,
+        duplicates: Optional[int] = None,
+        replicas: Optional[int] = None,
+    ) -> None:
+        self.app_id = app_id
+        self.seq = seq
+        self.results = results
+        self.dead = dead
+        self.by_worker = by_worker
+        self.outstanding = outstanding
+        self.duplicates = duplicates
+        self.replicas = replicas
 
 
 class DeadLetterEntry(Entry):

@@ -26,16 +26,19 @@ from repro.core.metrics import Metrics
 from repro.core.netmgmt import RULEBASE_PORT, NetworkManagementModule
 from repro.core.signals import ThresholdPolicy
 from repro.core.worker import WorkerHost
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MasterCrashedError
 from repro.jini.discovery import DiscoveryClient
 from repro.jini.join import JoinManager, LookupClient
 from repro.jini.lookup import LookupService, ServiceItem
 from repro.net.address import Address
 from repro.node.cluster import Cluster
 from repro.runtime.base import Runtime
+from repro.tuplespace.durable import DurableSpace, HotStandby
+from repro.tuplespace.failover import JiniSpaceLocator, SpaceSupervisor
 from repro.tuplespace.lease import FOREVER
-from repro.tuplespace.proxy import SpaceServer
+from repro.tuplespace.proxy import SpaceProxy, SpaceServer
 from repro.tuplespace.space import JavaSpace
+from repro.tuplespace.transaction import TransactionManager
 
 __all__ = ["AdaptiveClusterFramework", "FrameworkConfig"]
 
@@ -78,6 +81,18 @@ class FrameworkConfig:
     dead_letter_poll_ms: float = 1_000.0    # master's quarantine-drain period
     give_up_after_ms: Optional[float] = None  # master's partial-result deadline
 
+    # -- durability / failover (see DESIGN.md "Recovery model") -------------
+    durable_space: bool = False             # WAL + snapshots behind the space
+    wal_snapshot_every: Optional[int] = 64  # commit batches between snapshots
+    hot_standby: bool = False               # replica + supervisor + promotion
+    failover_heartbeat_ms: float = 250.0    # supervisor probe period
+    failover_max_misses: int = 3            # missed probes before promotion
+    master_checkpoint_ms: Optional[float] = None  # master checkpoint period
+    checkpoint_lease_ms: float = 60_000.0   # checkpoint entry lease
+    master_restart_delay_ms: float = 500.0  # pause before a master restart
+    task_txn_lease_ms: Optional[float] = None  # worker task-txn lease (None=∞)
+    staleness_ms: Optional[float] = None    # SNMP sample staleness window
+
 
 class AdaptiveClusterFramework:
     """One deployment of the framework on a cluster, for one application."""
@@ -100,23 +115,80 @@ class AdaptiveClusterFramework:
         from repro.runtime import SimulatedRuntime
 
         self._model_time = isinstance(runtime, SimulatedRuntime)
-        self.space = JavaSpace(runtime, name=f"space:{app.app_id}")
+        if self.config.hot_standby and not self.config.use_jini:
+            raise ConfigurationError(
+                "hot_standby needs use_jini: failover re-registers the "
+                "promoted standby with the lookup service"
+            )
+        if self.config.durable_space or self.config.hot_standby:
+            self.space: JavaSpace = DurableSpace(
+                runtime, name=f"space:{app.app_id}",
+                snapshot_every=self.config.wal_snapshot_every,
+            )
+        else:
+            self.space = JavaSpace(runtime, name=f"space:{app.app_id}")
         offset = self.config.port_offset
         self.space_address = Address(cluster.master.hostname, SPACE_PORT + offset)
+        #: Where the promoted standby serves (primary port + 1).
+        self.standby_address = Address(
+            cluster.master.hostname, SPACE_PORT + offset + 1
+        )
         self.space_server: Optional[SpaceServer] = None
         self.code_server: Optional[CodeServer] = None
         self.lookup: Optional[LookupService] = None
         self.netmgmt: Optional[NetworkManagementModule] = None
-        self.master = Master(
-            runtime, cluster.master, self.space, app, self.metrics,
-            eager_scheduling=self.config.eager_scheduling,
-            straggler_timeout_ms=self.config.straggler_timeout_ms,
-            model_time=self._model_time,
-            dead_letter_poll_ms=self.config.dead_letter_poll_ms,
-            give_up_after_ms=self.config.give_up_after_ms,
-        )
+        self.standby: Optional[HotStandby] = None
+        self.supervisor: Optional[SpaceSupervisor] = None
+        self._join: Optional[JoinManager] = None
+        self._master_proxy: Optional[SpaceProxy] = None
+        self.master_restarts = 0
+        self.master = self._build_master()
         self.worker_hosts: list[WorkerHost] = []
         self._started = False
+
+    def _space_locator(self, host: str) -> JiniSpaceLocator:
+        """A lookup-backed locator so ``host`` finds the space post-failover."""
+        return JiniSpaceLocator(
+            self.cluster.network, host,
+            Address(self.cluster.master.hostname,
+                    LOOKUP_PORT + self.config.port_offset),
+            {"type": "JavaSpaces", "app": self.app.app_id},
+        )
+
+    def _build_master(self) -> Master:
+        """Create a (or the next, after a kill) master process.
+
+        With a hot standby the master talks to the space through a
+        locator-equipped :class:`SpaceProxy` — like any worker — so a
+        failover redirects it to the promoted replica; space operations
+        retry across the failover window.  Without one it keeps the
+        zero-copy in-process space the scalability experiments measure.
+        """
+        config = self.config
+        space: Any = self.space
+        retry_ms = None
+        if config.hot_standby:
+            if self._master_proxy is not None:
+                self._master_proxy.close()
+            self._master_proxy = SpaceProxy(
+                self.cluster.network, self.cluster.master.hostname,
+                self.space_address, metrics=self.metrics,
+                locator=self._space_locator(self.cluster.master.hostname),
+            )
+            space = self._master_proxy
+            retry_ms = config.failover_heartbeat_ms
+        return Master(
+            self.runtime, self.cluster.master, space, self.app, self.metrics,
+            eager_scheduling=config.eager_scheduling,
+            straggler_timeout_ms=config.straggler_timeout_ms,
+            model_time=self._model_time,
+            dead_letter_poll_ms=config.dead_letter_poll_ms,
+            give_up_after_ms=config.give_up_after_ms,
+            checkpoint_ms=config.master_checkpoint_ms,
+            checkpoint_lease_ms=config.checkpoint_lease_ms,
+            space_retry_ms=retry_ms,
+            space_max_retries=max(20, 8 * config.failover_max_misses),
+        )
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -149,7 +221,8 @@ class AdaptiveClusterFramework:
 
         # JavaSpaces service at the master.
         self.space_server = SpaceServer(
-            runtime, self.space, network, self.space_address
+            runtime, self.space, network, self.space_address,
+            txn_manager=TransactionManager(runtime, metrics=self.metrics),
         )
         self.space_server.start()
         offset = config.port_offset
@@ -167,7 +240,7 @@ class AdaptiveClusterFramework:
                 runtime, network, Address(master_host, LOOKUP_PORT + offset)
             )
             self.lookup.start()
-            JoinManager(
+            self._join = JoinManager(
                 runtime, network, master_host,
                 Address(master_host, LOOKUP_PORT + offset),
                 ServiceItem(
@@ -175,7 +248,34 @@ class AdaptiveClusterFramework:
                     {"type": "JavaSpaces", "app": self.app.app_id},
                 ),
                 lease_ms=FOREVER,
-            ).start()
+            )
+            self._join.start()
+
+        # Hot standby: replicate the primary's commit stream and stand by
+        # to serve it; the supervisor heartbeats the primary and performs
+        # the promotion + re-registration when it goes quiet.
+        if config.hot_standby:
+            self.standby = HotStandby(
+                runtime, network, master_host,
+                primary_address=self.space_address,
+                address=self.standby_address,
+                name=f"space-standby:{self.app.app_id}",
+                snapshot_every=config.wal_snapshot_every,
+                metrics=self.metrics,
+            )
+            self.standby.start()
+            self.supervisor = SpaceSupervisor(
+                runtime, network, master_host,
+                standby=self.standby,
+                primary_address=self.space_address,
+                registrar=Address(master_host, LOOKUP_PORT + offset),
+                service_item=self._join.item,
+                heartbeat_ms=config.failover_heartbeat_ms,
+                max_misses=config.failover_max_misses,
+                old_registration_id=self._join.registration_id,
+                metrics=self.metrics,
+            )
+            self.supervisor.start()
 
         # Network management module on the master host.
         if config.monitoring:
@@ -188,6 +288,7 @@ class AdaptiveClusterFramework:
                 mode=config.monitoring_mode,
                 port=RULEBASE_PORT + offset,
                 trap_port=None if offset == 0 else 162 + offset,
+                staleness_ms=config.staleness_ms,
             )
             self.netmgmt.start()
 
@@ -217,6 +318,9 @@ class AdaptiveClusterFramework:
                 model_time=self._model_time,
                 max_task_attempts=config.max_task_attempts,
                 recovery=recovery,
+                task_txn_lease_ms=config.task_txn_lease_ms,
+                locator=(self._space_locator(node.hostname)
+                         if config.hot_standby else None),
                 # Jitter from a per-worker named stream: deterministic
                 # under a fixed seed, independent across workers.
                 recovery_rng=cluster.streams.stream(
@@ -258,6 +362,44 @@ class AdaptiveClusterFramework:
         report = self.master.run()
         return report
 
+    def run_with_recovery(self) -> MasterReport:
+        """Like :meth:`run`, but a killed master is restarted.
+
+        A fresh master (new space proxy, same deterministic plan) adopts
+        the latest :class:`~repro.core.entries.MasterCheckpointEntry` from
+        the space and completes the job exactly-once.  Requires
+        ``master_checkpoint_ms`` to be useful — without checkpoints the
+        restarted master re-plans from scratch.
+        """
+        if not self._started:
+            self.start()
+        if self.netmgmt is None:
+            self.start_all_workers()
+        while True:
+            try:
+                return self.master.run()
+            except MasterCrashedError:
+                self.master_restarts += 1
+                self.metrics.event("master-killed", app=self.app.app_id)
+                self.runtime.sleep(self.config.master_restart_delay_ms)
+                self.master = self._build_master()
+                self.metrics.event("master-restarted", app=self.app.app_id,
+                                   restarts=self.master_restarts)
+
+    # -- fault-injection hooks ---------------------------------------------------
+
+    def kill_primary_space(self) -> None:
+        """Crash the primary space server: connections drop, clients must
+        ride out the failover to the promoted standby."""
+        if self.space_server is not None:
+            self.metrics.event("space-primary-killed", app=self.app.app_id)
+            self.space_server.crash()
+
+    def kill_master(self) -> None:
+        """Kill the master process mid-run (see :meth:`run_with_recovery`)."""
+        self.metrics.event("master-kill-injected", app=self.app.app_id)
+        self.master.crash()
+
     def shutdown(self) -> None:
         """Stop every loop so a simulated run drains its event heap."""
         # A master abandoned mid-run (experiments that observe workers,
@@ -268,6 +410,12 @@ class AdaptiveClusterFramework:
             host.stop()
         if self.netmgmt is not None:
             self.netmgmt.stop()
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        if self.standby is not None:
+            self.standby.stop()
+        if self._master_proxy is not None:
+            self._master_proxy.close()
         if self.lookup is not None:
             self.lookup.stop()
         if self.code_server is not None:

@@ -26,6 +26,7 @@ class WorkerRecord:
     hostname: str
     assumed_state: WorkerState = WorkerState.STOPPED
     last_load: Optional[float] = None
+    last_sample_ms: Optional[float] = None
     load_history: list[tuple[float, float]] = field(default_factory=list)
 
 
@@ -43,11 +44,18 @@ class InferenceEngine:
         self,
         policy: Optional[ThresholdPolicy] = None,
         hysteresis_samples: int = 1,
+        staleness_ms: Optional[float] = None,
     ) -> None:
         if hysteresis_samples < 1:
             raise ValueError("hysteresis_samples must be >= 1")
         self.policy = policy if policy is not None else ThresholdPolicy()
         self.hysteresis_samples = hysteresis_samples
+        #: Stale-data guard: when the newest good sample for a worker is
+        #: older than this (agent unreachable), stop trusting it — a
+        #: worker we believe is computing gets a Stop rather than running
+        #: unmonitored.  ``None`` keeps the paper's behaviour (failed
+        #: polls are silently skipped).
+        self.staleness_ms = staleness_ms
         self._streaks: dict[int, tuple[str, int]] = {}  # worker → (band, count)
         self._workers: dict[int, WorkerRecord] = {}
         self._next_id = 1
@@ -111,6 +119,7 @@ class InferenceEngine:
         """
         record = self._workers[worker_id]
         record.last_load = load_percent
+        record.last_sample_ms = now_ms
         record.load_history.append((now_ms, load_percent))
         if self.hysteresis_samples > 1:
             band = self.policy.band(load_percent)
@@ -121,8 +130,35 @@ class InferenceEngine:
                 return None
         signal = self.decide(record.assumed_state, load_percent)
         if signal is not None:
-            from repro.core.states import WorkerStateMachine
-
-            machine = WorkerStateMachine(initial=record.assumed_state)
-            record.assumed_state = machine.apply(signal)
+            record.assumed_state = self._transition(record.assumed_state, signal)
         return signal
+
+    def observe_failure(self, worker_id: int, now_ms: float) -> Optional[Signal]:
+        """A poll failed (agent unreachable): apply the stale-data guard.
+
+        A decision made on data older than ``staleness_ms`` is a guess,
+        and the costly wrong guess is leaving a worker computing on a
+        node whose load we can no longer see — so a Running/Paused worker
+        whose samples went stale is stopped until fresh samples arrive.
+        Never-sampled workers are stale by definition but Stopped, so
+        nothing fires for them.
+        """
+        if self.staleness_ms is None:
+            return None
+        record = self._workers.get(worker_id)
+        if record is None:
+            return None
+        last = record.last_sample_ms
+        if last is not None and now_ms - last < self.staleness_ms:
+            return None
+        if record.assumed_state not in (WorkerState.RUNNING, WorkerState.PAUSED):
+            return None
+        self._streaks.pop(worker_id, None)  # debounce restarts on recovery
+        record.assumed_state = self._transition(record.assumed_state, Signal.STOP)
+        return Signal.STOP
+
+    @staticmethod
+    def _transition(state: WorkerState, signal: Signal) -> WorkerState:
+        from repro.core.states import WorkerStateMachine
+
+        return WorkerStateMachine(initial=state).apply(signal)

@@ -20,10 +20,21 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.core.application import Application, Task
-from repro.core.entries import DeadLetterEntry, ResultEntry, TaskEntry
+from repro.core.entries import (
+    DeadLetterEntry,
+    MasterCheckpointEntry,
+    ResultEntry,
+    TaskEntry,
+)
 from repro.core.metrics import Metrics
+from repro.errors import (
+    ConnectionClosedError,
+    ConnectionRefusedError_,
+    MasterCrashedError,
+)
 from repro.node.machine import Node
 from repro.runtime.base import Runtime
+from repro.tuplespace.lease import FOREVER
 from repro.tuplespace.space import JavaSpace
 
 __all__ = ["Master", "MasterReport"]
@@ -48,6 +59,9 @@ class MasterReport:
     complete: bool = True
     duplicate_results: int = 0
     replicated_tasks: int = 0
+    checkpoints_written: int = 0
+    #: seq of the checkpoint this (restarted) master resumed from, or None.
+    resumed_from_seq: Optional[int] = None
 
     @property
     def planning_plus_aggregation_ms(self) -> float:
@@ -77,6 +91,10 @@ class Master:
         model_time: bool = True,
         dead_letter_poll_ms: float = 1_000.0,
         give_up_after_ms: Optional[float] = None,
+        checkpoint_ms: Optional[float] = None,
+        checkpoint_lease_ms: float = 60_000.0,
+        space_retry_ms: Optional[float] = None,
+        space_max_retries: int = 20,
     ) -> None:
         self.runtime = runtime
         self.node = node
@@ -94,30 +112,108 @@ class Master:
         #: partial result instead of spinning on replication forever.
         #: ``None`` (default) keeps the wait-for-last-task semantics.
         self.give_up_after_ms = give_up_after_ms
+        #: Checkpoint/resume: every ``checkpoint_ms`` the master writes a
+        #: :class:`MasterCheckpointEntry` (lease ``checkpoint_lease_ms``)
+        #: into the space; a restarted master adopts it and completes the
+        #: job exactly-once.  ``None`` disables checkpointing.
+        self.checkpoint_ms = checkpoint_ms
+        self.checkpoint_lease_ms = checkpoint_lease_ms
+        #: Failover tolerance: retry space operations that hit a dropped
+        #: connection (the proxy only auto-retries idempotent ops).  A lost
+        #: take may drop one in-flight result — eager scheduling recomputes
+        #: it and the results-dict dedup keeps aggregation exactly-once.
+        self.space_retry_ms = space_retry_ms
+        self.space_max_retries = space_max_retries
         self.replicated_tasks = 0
         self.duplicate_results = 0
+        self.checkpoints_written = 0
+        self.resumed_from_seq: Optional[int] = None
+        self._ckpt_seq = 0
         self._cancelled = False
+        self._crashed = False
 
     def cancel(self) -> None:
         """Abandon the run: the aggregation loop exits at its next wake
         (requires eager scheduling or any finite take timeout to notice)."""
         self._cancelled = True
 
+    def crash(self) -> None:
+        """Kill the master process (fault injection): every subsequent
+        space touch raises :class:`MasterCrashedError`, unwinding
+        :meth:`run` without aggregating anything further — including a
+        result already in flight when the crash landed."""
+        self._crashed = True
+
+    def _check_crashed(self) -> None:
+        if self._crashed:
+            raise MasterCrashedError(f"master for {self.app.app_id} killed")
+
+    # -- guarded space operations ------------------------------------------------
+
+    def _guard(self, op):
+        """Run one space operation, retrying dropped connections.
+
+        During a failover window the proxy's reconnect lands on the
+        promoted standby (via its locator); non-idempotent ops surface the
+        drop here and are re-issued after a pause.  Without
+        ``space_retry_ms`` the original fail-fast behaviour stands.
+        """
+        attempt = 0
+        while True:
+            self._check_crashed()
+            try:
+                return op()
+            except (ConnectionClosedError, ConnectionRefusedError_):
+                if self.space_retry_ms is None:
+                    raise
+                attempt += 1
+                if attempt > self.space_max_retries:
+                    raise
+                self.metrics.event("master-space-retry", app=self.app.app_id,
+                                   attempt=attempt)
+                self.runtime.sleep(self.space_retry_ms)
+
+    def _write(self, entry, lease_ms: float = FOREVER):
+        return self._guard(lambda: self.space.write(entry, lease_ms=lease_ms))
+
+    def _take(self, template, timeout_ms):
+        return self._guard(lambda: self.space.take(template, timeout_ms=timeout_ms))
+
+    def _take_if_exists(self, template):
+        return self._guard(lambda: self.space.take_if_exists(template))
+
+    def _read_if_exists(self, template):
+        return self._guard(lambda: self.space.read_if_exists(template))
+
+    def _contents(self, template):
+        return self._guard(lambda: self.space.contents(template))
+
     def run(self) -> MasterReport:
         """Execute the full master lifecycle; blocks until aggregation ends."""
         app = self.app
         started = self.runtime.now()
         max_overhead = 0.0
+        results: dict[int, Any] = {}
+        by_worker: dict[str, int] = {}
+        dead: dict[int, str] = {}
 
         # ---- task-planning phase -------------------------------------------------
+        # app.plan() is deterministic, so a restarted master re-derives the
+        # same task list and only needs the checkpoint to know which tasks
+        # are already settled.
         tasks: list[Task] = app.plan()
-        for task in tasks:
-            t0 = self.runtime.now()
-            cost = app.planning_cost_ms(task)
-            if self.model_time and cost > 0:
-                self.node.cpu.execute(cost)
-            self.space.write(TaskEntry(app.app_id, task.task_id, task.payload))
-            max_overhead = max(max_overhead, self.runtime.now() - t0)
+        checkpoint = (self._adopt_checkpoint()
+                      if self.checkpoint_ms is not None else None)
+        if checkpoint is not None:
+            self._resume_from(checkpoint, tasks, results, dead, by_worker)
+        else:
+            for task in tasks:
+                t0 = self.runtime.now()
+                cost = app.planning_cost_ms(task)
+                if self.model_time and cost > 0:
+                    self.node.cpu.execute(cost)
+                self._write(TaskEntry(app.app_id, task.task_id, task.payload))
+                max_overhead = max(max_overhead, self.runtime.now() - t0)
         planning_ms = self.runtime.now() - started
         self.metrics.scalar(f"master/{app.app_id}/planning_ms", planning_ms)
         self.metrics.event("planning-done", app=app.app_id, tasks=len(tasks))
@@ -125,18 +221,27 @@ class Master:
         # ---- result-aggregation phase ---------------------------------------------
         aggregation_started = self.runtime.now()
         template = ResultEntry(app_id=app.app_id)
-        results: dict[int, Any] = {}
-        by_worker: dict[str, int] = {}
-        dead: dict[int, str] = {}
         task_by_id = {task.task_id: task for task in tasks}
         replicas: dict[int, int] = {}
         last_progress = self.runtime.now()
+        last_checkpoint = self.runtime.now()
         while len(results) + len(dead) < len(tasks):
             if self._cancelled:
                 break
+            self._check_crashed()
+            if self.checkpoint_ms is not None and \
+                    self.runtime.now() - last_checkpoint >= self.checkpoint_ms:
+                self._write_checkpoint(tasks, results, dead, by_worker)
+                last_checkpoint = self.runtime.now()
             wait_ms = (self.straggler_timeout_ms if self.eager_scheduling
                        else self.dead_letter_poll_ms)
-            entry = self.space.take(template, timeout_ms=wait_ms)
+            if self.checkpoint_ms is not None:
+                wait_ms = min(wait_ms, self.checkpoint_ms)
+            entry = self._take(template, timeout_ms=wait_ms)
+            # A kill that lands while a take is in flight must not
+            # aggregate the entry it returned: the result is dropped here
+            # (eager replication recomputes it for the resumed master).
+            self._check_crashed()
             if entry is None:
                 # No result: look for quarantined tasks (their result will
                 # never come), then consider straggler replication / giving
@@ -168,10 +273,15 @@ class Master:
             dead.pop(entry.task_id, None)
             if entry.worker:
                 by_worker[entry.worker] = by_worker.get(entry.worker, 0) + 1
+            if self.checkpoint_ms is not None:
+                self.metrics.event("result-aggregated", app=app.app_id,
+                                   task_id=entry.task_id, worker=entry.worker)
             max_overhead = max(max_overhead, self.runtime.now() - t0)
         self._drain_dead_letters(dead, results)
         if self.eager_scheduling:
             self._drain_leftovers(template, task_by_id)
+        if self.checkpoint_ms is not None and not self._cancelled:
+            self._clear_checkpoints()
         complete = not self._cancelled and len(results) == len(tasks)
         if self._cancelled:
             solution = None
@@ -208,7 +318,107 @@ class Master:
             complete=complete,
             duplicate_results=self.duplicate_results,
             replicated_tasks=self.replicated_tasks,
+            checkpoints_written=self.checkpoints_written,
+            resumed_from_seq=self.resumed_from_seq,
         )
+
+    # -- checkpoint/resume internals -------------------------------------------------
+
+    def _adopt_checkpoint(self) -> Optional[MasterCheckpointEntry]:
+        """Find the newest surviving checkpoint for this application."""
+        checkpoints = self._contents(MasterCheckpointEntry(app_id=self.app.app_id))
+        if not checkpoints:
+            return None
+        return max(checkpoints, key=lambda c: c.seq or 0)
+
+    def _resume_from(
+        self,
+        checkpoint: MasterCheckpointEntry,
+        tasks: list[Task],
+        results: dict[int, Any],
+        dead: dict[int, str],
+        by_worker: dict[str, int],
+    ) -> None:
+        """Adopt checkpointed progress and re-seed only the tasks that
+        left no trace anywhere — checkpointed, queued, computed or dead.
+
+        A task a worker holds under an open transaction is invisible to
+        the probes and gets re-seeded; the resulting duplicate result is
+        consumed by the results-dict dedup, so aggregation stays
+        exactly-once either way.
+        """
+        results.update(checkpoint.results or {})
+        dead.update(checkpoint.dead or {})
+        by_worker.update(checkpoint.by_worker or {})
+        self.duplicate_results = checkpoint.duplicates or 0
+        self.replicated_tasks = checkpoint.replicas or 0
+        self._ckpt_seq = checkpoint.seq or 0
+        self.resumed_from_seq = checkpoint.seq
+        reseeded = 0
+        for task in tasks:
+            tid = task.task_id
+            if tid in results or tid in dead:
+                continue
+            if self._read_if_exists(
+                    TaskEntry(app_id=self.app.app_id, task_id=tid)) is not None:
+                continue
+            if self._read_if_exists(
+                    ResultEntry(app_id=self.app.app_id, task_id=tid)) is not None:
+                continue
+            if self._read_if_exists(
+                    DeadLetterEntry(app_id=self.app.app_id, task_id=tid)) is not None:
+                continue
+            self._write(TaskEntry(self.app.app_id, tid, task.payload))
+            reseeded += 1
+        self.metrics.event(
+            "master-resumed", app=self.app.app_id, seq=checkpoint.seq,
+            results=len(results), dead=len(dead), reseeded=reseeded,
+        )
+
+    def _write_checkpoint(
+        self,
+        tasks: list[Task],
+        results: dict[int, Any],
+        dead: dict[int, str],
+        by_worker: dict[str, int],
+    ) -> None:
+        """Write checkpoint ``seq+1``, then retire its predecessor.
+
+        Write-new-before-take-old means a crash anywhere in between leaves
+        at least one checkpoint in the space; resume adopts the highest
+        ``seq`` and the next cycle sweeps any leftovers.
+        """
+        self._ckpt_seq += 1
+        outstanding = [t.task_id for t in tasks
+                       if t.task_id not in results and t.task_id not in dead]
+        self._write(
+            MasterCheckpointEntry(
+                app_id=self.app.app_id, seq=self._ckpt_seq,
+                results=dict(results), dead=dict(dead),
+                by_worker=dict(by_worker), outstanding=outstanding,
+                duplicates=self.duplicate_results,
+                replicas=self.replicated_tasks,
+            ),
+            lease_ms=self.checkpoint_lease_ms,
+        )
+        self.checkpoints_written += 1
+        self.metrics.event("master-checkpoint", app=self.app.app_id,
+                           seq=self._ckpt_seq, results=len(results),
+                           outstanding=len(outstanding))
+        while self._take_if_exists(
+            MasterCheckpointEntry(app_id=self.app.app_id, seq=self._ckpt_seq - 1)
+        ) is not None:
+            pass
+
+    def _clear_checkpoints(self) -> None:
+        """The run is settled: retire every checkpoint for this app."""
+        try:
+            while self._take_if_exists(
+                MasterCheckpointEntry(app_id=self.app.app_id)
+            ) is not None:
+                pass
+        except (ConnectionClosedError, ConnectionRefusedError_):
+            pass  # space going down with the run; leases age the rest out
 
     # -- eager scheduling internals ------------------------------------------------
 
@@ -222,7 +432,7 @@ class Master:
         template = DeadLetterEntry(app_id=self.app.app_id)
         progressed = False
         while True:
-            entry = self.space.take_if_exists(template)
+            entry = self._take_if_exists(template)
             if entry is None:
                 return progressed
             if entry.task_id in results or entry.task_id in dead:
@@ -255,24 +465,24 @@ class Master:
             if replicas.get(task_id, 0) >= self.max_replicas:
                 continue
             probe = TaskEntry(app_id=self.app.app_id, task_id=task_id)
-            if self.space.read_if_exists(probe) is not None:
+            if self._read_if_exists(probe) is not None:
                 continue  # still queued: nobody is sitting on it
             replicas[task_id] = replicas.get(task_id, 0) + 1
             self.replicated_tasks += 1
             self.metrics.event("task-replicated", app=self.app.app_id,
                                task_id=task_id)
-            self.space.write(TaskEntry(self.app.app_id, task_id, task.payload))
+            self._write(TaskEntry(self.app.app_id, task_id, task.payload))
 
     def _drain_leftovers(self, template: ResultEntry,
                          task_by_id: dict[int, Task]) -> None:
         """Consume duplicate results and retract un-taken replicas."""
         while True:
-            extra = self.space.take_if_exists(template)
+            extra = self._take_if_exists(template)
             if extra is None:
                 break
             self.duplicate_results += 1
         for task_id in task_by_id:
-            while self.space.take_if_exists(
+            while self._take_if_exists(
                 TaskEntry(app_id=self.app.app_id, task_id=task_id)
             ) is not None:
                 pass

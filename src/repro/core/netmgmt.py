@@ -55,6 +55,7 @@ class NetworkManagementModule:
         port: int = RULEBASE_PORT,
         mode: str = "poll",
         trap_port: Optional[int] = None,
+        staleness_ms: Optional[float] = None,
     ) -> None:
         if load_metric not in ("external", "total"):
             raise ValueError(f"load_metric must be 'external' or 'total': {load_metric}")
@@ -64,7 +65,7 @@ class NetworkManagementModule:
         self.network = network
         self.address = Address(host, port)
         self.metrics = metrics
-        self.inference = InferenceEngine(policy)
+        self.inference = InferenceEngine(policy, staleness_ms=staleness_ms)
         self.poll_interval_ms = poll_interval_ms
         self.load_oid = (
             HOST_RESOURCES.EXTERNAL_LOAD
@@ -79,7 +80,7 @@ class NetworkManagementModule:
         self._conns: dict[str, StreamSocket] = {}
         self.running = False
         self.stats = {"polls": 0, "poll_failures": 0, "signals_sent": 0,
-                      "traps_received": 0}
+                      "traps_received": 0, "stale_stops": 0}
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -196,7 +197,22 @@ class NetworkManagementModule:
             load = float(self.snmp.get_one(record.hostname, self.load_oid))
         except (TimeoutError_, SnmpError):
             self.stats["poll_failures"] += 1
-            return None
+            # Stale-data guard: an unreachable agent means every further
+            # decision would rest on an old sample; the inference engine
+            # decides whether that now warrants stopping the worker.
+            signal = self.inference.observe_failure(record.worker_id,
+                                                    self.runtime.now())
+            if signal is not None:
+                self.stats["stale_stops"] += 1
+                self.stats["signals_sent"] += 1
+                self.metrics.event(
+                    "stale-sample", worker=record.hostname,
+                    signal=str(signal),
+                    last_sample_ms=record.last_sample_ms,
+                )
+                _log.info("t=%.0fms worker=%s samples stale -> %s",
+                          self.runtime.now(), record.hostname, signal)
+            return signal
         self.metrics.record(f"load/{record.hostname}", load)
         signal = self.inference.observe(record.worker_id, load, self.runtime.now())
         if signal is not None:

@@ -19,13 +19,14 @@ the process but keeps classes in memory, so Resume skips the reload —
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import (
     ConnectionClosedError,
     ConnectionRefusedError_,
     IllegalTransitionError,
     SpaceError,
+    TransactionError,
 )
 from repro.core.application import Application
 from repro.core.config_engine import RemoteNodeConfigurationEngine
@@ -37,6 +38,7 @@ from repro.net.address import Address
 from repro.net.network import Network, StreamSocket
 from repro.node.machine import Node
 from repro.runtime.base import Runtime
+from repro.tuplespace.lease import FOREVER
 from repro.tuplespace.proxy import RecoveryPolicy, RemoteTransaction, SpaceProxy
 from repro.util.log import get_logger
 
@@ -64,6 +66,8 @@ class WorkerHost:
         max_task_attempts: int = 3,
         recovery: Optional[RecoveryPolicy] = None,
         recovery_rng: Any = None,
+        task_txn_lease_ms: Optional[float] = None,
+        locator: Optional[Callable[[], Any]] = None,
     ) -> None:
         self.runtime = runtime
         self.node = node
@@ -84,6 +88,11 @@ class WorkerHost:
         # Self-healing: reconnect/backoff policy (None = legacy fail-stop).
         self.recovery = recovery
         self._recovery_rng = recovery_rng
+        # Finite task-transaction lease: a worker that stalls mid-task has
+        # its take rolled back server-side after this long (None = forever).
+        self.task_txn_lease_ms = task_txn_lease_ms
+        # Service locator consulted on reconnect (failover re-discovery).
+        self.locator = locator
         self.crashed = False
         self.network: Network = node.network
         self.engine = RemoteNodeConfigurationEngine(
@@ -293,6 +302,7 @@ class WorkerHost:
         proxy = SpaceProxy(
             self.network, self.node.hostname, self.space_address,
             recovery=self.recovery, rng=self._recovery_rng, metrics=self.metrics,
+            locator=self.locator,
         )
         self._proxy = proxy
         template = TaskEntry(app_id=self.app.app_id)
@@ -304,6 +314,14 @@ class WorkerHost:
                     break
                 try:
                     self._one_task(proxy, template)
+                except TransactionError:
+                    # The task txn's lease expired server-side (a compute
+                    # longer than the lease, or a failover pause): the take
+                    # already rolled back and the task is visible again —
+                    # restart the cycle, this is not a disconnect.
+                    self.metrics.event(
+                        "task-txn-expired", worker=self.node.hostname,
+                    )
                 except (ConnectionClosedError, ConnectionRefusedError_):
                     # Space unreachable: either this node died, or the link
                     # or server did.  In the latter case, with a recovery
@@ -374,7 +392,11 @@ class WorkerHost:
         an application exception must not strand a FOREVER-leased txn
         holding the taken task hostage.
         """
-        txn = proxy.transaction() if self.transactional else None
+        txn = None
+        if self.transactional:
+            lease = (self.task_txn_lease_ms
+                     if self.task_txn_lease_ms is not None else FOREVER)
+            txn = proxy.transaction(timeout_ms=lease)
         try:
             task = proxy.take(template, txn=txn, timeout_ms=self.worker_poll_ms)
             if task is None:

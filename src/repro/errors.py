@@ -104,3 +104,8 @@ class IllegalTransitionError(FrameworkError):
 
 class ConfigurationError(FrameworkError):
     """Invalid framework configuration."""
+
+
+class MasterCrashedError(FrameworkError):
+    """The master process was killed (fault injection); the run did not
+    complete and may be resumed from its space checkpoint."""

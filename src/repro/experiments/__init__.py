@@ -30,8 +30,11 @@ from repro.experiments.dynamics import DynamicsResult, dynamics_experiment
 from repro.experiments.classify import classify_applications
 from repro.experiments.chaos import (
     ChaosResult,
+    CoordinationChaosResult,
     chaos_experiment,
+    coordination_chaos_experiment,
     verify_chaos_determinism,
+    verify_coordination_determinism,
 )
 
 __all__ = [
@@ -47,8 +50,11 @@ __all__ = [
     "DynamicsResult",
     "classify_applications",
     "ChaosResult",
+    "CoordinationChaosResult",
     "chaos_experiment",
+    "coordination_chaos_experiment",
     "verify_chaos_determinism",
+    "verify_coordination_determinism",
     "make_options_app",
     "make_raytrace_app",
     "make_prefetch_app",

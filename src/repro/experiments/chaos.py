@@ -25,7 +25,10 @@ from repro.runtime import SimulatedRuntime
 from repro.sim.rng import RandomStreams
 
 __all__ = ["PoisonedSquares", "ChaosResult", "chaos_experiment",
-           "default_chaos_plan", "verify_chaos_determinism"]
+           "default_chaos_plan", "verify_chaos_determinism",
+           "CoordinationChaosResult", "coordination_chaos_plan",
+           "coordination_chaos_experiment",
+           "verify_coordination_determinism"]
 
 
 class PoisonedSquares(Application):
@@ -78,6 +81,12 @@ TRACE_EVENTS = frozenset({
     "worker-reconnect", "worker-recovered", "worker-gave-up", "worker-error",
     "task-requeued", "dead-letter", "dead-letter-received",
     "task-replicated", "master-gave-up",
+    # coordinator faults (durability / failover / checkpoint-resume)
+    "space-primary-killed", "standby-caught-up", "standby-promoted",
+    "primary-heartbeat-miss", "failover-complete", "proxy-rediscovered",
+    "master-kill-injected", "master-killed", "master-restarted",
+    "master-checkpoint", "master-resumed", "master-space-retry",
+    "txn-lease-expired", "task-txn-expired", "stale-sample",
 })
 
 
@@ -195,3 +204,159 @@ def verify_chaos_determinism(seed: int = 42, **kwargs: Any) -> bool:
     second = chaos_experiment(seed=seed, **kwargs)
     return first.trace == second.trace and \
         first.report.solution == second.report.solution
+
+
+# -- coordinator chaos: survive the space primary and the master itself -------
+
+
+@dataclass
+class CoordinationChaosResult:
+    """Acceptance data for the coordinator-fault campaign."""
+
+    seed: int
+    faults: tuple[str, ...]
+    report: MasterReport
+    expected_solution: int
+    trace: list[tuple[float, str, tuple]] = field(default_factory=list)
+    #: (task_id, worker) per result-aggregated event, in order.
+    aggregations: list[tuple[float, int]] = field(default_factory=list)
+    faults_injected: int = 0
+    master_restarts: int = 0
+
+    @property
+    def correct(self) -> bool:
+        return self.report.complete and \
+            self.report.solution == self.expected_solution
+
+    def final_aggregations(self) -> dict[int, int]:
+        """task_id → times aggregated by the *final* master incarnation.
+
+        Aggregations a killed master made after its last checkpoint died
+        with it and never reach the solution, so exactly-once is judged on
+        the incarnation that actually produced the report.
+        """
+        restarts = [t for t, name, _ in self.trace if name == "master-restarted"]
+        cutoff = restarts[-1] if restarts else float("-inf")
+        counts: dict[int, int] = {}
+        for t, task_id in self.aggregations:
+            if t >= cutoff:
+                counts[task_id] = counts.get(task_id, 0) + 1
+        return counts
+
+    @property
+    def exactly_once(self) -> bool:
+        """Complete, correct, and no task folded twice into the solution."""
+        return self.correct and \
+            all(n == 1 for n in self.final_aggregations().values())
+
+    def events_named(self, name: str) -> list[tuple[float, tuple]]:
+        return [(t, p) for t, n, p in self.trace if n == name]
+
+    def format_summary(self) -> str:
+        r = self.report
+        dup_aggs = {tid: n for tid, n in self.final_aggregations().items()
+                    if n != 1}
+        lines = [
+            f"Coordination chaos run — seed {self.seed}, "
+            f"faults {list(self.faults)}",
+            f"  solution    : {r.solution} (expected {self.expected_solution},"
+            f" {'OK' if self.correct else 'WRONG'})",
+            f"  complete    : {r.complete}; exactly-once: "
+            f"{'yes' if self.exactly_once else f'NO {dup_aggs}'}",
+            f"  restarts    : {self.master_restarts} master; checkpoints "
+            f"{r.checkpoints_written}, resumed from seq {r.resumed_from_seq}",
+            f"  faults      : {self.faults_injected} injected; duplicates "
+            f"{r.duplicate_results}; replicas {r.replicated_tasks}",
+            f"  trace       : {len(self.trace)} recovery events",
+        ]
+        for t, name, payload in self.trace:
+            lines.append(f"    t={t:>9.1f}ms {name:<22} {dict(payload)}")
+        return "\n".join(lines)
+
+
+def coordination_chaos_plan(faults: Sequence[str],
+                            first_at_ms: float = 3_000.0,
+                            spacing_ms: float = 1_500.0) -> FaultPlan:
+    """One coordinator fault per entry, spaced so each lands mid-run."""
+    plan = FaultPlan()
+    kinds = {"kill-primary-space": FaultKind.KILL_PRIMARY_SPACE,
+             "kill-master": FaultKind.KILL_MASTER}
+    for index, fault in enumerate(faults):
+        plan.add(FaultEvent(first_at_ms + index * spacing_ms, kinds[fault]))
+    return plan
+
+
+def coordination_chaos_experiment(
+    seed: int = 42,
+    workers: int = 4,
+    tasks: int = 24,
+    faults: Sequence[str] = ("kill-primary-space",),
+    give_up_after_ms: float = 60_000.0,
+) -> CoordinationChaosResult:
+    """Kill the space primary and/or the master mid-run; the job must
+    still complete every task exactly-once.  Replayable from ``seed``."""
+    faults = tuple(faults)
+
+    def body(runtime: SimulatedRuntime) -> CoordinationChaosResult:
+        streams = RandomStreams(seed)
+        cluster = testbed_small(runtime, workers=workers, streams=streams)
+        # No poison: exactly-once over *every* task is the criterion here.
+        app = PoisonedSquares(n=tasks, poison=())
+        framework = AdaptiveClusterFramework(
+            runtime, cluster, app,
+            FrameworkConfig(
+                monitoring=False,
+                compute_real=True,
+                transactional_takes=True,
+                task_txn_lease_ms=10_000.0,
+                eager_scheduling=True,
+                straggler_timeout_ms=2_000.0,
+                max_task_attempts=2,
+                rpc_timeout_ms=1_000.0,
+                dead_letter_poll_ms=500.0,
+                give_up_after_ms=give_up_after_ms,
+                hot_standby=True,
+                master_checkpoint_ms=1_000.0,
+                master_restart_delay_ms=500.0,
+            ),
+        )
+        framework.start()
+        framework.start_all_workers()
+        injector = FaultInjector.for_framework(
+            framework, coordination_chaos_plan(faults),
+            rng=streams.stream("chaos-net"))
+        injector.arm()
+        report = framework.run_with_recovery()
+        injector.disarm()
+        framework.shutdown()
+        trace = [
+            (t, name, tuple(sorted(payload.items())))
+            for t, name, payload in framework.metrics.events
+            if name in TRACE_EVENTS
+        ]
+        aggregations = [
+            (t, payload["task_id"])
+            for t, name, payload in framework.metrics.events
+            if name == "result-aggregated"
+        ]
+        return CoordinationChaosResult(
+            seed=seed,
+            faults=faults,
+            report=report,
+            expected_solution=app.expected_solution(),
+            trace=trace,
+            aggregations=aggregations,
+            faults_injected=injector.injected,
+            master_restarts=framework.master_restarts,
+        )
+
+    return run_simulation(body)
+
+
+def verify_coordination_determinism(seed: int = 42, **kwargs: Any) -> bool:
+    """Run the coordinator campaign twice; True iff byte-identical traces."""
+    first = coordination_chaos_experiment(seed=seed, **kwargs)
+    second = coordination_chaos_experiment(seed=seed, **kwargs)
+    return first.trace == second.trace and \
+        first.report.solution == second.report.solution and \
+        first.aggregations == second.aggregations

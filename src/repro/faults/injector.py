@@ -38,6 +38,8 @@ class FaultInjector:
         worker_hosts: Optional[dict[str, object]] = None,
         space_server: Optional[object] = None,
         rng=None,
+        primary_killer=None,
+        master_killer=None,
     ) -> None:
         self.runtime = runtime
         self.network = network
@@ -45,6 +47,11 @@ class FaultInjector:
         self.metrics = metrics
         self.worker_hosts = worker_hosts or {}
         self.space_server = space_server
+        #: Coordinator faults: callables (framework hooks) rather than raw
+        #: objects, because "the master" is a different object after each
+        #: restart and the primary kill must also be observable.
+        self.primary_killer = primary_killer
+        self.master_killer = master_killer
         self._rng = rng          # drives ChaosProfile drop/delay draws
         self.injected = 0
         self.healed = 0
@@ -59,6 +66,8 @@ class FaultInjector:
             framework.runtime, framework.cluster.network, plan,
             framework.metrics, worker_hosts=hosts,
             space_server=framework.space_server, rng=rng,
+            primary_killer=framework.kill_primary_space,
+            master_killer=framework.kill_master,
         )
 
     def arm(self) -> None:
@@ -116,6 +125,14 @@ class FaultInjector:
             self.space_server.crash()
         elif kind == FaultKind.CHAOS_WINDOW:
             self.network.set_chaos(event.profile, rng=self._rng)
+        elif kind == FaultKind.KILL_PRIMARY_SPACE:
+            if self.primary_killer is None:
+                return
+            self.primary_killer()
+        elif kind == FaultKind.KILL_MASTER:
+            if self.master_killer is None:
+                return
+            self.master_killer()
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
         self.injected += 1

@@ -31,8 +31,11 @@ class FaultKind:
     LINK_FLAP = "link-flap"            # partition target host, heal later
     SERVER_RESTART = "server-restart"  # space server down, up after duration
     CHAOS_WINDOW = "chaos-window"      # probabilistic drop/delay period
+    KILL_PRIMARY_SPACE = "kill-primary-space"  # permanent; standby promotes
+    KILL_MASTER = "kill-master"        # master process dies; resume from ckpt
 
-    ALL = (WORKER_CRASH, LINK_FLAP, SERVER_RESTART, CHAOS_WINDOW)
+    ALL = (WORKER_CRASH, LINK_FLAP, SERVER_RESTART, CHAOS_WINDOW,
+           KILL_PRIMARY_SPACE, KILL_MASTER)
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,9 @@ from repro.tuplespace.events import EventRegistration, RemoteEvent
 from repro.tuplespace.transaction import Transaction, TransactionManager
 from repro.tuplespace.space import JavaSpace
 from repro.tuplespace.proxy import RecoveryPolicy, SpaceProxy, SpaceServer
+from repro.tuplespace.wal import CommitRecord, FileWalStore, WalStore, WriteAheadLog
+from repro.tuplespace.durable import DurableSpace, HotStandby
+from repro.tuplespace.failover import JiniSpaceLocator, SpaceSupervisor
 
 __all__ = [
     "RecoveryPolicy",
@@ -39,4 +42,12 @@ __all__ = [
     "JavaSpace",
     "SpaceServer",
     "SpaceProxy",
+    "CommitRecord",
+    "WalStore",
+    "FileWalStore",
+    "WriteAheadLog",
+    "DurableSpace",
+    "HotStandby",
+    "JiniSpaceLocator",
+    "SpaceSupervisor",
 ]

@@ -1,0 +1,284 @@
+"""Durable tuple space: WAL-backed crash recovery and a hot standby.
+
+:class:`DurableSpace` is a :class:`~repro.tuplespace.space.JavaSpace`
+whose committed state changes flow into a
+:class:`~repro.tuplespace.wal.WriteAheadLog`.  Crash recovery is
+``DurableSpace.recover(runtime, store)``: install the latest snapshot,
+replay the log tail, and the space matches the last *committed* state —
+transactions open at the crash contributed nothing to the log, so they
+are rolled back by construction (their takes reappear, their pending
+writes never existed).
+
+:class:`HotStandby` is the replication consumer: it opens a ``replicate``
+stream to the primary's :class:`~repro.tuplespace.proxy.SpaceServer`,
+bootstraps from the snapshot + log tail shipped in the reply, then
+applies every streamed commit record to its own durable space.  On
+``promote()`` it stops tailing and serves that space from a fresh
+``SpaceServer`` — the failover sequence itself (detecting the dead
+primary, re-registering with Jini lookup) lives in
+:mod:`repro.tuplespace.failover`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from typing import Any, Optional
+
+from repro.errors import (
+    ConnectionClosedError,
+    ConnectionRefusedError_,
+    NetworkError,
+)
+from repro.net.address import Address
+from repro.net.network import Network, StreamSocket
+from repro.runtime.base import Runtime
+from repro.tuplespace.proxy import SpaceServer
+from repro.tuplespace.space import JavaSpace
+from repro.tuplespace.transaction import TransactionManager
+from repro.tuplespace.wal import CommitRecord, WalStore, WriteAheadLog
+
+__all__ = ["DurableSpace", "HotStandby"]
+
+
+class DurableSpace(JavaSpace):
+    """A JavaSpace whose committed state survives the machine.
+
+    ``snapshot_every`` bounds replay: after that many commit batches the
+    committed store is serialized into the WAL's snapshot slot and the
+    log truncated.  ``None`` disables automatic snapshots (manual
+    :meth:`checkpoint` only).
+    """
+
+    journaling = True
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        name: str = "JavaSpaces",
+        wal: Optional[WriteAheadLog] = None,
+        snapshot_every: Optional[int] = 64,
+    ) -> None:
+        super().__init__(runtime, name)
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.snapshot_every = snapshot_every
+        self._applying = False      # replay/replication: don't re-journal
+        self._commits_since_snapshot = 0
+
+    # -- recovery ------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        runtime: Runtime,
+        store: WalStore,
+        name: str = "JavaSpaces",
+        snapshot_every: Optional[int] = 64,
+    ) -> "DurableSpace":
+        """Rebuild the last committed state from a surviving WAL store."""
+        space = cls(runtime, name, wal=WriteAheadLog(store),
+                    snapshot_every=snapshot_every)
+        space._replay()
+        return space
+
+    def _replay(self) -> None:
+        self._applying = True
+        try:
+            snapshot = self.wal.store.snapshot
+            base_lsn = 0
+            if snapshot is not None:
+                base_lsn = snapshot[0]
+                self._install_state(snapshot[1])
+            for record in self.wal.records_since(base_lsn):
+                self._apply_ops(record.ops)
+        finally:
+            self._applying = False
+
+    def _install_state(self, state: bytes) -> None:
+        last_id, entries = pickle.loads(state)
+        self._reset_state()
+        for entry_id, data, expiration_ms in sorted(entries):
+            self._restore(entry_id, data, expiration_ms)
+        if last_id > self._last_id:
+            self._last_id = last_id
+            self._ids = itertools.count(last_id + 1)
+
+    def _apply_ops(self, ops: tuple) -> None:
+        for op in ops:
+            if op[0] == "write":
+                _, entry_id, data, expiration_ms = op
+                if entry_id not in self._by_id:
+                    self._restore(entry_id, data, expiration_ms)
+            else:  # take
+                self._discard(op[1])
+
+    # -- journaling ----------------------------------------------------------
+
+    def _journal_ops(self, ops: list) -> None:
+        if self._applying:
+            return
+        self.wal.append(tuple(ops))
+        self._maybe_snapshot()
+
+    def _maybe_snapshot(self) -> None:
+        if self.snapshot_every is None:
+            return
+        self._commits_since_snapshot += 1
+        if self._commits_since_snapshot >= self.snapshot_every:
+            self._snapshot_locked()
+
+    def checkpoint(self) -> None:
+        """Snapshot the committed state now and truncate the log."""
+        with self._lock:
+            self._snapshot_locked()
+
+    def _snapshot_locked(self) -> None:
+        last_id, entries = self._committed_state()
+        state = pickle.dumps((last_id, entries),
+                             protocol=pickle.HIGHEST_PROTOCOL)
+        self.wal.install_snapshot(self.wal.last_lsn, state)
+        self._commits_since_snapshot = 0
+
+    # -- replication (standby side) -------------------------------------------
+
+    def bootstrap(self, snapshot: Optional[tuple[int, bytes]],
+                  records: list[CommitRecord]) -> None:
+        """Adopt a primary's snapshot + log tail (idempotent: anything at
+        or below our current LSN is skipped, so a reconnect after a feed
+        drop never regresses state)."""
+        with self._lock:
+            self._applying = True
+            try:
+                if snapshot is not None and snapshot[0] > self.wal.last_lsn:
+                    self.wal.install_snapshot(snapshot[0], snapshot[1])
+                    self._install_state(snapshot[1])
+                for record in records:
+                    if record.lsn > self.wal.last_lsn:
+                        self.wal.import_record(record)
+                        self._apply_ops(record.ops)
+            finally:
+                self._applying = False
+
+    def apply_commit(self, record: CommitRecord) -> None:
+        """Apply one streamed commit record (live replication)."""
+        with self._lock:
+            if record.lsn <= self.wal.last_lsn:
+                return  # already covered by the bootstrap
+            self._applying = True
+            try:
+                self.wal.import_record(record)
+                self._apply_ops(record.ops)
+            finally:
+                self._applying = False
+            self._maybe_snapshot()
+
+
+class HotStandby:
+    """Tails a primary space's commit stream into a local durable replica.
+
+    The tail loop reconnects (bounded by ``max_retries`` consecutive
+    failures) so a primary *restart* resumes replication; a primary
+    *death* leaves the loop backing off until a supervisor calls
+    :meth:`promote`, which stops the tail and serves the caught-up
+    replica on ``address``.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        network: Network,
+        host: str,
+        primary_address: Address,
+        address: Address,
+        name: str = "JavaSpaces-standby",
+        snapshot_every: Optional[int] = 64,
+        retry_ms: float = 200.0,
+        max_retries: int = 50,
+        metrics: Any = None,
+    ) -> None:
+        self.runtime = runtime
+        self.network = network
+        self.host = host
+        self.primary_address = primary_address
+        self.address = address
+        self.space = DurableSpace(runtime, name=name,
+                                  snapshot_every=snapshot_every)
+        self.retry_ms = retry_ms
+        self.max_retries = max_retries
+        self.metrics = metrics
+        self.caught_up = False
+        self.promoted = False
+        self.server: Optional[SpaceServer] = None
+        self._running = False
+        self._conn: Optional[StreamSocket] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.runtime.spawn(self._tail, name=f"standby-tail:{self.host}")
+
+    def stop(self) -> None:
+        self._running = False
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+        if self.server is not None:
+            self.server.stop(drain_ms=0.0)
+
+    def promote(self, txn_manager: Optional[TransactionManager] = None) -> SpaceServer:
+        """Stop tailing and serve the replica at ``self.address``."""
+        self.promoted = True
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+        self.server = SpaceServer(
+            self.runtime, self.space, self.network, self.address,
+            txn_manager=txn_manager,
+        )
+        self.server.start()
+        if self.metrics is not None:
+            self.metrics.event("standby-promoted", host=self.host,
+                               lsn=self.space.wal.last_lsn)
+        return self.server
+
+    # -- the tail loop ---------------------------------------------------------
+
+    def _tail(self) -> None:
+        failures = 0
+        while self._running and not self.promoted:
+            try:
+                conn = self.network.connect(self.host, self.primary_address)
+                self._conn = conn
+                conn.send({"op": "replicate",
+                           "args": {"from_lsn": self.space.wal.last_lsn}})
+                reply = conn.receive(timeout_ms=None)
+                if reply is None or not reply.get("ok"):
+                    raise ConnectionClosedError("replication bootstrap refused")
+                value = reply["value"]
+                self.space.bootstrap(value["snapshot"], value["records"])
+                failures = 0
+                if not self.caught_up:
+                    self.caught_up = True
+                    if self.metrics is not None:
+                        self.metrics.event("standby-caught-up", host=self.host,
+                                           lsn=self.space.wal.last_lsn)
+                while self._running and not self.promoted:
+                    message = conn.receive(timeout_ms=None)
+                    if message is None:
+                        continue
+                    record = message.get("repl")
+                    if record is not None:
+                        self.space.apply_commit(record)
+            except (ConnectionClosedError, ConnectionRefusedError_, NetworkError):
+                if not self._running or self.promoted:
+                    return
+                failures += 1
+                if failures > self.max_retries:
+                    if self.metrics is not None:
+                        self.metrics.event("standby-gave-up", host=self.host)
+                    return
+                self.runtime.sleep(self.retry_ms)
+        self._conn = None

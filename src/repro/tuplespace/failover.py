@@ -1,0 +1,181 @@
+"""Failover plumbing: locate the space via Jini, promote the standby.
+
+:class:`JiniSpaceLocator` is the client half — a callable handed to
+:class:`~repro.tuplespace.proxy.SpaceProxy` as its ``locator`` so a
+reconnect asks the lookup service *where the space lives now* instead of
+hammering a dead address.
+
+:class:`SpaceSupervisor` is the control half — it heartbeats the primary
+:class:`~repro.tuplespace.proxy.SpaceServer` and, after ``max_misses``
+consecutive missed probes, promotes the :class:`~repro.tuplespace.durable.HotStandby`,
+cancels the primary's lookup registration and registers the standby's
+address under the same service attributes.  From that point every
+locator-equipped proxy re-discovers the new primary on its next
+reconnect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import (
+    ConnectionClosedError,
+    ConnectionRefusedError_,
+    LookupError_,
+    NetworkError,
+)
+from repro.jini.join import LookupClient
+from repro.jini.lookup import ServiceItem
+from repro.net.address import Address
+from repro.net.network import Network
+from repro.runtime.base import Runtime
+from repro.tuplespace.durable import HotStandby
+from repro.tuplespace.lease import FOREVER
+from repro.tuplespace.proxy import SpaceServer
+from repro.tuplespace.transaction import TransactionManager
+
+__all__ = ["JiniSpaceLocator", "SpaceSupervisor"]
+
+
+class JiniSpaceLocator:
+    """Resolve the space's current address through the lookup service.
+
+    Returns the *newest* matching registration — after a failover both
+    the stale primary item (until its cancel/lease-expiry lands) and the
+    standby item may briefly coexist, and lookup returns registrations in
+    insertion order.
+    """
+
+    def __init__(self, network: Network, host: str, registrar: Address,
+                 query: dict[str, Any]) -> None:
+        self.network = network
+        self.host = host
+        self.registrar = registrar
+        self.query = query
+
+    def __call__(self) -> Optional[Address]:
+        client = LookupClient(self.network, self.host, self.registrar)
+        try:
+            items = client.lookup(self.query)
+        finally:
+            client.close()
+        if not items:
+            return None
+        return items[-1].service
+
+
+class SpaceSupervisor:
+    """Promote the hot standby when the primary stops answering pings.
+
+    Detection is deliberately dumb — ``max_misses`` consecutive failed
+    probes at ``heartbeat_ms`` intervals — which makes the failover time
+    a deterministic function of the fault time under simulation.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        network: Network,
+        host: str,
+        standby: HotStandby,
+        primary_address: Address,
+        registrar: Address,
+        service_item: ServiceItem,
+        heartbeat_ms: float = 250.0,
+        probe_timeout_ms: Optional[float] = None,
+        max_misses: int = 3,
+        old_registration_id: Optional[int] = None,
+        metrics: Any = None,
+    ) -> None:
+        self.runtime = runtime
+        self.network = network
+        self.host = host
+        self.standby = standby
+        self.primary_address = primary_address
+        self.registrar = registrar
+        self.service_item = service_item
+        self.heartbeat_ms = heartbeat_ms
+        self.probe_timeout_ms = (
+            probe_timeout_ms if probe_timeout_ms is not None else heartbeat_ms
+        )
+        self.max_misses = max_misses
+        self.old_registration_id = old_registration_id
+        self.metrics = metrics
+        self.failed_over = False
+        self.server: Optional[SpaceServer] = None
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.runtime.spawn(self._watch, name=f"space-supervisor:{self.host}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- watchdog ------------------------------------------------------------
+
+    def _watch(self) -> None:
+        misses = 0
+        while self._running and not self.failed_over:
+            self.runtime.sleep(self.heartbeat_ms)
+            if not self._running or self.failed_over:
+                return
+            if self._probe():
+                misses = 0
+                continue
+            misses += 1
+            if self.metrics is not None:
+                self.metrics.event("primary-heartbeat-miss", misses=misses)
+            if misses >= self.max_misses:
+                self._failover()
+                return
+
+    def _probe(self) -> bool:
+        """One ping round-trip to the primary; False on any failure."""
+        try:
+            conn = self.network.connect(self.host, self.primary_address)
+        except (ConnectionRefusedError_, NetworkError):
+            return False
+        try:
+            conn.send({"op": "ping", "args": {}})
+            reply = conn.receive(timeout_ms=self.probe_timeout_ms)
+            return bool(reply) and bool(reply.get("ok"))
+        except (ConnectionClosedError, NetworkError):
+            return False
+        finally:
+            conn.close()
+
+    def _failover(self) -> None:
+        """The promotion sequence: serve the replica, fix the registry."""
+        self.failed_over = True
+        self.server = self.standby.promote(
+            TransactionManager(self.runtime, metrics=self.metrics)
+        )
+        client = LookupClient(self.network, self.host, self.registrar)
+        try:
+            if self.old_registration_id is not None:
+                try:
+                    client.cancel(self.old_registration_id)
+                except (LookupError_, ConnectionClosedError,
+                        ConnectionRefusedError_):
+                    pass  # stale registration will age out by lease
+            client.register(
+                ServiceItem(
+                    self.service_item.service_id,
+                    self.standby.address,
+                    dict(self.service_item.attributes),
+                ),
+                lease_ms=FOREVER,
+            )
+        finally:
+            client.close()
+        if self.metrics is not None:
+            self.metrics.event(
+                "failover-complete", host=self.host,
+                address=str(self.standby.address),
+                lsn=self.standby.space.wal.last_lsn,
+            )

@@ -17,7 +17,9 @@ from typing import Any, Callable, Optional
 from repro.errors import (
     ConnectionClosedError,
     ConnectionRefusedError_,
+    NetworkError,
     SpaceError,
+    TransactionAbortedError,
     TransactionError,
 )
 from repro.net.address import Address
@@ -64,6 +66,23 @@ class RecoveryPolicy:
 #: whose transaction was aborted server-side anyway.
 _IDEMPOTENT_OPS = frozenset({"read", "count", "contents", "ping", "txn_create"})
 
+#: Operations whose ``timeout_ms`` arg is a *server-side wait budget*: the
+#: client's reply deadline must cover it on top of the RPC budget, or a
+#: long blocking take would be misread as a dead connection.
+_BLOCKING_OPS = frozenset({"read", "take", "take_multiple"})
+
+#: Server exceptions reconstructed as their own type on the client, so a
+#: caller can distinguish "your transaction expired" from a generic remote
+#: failure without string matching.
+_REMOTE_ERROR_TYPES: dict[str, type] = {
+    "TransactionAbortedError": TransactionAbortedError,
+    "TransactionError": TransactionError,
+}
+
+#: Sentinel returned by a handler that already sent its own reply and
+#: turned the connection into a one-way stream (replication feed).
+_STREAMING = object()
+
 
 class SpaceServer:
     """Exports a :class:`JavaSpace` on a network address."""
@@ -98,19 +117,35 @@ class SpaceServer:
         self._running = True
         self.runtime.spawn(self._accept_loop, name=f"space-server:{self.address}")
 
-    def stop(self) -> None:
-        """Graceful stop: refuse new connections, leave open ones alone."""
+    def stop(self, drain_ms: Optional[float] = 1_000.0) -> None:
+        """Graceful stop: refuse new connections and give open ones
+        ``drain_ms`` to finish before they are closed.
+
+        The deadline is what makes "graceful" terminate: a client that
+        never hangs up used to keep its ``_serve`` loop alive forever.
+        ``drain_ms=None`` restores that linger-forever behaviour.
+        """
         self._running = False
         if self._listener is not None:
             self._listener.close()
+        if drain_ms is not None and self._connections:
+            def _drain() -> None:
+                if self._running:
+                    return  # restarted in the meantime; not ours to close
+                for conn in list(self._connections):
+                    conn.close()
+
+            self.runtime.call_later(drain_ms, _drain)
 
     def crash(self) -> None:
         """Abrupt server death: every live connection drops, so clients see
         :class:`ConnectionClosedError` and their open transactions abort —
         in-flight takes roll back exactly as on a real server restart.
-        The space contents survive (restart = same JVM state here; a
-        durable space is a non-goal of the paper's model)."""
-        self.stop()
+        The in-memory space contents survive a restart of the same server
+        object; surviving the *machine* requires a
+        :class:`~repro.tuplespace.durable.DurableSpace` recovered from its
+        write-ahead log."""
+        self.stop(drain_ms=None)
         for conn in list(self._connections):
             conn.close()
 
@@ -141,6 +176,8 @@ class SpaceServer:
                     continue
                 try:
                     value = self._dispatch(request, transactions, conn)
+                    if value is _STREAMING:
+                        continue  # handler replied itself; feed is one-way now
                     conn.send({"ok": True, "value": value})
                 except ConnectionClosedError:
                     raise
@@ -228,6 +265,38 @@ class SpaceServer:
     def _op_ping(self, args, txn, transactions, conn) -> Any:
         return "pong"
 
+    def _op_replicate(self, args, txn, transactions, conn) -> Any:
+        """Bootstrap a standby and turn this connection into its feed.
+
+        The reply (snapshot + log tail) is sent and the live subscription
+        attached under one space-lock hold, so the cut is consistent: no
+        commit can land between the tail we ship and the first streamed
+        record, and none is shipped twice.
+        """
+        space = self.space
+        wal = getattr(space, "wal", None)
+        if wal is None:
+            raise SpaceError("space is not durable; nothing to replicate")
+        with space._lock:
+            snapshot = wal.store.snapshot
+            base_lsn = max(
+                snapshot[0] if snapshot is not None else 0,
+                args.get("from_lsn", 0),
+            )
+            conn.send({"ok": True, "value": {
+                "snapshot": snapshot,
+                "records": wal.records_since(base_lsn),
+            }})
+
+            def feed(record: Any, c: StreamSocket = conn) -> None:
+                try:
+                    c.send({"repl": record})
+                except (ConnectionClosedError, NetworkError):
+                    wal.unsubscribe(feed)  # standby gone; stop feeding it
+
+            wal.subscribe(feed)
+        return _STREAMING
+
     def _register_notify(self, args: dict[str, Any], conn: StreamSocket) -> int:
         """Forward matching events to the client's event channel."""
         target = Address(args["host"], args["event_port"])
@@ -264,6 +333,7 @@ _DISPATCH: dict[str, Callable[..., Any]] = {
     "txn_abort": SpaceServer._op_txn_abort,
     "notify": SpaceServer._op_notify,
     "ping": SpaceServer._op_ping,
+    "replicate": SpaceServer._op_replicate,
 }
 
 
@@ -317,6 +387,7 @@ class SpaceProxy:
         recovery: Optional[RecoveryPolicy] = None,
         rng: Any = None,
         metrics: Any = None,
+        locator: Optional[Callable[[], Optional[Address]]] = None,
     ) -> None:
         self.network = network
         self.host = host
@@ -324,11 +395,16 @@ class SpaceProxy:
         self.recovery = recovery
         self._rng = rng
         self._metrics = metrics
+        #: Optional service locator (e.g. a Jini lookup query) consulted on
+        #: every reconnect: after a failover the proxy re-discovers the
+        #: promoted standby instead of hammering the dead primary address.
+        self._locator = locator
         self._conn: Optional[StreamSocket] = None
         self._event_listener = None
         self._event_handlers: dict[int, Callable[[RemoteEvent], Any]] = {}
         self._failed = False
         self._connects = 0
+        self._dial_failures = 0
         self.reconnects = 0
         self.retries = 0
 
@@ -347,13 +423,41 @@ class SpaceProxy:
         if self._failed:
             raise ConnectionClosedError("proxy host crashed")
         if self._conn is None or self._conn.closed:
-            self._conn = self.network.connect(self.host, self.server_address)
+            # Re-discover on any *re*connect — including a first connect
+            # that keeps failing: a proxy born after a failover (restarted
+            # master) must not hammer the dead configured address forever.
+            if self._locator is not None and \
+                    (self._connects > 0 or self._dial_failures > 0):
+                self._rediscover()
+            try:
+                self._conn = self.network.connect(self.host, self.server_address)
+            except (ConnectionRefusedError_, NetworkError):
+                self._dial_failures += 1
+                raise
             self._connects += 1
             if self._connects > 1:
                 self.reconnects += 1
                 if self._metrics is not None:
                     self._metrics.event("proxy-reconnected", host=self.host)
         return self._conn
+
+    def _rediscover(self) -> None:
+        """Ask the locator where the space lives now (reconnect path).
+
+        A locator failure (registrar briefly down) falls back to the last
+        known address — the normal backoff loop covers that window.
+        """
+        try:
+            fresh = self._locator()
+        except (ConnectionClosedError, ConnectionRefusedError_, SpaceError):
+            return
+        except Exception:
+            return  # lookup substrate errors: keep the cached address
+        if fresh is not None and fresh != self.server_address:
+            self.server_address = fresh
+            if self._metrics is not None:
+                self._metrics.event("proxy-rediscovered", host=self.host,
+                                    address=str(fresh))
 
     def _drop_connection(self) -> None:
         """Discard the current connection so a late reply from a dead RPC
@@ -366,12 +470,21 @@ class SpaceProxy:
         conn = self._connection()
         conn.send({"op": op, "args": args})
         timeout_ms = self.recovery.call_timeout_ms if self.recovery else None
+        if timeout_ms is not None and op in _BLOCKING_OPS:
+            # The RPC budget covers transport + dispatch; the op's own wait
+            # budget is spent server-side on purpose and must be added, not
+            # mistaken for a dead connection.
+            wait = args.get("timeout_ms")
+            timeout_ms = None if wait is None else timeout_ms + wait
         reply = conn.receive(timeout_ms=timeout_ms)
         if reply is None:
             self._drop_connection()
             raise ConnectionClosedError(f"space rpc {op!r} timed out")
         if reply.get("ok"):
             return reply.get("value")
+        exc_cls = _REMOTE_ERROR_TYPES.get(reply.get("type"))
+        if exc_cls is not None:
+            raise exc_cls(f"remote {op} failed: {reply.get('error')}")
         raise SpaceError(f"remote {op} failed: {reply.get('type')}: {reply.get('error')}")
 
     def _call(self, op: str, args: dict[str, Any]) -> Any:

@@ -113,6 +113,11 @@ class _TxnOps:
 class JavaSpace:
     """A shared, associative, transactional object repository."""
 
+    #: When true, committed state changes are reported to ``_journal_ops``
+    #: (overridden by :class:`repro.tuplespace.durable.DurableSpace`); the
+    #: base space never pays for the hook.
+    journaling = False
+
     def __init__(self, runtime: Runtime, name: str = "JavaSpaces") -> None:
         self._serialize = serialize
         self._deserialize = deserialize
@@ -139,6 +144,7 @@ class JavaSpace:
         self._lease_heap: list[tuple[float, int]] = []
         self._lease_cancelled: list[int] = []
         self._ids = itertools.count(1)
+        self._last_id = 0  # highest id ever issued (snapshot/replay resume)
         self._txn_ops: dict[int, _TxnOps] = {}
         self._registrations: list[EventRegistration] = []
         self._reg_ids = itertools.count(1)
@@ -173,11 +179,16 @@ class JavaSpace:
                 self._ops(txn).writes.append(stored.entry_id)
             else:
                 self._entry_became_visible(stored)
+                if self.journaling:
+                    self._journal_ops([
+                        ("write", stored.entry_id, data, stored.lease.expiration_ms)
+                    ])
             return stored.lease
 
     def _store(self, entry: Entry, data: bytes, lease_ms: float) -> _Stored:
         """Insert one serialized entry (store, id map, index, lease heap)."""
         entry_id = next(self._ids)
+        self._last_id = entry_id
         cancelled = self._lease_cancelled
         lease = Lease(
             self.runtime, lease_ms,
@@ -255,6 +266,7 @@ class JavaSpace:
                 txn._enlist(self)
                 ops = self._ops(txn)
             leases: list[Lease] = []
+            journal: list[tuple] = []
             for entry, data in zip(entries, serialized):
                 stored = self._store(entry, data, lease_ms)
                 leases.append(stored.lease)
@@ -264,6 +276,13 @@ class JavaSpace:
                     ops.writes.append(stored.entry_id)
                 else:
                     self._entry_became_visible(stored)
+                    if self.journaling:
+                        journal.append(
+                            ("write", stored.entry_id, data,
+                             stored.lease.expiration_ms)
+                        )
+            if journal:
+                self._journal_ops(journal)
             return leases
 
     def take_multiple(
@@ -353,6 +372,8 @@ class JavaSpace:
             self.stats["takes"] += 1
             if txn is None:
                 self._remove(stored)
+                if self.journaling:
+                    self._journal_ops([("take", stored.entry_id)])
             else:
                 txn._enlist(self)
                 stored.state = _TAKEN
@@ -410,6 +431,10 @@ class JavaSpace:
             if ops is None:
                 return
             by_id = self._by_id
+            # One commit = one journal batch: the transaction's *net*
+            # committed effect.  Writes taken back inside the same txn and
+            # anything an aborting txn touched never reach the log.
+            journal: list[tuple] = []
             for entry_id in ops.writes:
                 stored = by_id.get(entry_id)
                 if stored is None:
@@ -423,6 +448,11 @@ class JavaSpace:
                     stored.state = _AVAILABLE
                     stored.owner_txn = None
                     self._entry_became_visible(stored)
+                    if self.journaling:
+                        journal.append(
+                            ("write", entry_id, stored.data,
+                             stored.lease.expiration_ms)
+                        )
                 else:
                     self._remove(stored)
             written_here = set(ops.writes)
@@ -434,6 +464,8 @@ class JavaSpace:
                     # Commit consumes the take; on abort, an entry this same
                     # transaction wrote was never visible, so discard it too.
                     self._remove(stored)
+                    if self.journaling and commit and entry_id not in written_here:
+                        journal.append(("take", entry_id))
                 elif stored.lease.is_expired():
                     # The lease ran out while the take was pending; the
                     # restored entry would be invisible, so reap it now.
@@ -452,6 +484,74 @@ class JavaSpace:
                 if (not stored.read_lockers and stored.state == _AVAILABLE
                         and not stored.lease.is_expired()):
                     self._wake_waiters(stored)
+            if journal:
+                self._journal_ops(journal)
+
+    def _journal_ops(self, ops: list[tuple]) -> None:
+        """Hook: one atomic batch of committed state changes.
+
+        Called under the space lock with ``("write", entry_id, data,
+        expiration_ms)`` / ``("take", entry_id)`` tuples.  No-op here;
+        ``DurableSpace`` appends them to its write-ahead log.
+        """
+
+    # ------------------------------------------------------- recovery internals --
+
+    def _restore(self, entry_id: int, data: bytes, expiration_ms: float) -> None:
+        """Re-insert one committed entry with its original id and absolute
+        lease deadline (WAL replay / snapshot install; caller holds the
+        lock or owns the space exclusively)."""
+        cancelled = self._lease_cancelled
+        lease = Lease(
+            self.runtime,
+            expiration_ms if expiration_ms == FOREVER
+            # Clamp at zero: an entry whose deadline passed while the space
+            # was down restores as already expired and reaps lazily.
+            else max(0.0, expiration_ms - self.runtime.now()),
+            on_cancel=lambda eid=entry_id: cancelled.append(eid),
+        )
+        entry = self._deserialize(data)
+        stored = _Stored(entry_id, type(entry), data, lease)
+        stored._snapshot = entry
+        self._buckets.setdefault(stored.cls, {})[entry_id] = stored
+        self._by_id[entry_id] = stored
+        self._index_entry(stored, entry)
+        if lease.expiration_ms != FOREVER:
+            heappush(self._lease_heap, (lease.expiration_ms, entry_id))
+        if entry_id > self._last_id:
+            self._last_id = entry_id
+            self._ids = itertools.count(entry_id + 1)
+
+    def _discard(self, entry_id: int) -> None:
+        """Remove an entry by id if present (WAL replay of a take)."""
+        stored = self._by_id.get(entry_id)
+        if stored is not None:
+            self._remove(stored)
+
+    def _reset_state(self) -> None:
+        """Drop every stored entry and index (snapshot install on a
+        standby); waiters, registrations and stats are left alone."""
+        self._buckets.clear()
+        self._by_id.clear()
+        self._indexes.clear()
+        self._unindexable.clear()
+        self._lease_heap.clear()
+        self._lease_cancelled.clear()
+
+    def _committed_state(self) -> tuple[int, list[tuple[int, bytes, float]]]:
+        """``(last_id, [(entry_id, data, expiration_ms), ...])`` for every
+        committed, unexpired entry.
+
+        An entry under an open take (``_TAKEN``) is committed state — the
+        take hasn't happened yet; a pending write is not.  Caller holds
+        the lock.
+        """
+        entries: list[tuple[int, bytes, float]] = []
+        for entry_id, stored in self._by_id.items():
+            if stored.state == _PENDING_WRITE or stored.lease.is_expired():
+                continue
+            entries.append((entry_id, stored.data, stored.lease.expiration_ms))
+        return self._last_id, entries
 
     # ---------------------------------------------------------------- internals --
 
@@ -673,12 +773,20 @@ class JavaSpace:
         """
         cancelled = self._lease_cancelled
         if cancelled:
+            # Explicit cancellations are journaled: unlike natural expiry
+            # (an absolute deadline that replays by itself), a cancel is an
+            # external state change the log must carry.
+            journal: list[tuple] = []
             for entry_id in cancelled:
                 stored = self._by_id.get(entry_id)
                 if stored is not None and stored.state != _TAKEN:
                     self.stats["expired"] += 1
                     self._remove(stored)
+                    if self.journaling and stored.state != _PENDING_WRITE:
+                        journal.append(("take", entry_id))
             cancelled.clear()
+            if journal:
+                self._journal_ops(journal)
         heap = self._lease_heap
         if not heap:
             return

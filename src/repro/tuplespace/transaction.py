@@ -17,7 +17,7 @@ at all"):
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import TransactionAbortedError, TransactionError
 from repro.runtime.base import Runtime
@@ -108,10 +108,19 @@ class Transaction:
 
 
 class TransactionManager:
-    """Creates leased transactions and enforces their expiry."""
+    """Creates leased transactions and enforces their expiry.
 
-    def __init__(self, runtime: Runtime) -> None:
+    Expiry is enforced *server-side*: a watchdog armed at the lease
+    deadline aborts the transaction (releasing its taken entries) even if
+    the owning client connection stays perfectly healthy — a worker stuck
+    in a long computation cannot sit on a task entry forever.  A renewed
+    lease re-arms the watchdog at the new deadline instead of being
+    forgotten.
+    """
+
+    def __init__(self, runtime: Runtime, metrics: Any = None) -> None:
         self._runtime = runtime
+        self._metrics = metrics
         self._ids = itertools.count(1)
         self.created = 0
         self.aborted_by_lease = 0
@@ -123,9 +132,20 @@ class TransactionManager:
         self.created += 1
         if timeout_ms != FOREVER:
             def _expire() -> None:
-                if txn.state == _STATE_ACTIVE and txn.lease.is_expired():
-                    self.aborted_by_lease += 1
-                    txn.abort()
+                if txn.state != _STATE_ACTIVE:
+                    return
+                if not txn.lease.is_expired():
+                    # Renewed since the watchdog was armed: chase the new
+                    # deadline (the old timer used to fire once and give up,
+                    # leaving a renewed-then-abandoned txn immortal).
+                    remaining = txn.lease.remaining_ms()
+                    if remaining != FOREVER:
+                        self._runtime.call_later(remaining, _expire)
+                    return
+                self.aborted_by_lease += 1
+                txn.abort()
+                if self._metrics is not None:
+                    self._metrics.event("txn-lease-expired", txn_id=txn.txn_id)
 
             self._runtime.call_later(timeout_ms, _expire)
         return txn

@@ -1,0 +1,215 @@
+"""Write-ahead log for the durable tuple space.
+
+The unit of durability is the :class:`CommitRecord`: an atomic batch of
+``("write", entry_id, data, expiration_ms)`` / ``("take", entry_id)``
+operations appended exactly when they become *committed* state — a bare
+``write`` logs one record, a transaction logs a single record with its
+whole net effect at commit.  Operations of a transaction that never
+commits are never logged, which is what makes recovery roll open
+transactions back for free.
+
+Storage sits behind :class:`WalStore` so "the disk" can be whatever
+survives the failure being modelled: the in-memory store survives a
+``SpaceServer.crash()`` plus the loss of the space object (machine loss
+in the simulation), while :class:`FileWalStore` puts the same bytes on a
+real filesystem.  A periodic *snapshot* — the serialized committed store
+— bounds replay time: installing one truncates every record it already
+covers.
+
+The log is also the replication feed: a hot standby subscribes and
+receives every appended record in commit order (see
+:mod:`repro.tuplespace.durable`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import SpaceError
+
+__all__ = ["CommitRecord", "WalStore", "FileWalStore", "WriteAheadLog",
+           "OP_WRITE", "OP_TAKE"]
+
+OP_WRITE = "write"
+OP_TAKE = "take"
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One atomic batch of committed operations.
+
+    ``ops`` is a tuple of ``(OP_WRITE, entry_id, data, expiration_ms)``
+    and ``(OP_TAKE, entry_id)`` tuples; ``expiration_ms`` is *absolute*
+    virtual time (``math.inf`` for FOREVER) so replay reconstructs the
+    remaining lease instead of restarting it.
+    """
+
+    lsn: int
+    ops: tuple[tuple, ...]
+
+
+class WalStore:
+    """In-memory durable medium: a snapshot slot plus the record tail.
+
+    The object models the disk — hand the *same store* to a recovering
+    space after discarding the crashed one and the committed state comes
+    back.  Subclasses persist the same structure elsewhere.
+    """
+
+    def __init__(self) -> None:
+        self.snapshot: Optional[tuple[int, bytes]] = None  # (lsn, state)
+        self.records: list[CommitRecord] = []
+
+    def append(self, record: CommitRecord) -> None:
+        self.records.append(record)
+
+    def install_snapshot(self, lsn: int, state: bytes) -> None:
+        """Persist ``state`` covering everything up to ``lsn`` and drop
+        the records it makes redundant."""
+        self.snapshot = (lsn, state)
+        self.records = [r for r in self.records if r.lsn > lsn]
+
+    def last_lsn(self) -> int:
+        if self.records:
+            return self.records[-1].lsn
+        if self.snapshot is not None:
+            return self.snapshot[0]
+        return 0
+
+
+class FileWalStore(WalStore):
+    """File-backed store: snapshot and log as pickle-framed files.
+
+    Layout: ``<path>.snap`` holds ``(lsn, state)``; ``<path>.log`` holds
+    consecutive pickled :class:`CommitRecord` frames (``pickle.load``
+    framing is self-delimiting).  Appends flush immediately — the WAL
+    contract is that an acknowledged commit survives the process.
+    """
+
+    def __init__(self, path) -> None:
+        super().__init__()
+        path = os.fspath(path)
+        self._snap_path = path + ".snap"
+        self._log_path = path + ".log"
+        self._load()
+        self._log_fh = open(self._log_path, "ab")
+
+    def _load(self) -> None:
+        if os.path.exists(self._snap_path):
+            with open(self._snap_path, "rb") as fh:
+                self.snapshot = pickle.load(fh)
+        if os.path.exists(self._log_path):
+            with open(self._log_path, "rb") as fh:
+                while True:
+                    try:
+                        record = pickle.load(fh)
+                    except EOFError:
+                        break
+                    self.records.append(record)
+        if self.snapshot is not None:
+            lsn = self.snapshot[0]
+            self.records = [r for r in self.records if r.lsn > lsn]
+
+    def append(self, record: CommitRecord) -> None:
+        super().append(record)
+        self._log_fh.write(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        self._log_fh.flush()
+
+    def install_snapshot(self, lsn: int, state: bytes) -> None:
+        super().install_snapshot(lsn, state)
+        with open(self._snap_path, "wb") as fh:
+            pickle.dump((lsn, state), fh, protocol=pickle.HIGHEST_PROTOCOL)
+        # Rewrite the log with only the surviving tail.
+        self._log_fh.close()
+        with open(self._log_path, "wb") as fh:
+            for record in self.records:
+                fh.write(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        self._log_fh = open(self._log_path, "ab")
+
+    def close(self) -> None:
+        self._log_fh.close()
+
+
+class WriteAheadLog:
+    """Commit-ordered log with snapshot truncation and live subscribers.
+
+    ``append`` assigns the next LSN; ``import_record`` preserves the LSN
+    of a record replicated from a primary, so a promoted standby's log
+    lines up with the stream it tailed.  Subscribers (replication
+    channels) are invoked synchronously in commit order.
+    """
+
+    def __init__(self, store: Optional[WalStore] = None) -> None:
+        self.store = store if store is not None else WalStore()
+        self._subscribers: list[Callable[[CommitRecord], None]] = []
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, ops: tuple[tuple, ...]) -> CommitRecord:
+        record = CommitRecord(self.store.last_lsn() + 1, tuple(ops))
+        self.store.append(record)
+        self._notify(record)
+        return record
+
+    def import_record(self, record: CommitRecord) -> None:
+        """Adopt a replicated record verbatim (standby tail path)."""
+        if record.lsn <= self.store.last_lsn():
+            raise SpaceError(
+                f"stale replicated record lsn={record.lsn} "
+                f"(log is at {self.store.last_lsn()})"
+            )
+        self.store.append(record)
+        self._notify(record)
+
+    def install_snapshot(self, lsn: int, state: bytes) -> None:
+        self.store.install_snapshot(lsn, state)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        return self.store.last_lsn()
+
+    def records_since(self, lsn: int) -> list[CommitRecord]:
+        """Every stored record with an LSN strictly greater than ``lsn``."""
+        return [r for r in self.store.records if r.lsn > lsn]
+
+    # -- replication feed ---------------------------------------------------
+
+    def subscribe(self, callback: Callable[[CommitRecord], None]) -> None:
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[CommitRecord], None]) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    def _notify(self, record: CommitRecord) -> None:
+        for callback in list(self._subscribers):
+            callback(record)
+
+
+def op_write(entry_id: int, data: bytes, expiration_ms: float) -> tuple:
+    return (OP_WRITE, entry_id, data, expiration_ms)
+
+
+def op_take(entry_id: int) -> tuple:
+    return (OP_TAKE, entry_id)
+
+
+def describe_ops(ops: tuple[tuple, ...]) -> str:
+    """Compact human rendering used by logs and tests."""
+    parts = []
+    for op in ops:
+        if op[0] == OP_WRITE:
+            parts.append(f"w#{op[1]}")
+        else:
+            parts.append(f"t#{op[1]}")
+    return ",".join(parts)
+
+
+def state_of(obj: Any) -> bytes:  # pragma: no cover - convenience alias
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)

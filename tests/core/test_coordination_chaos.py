@@ -1,0 +1,64 @@
+"""Coordinator-fault acceptance: survive the space primary and the master.
+
+Across seeds, killing the primary space server (hot-standby failover)
+and/or the master (checkpoint/resume) mid-run must still complete every
+task exactly-once, and the whole recovery trace must replay
+byte-identically from the same seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.chaos import (
+    coordination_chaos_experiment,
+    verify_coordination_determinism,
+)
+
+SEEDS = [1, 2, 3]
+_env_seed = os.environ.get("CHAOS_SEED")
+if _env_seed is not None and int(_env_seed) not in SEEDS:
+    SEEDS.append(int(_env_seed))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_space_primary_kill_fails_over_and_completes_exactly_once(seed):
+    result = coordination_chaos_experiment(
+        seed=seed, faults=("kill-primary-space",))
+    assert result.faults_injected == 1
+    assert result.exactly_once, result.format_summary()
+    names = {n for _, n, _ in result.trace}
+    assert {"space-primary-killed", "primary-heartbeat-miss",
+            "standby-promoted", "failover-complete",
+            "proxy-rediscovered"} <= names, result.format_summary()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_master_kill_resumes_from_checkpoint_exactly_once(seed):
+    result = coordination_chaos_experiment(seed=seed, faults=("kill-master",))
+    assert result.faults_injected == 1
+    assert result.master_restarts == 1
+    assert result.exactly_once, result.format_summary()
+    assert result.report.resumed_from_seq >= 1
+    names = {n for _, n, _ in result.trace}
+    assert {"master-kill-injected", "master-killed", "master-restarted",
+            "master-checkpoint", "master-resumed"} <= names, \
+        result.format_summary()
+
+
+def test_both_coordinator_faults_in_one_run():
+    result = coordination_chaos_experiment(
+        seed=3, faults=("kill-primary-space", "kill-master"))
+    assert result.faults_injected == 2
+    assert result.exactly_once, result.format_summary()
+    names = {n for _, n, _ in result.trace}
+    assert "failover-complete" in names
+    assert "master-resumed" in names
+
+
+@pytest.mark.parametrize("faults", [("kill-primary-space",), ("kill-master",)])
+def test_same_seed_replays_identical_coordination_trace(faults):
+    seed = int(os.environ.get("CHAOS_SEED", "42"))
+    assert verify_coordination_determinism(seed=seed, faults=faults)

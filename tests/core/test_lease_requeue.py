@@ -1,0 +1,99 @@
+"""Property test: lease-driven task requeue keeps jobs exactly-once.
+
+A worker that takes a task under a finite-lease transaction and then
+dies silently (no abort, no disconnect) must not strand the task: the
+server-side lease watchdog aborts the transaction, the take rolls back,
+and some healthy worker re-takes the entry.  Whatever crash pattern the
+strategy draws, the job completes and every task is folded exactly once.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entries import ResultEntry, TaskEntry
+from repro.core.master import Master
+from repro.core.metrics import Metrics
+from repro.node import testbed_small
+from repro.runtime import SimulatedRuntime
+from repro.tuplespace.space import JavaSpace
+from repro.tuplespace.transaction import TransactionManager
+from tests.core.toyapp import SumOfSquares
+
+LEASE_MS = 400.0
+N = 6
+
+
+def run_requeue(crash_flags: list[bool]) -> tuple:
+    """One master + one worker whose i-th take crashes iff crash_flags[i]."""
+    runtime = SimulatedRuntime()
+    try:
+        cluster = testbed_small(runtime, workers=1)
+        app = SumOfSquares(n=N, task_cost=10.0)
+        app.aggregate = lambda results: sum(results.values())  # type: ignore
+        space = JavaSpace(runtime)
+        metrics = Metrics(runtime)
+        manager = TransactionManager(runtime, metrics=metrics)
+        master = Master(runtime, cluster.master, space, app, metrics,
+                        model_time=False, dead_letter_poll_ms=100.0)
+        flags = list(crash_flags)
+        abandoned = [0]
+
+        def worker_loop():
+            idle = 0
+            while idle < 8:
+                txn = manager.create(timeout_ms=LEASE_MS)
+                entry = space.take(TaskEntry(app_id=app.app_id), txn=txn,
+                                   timeout_ms=200.0)
+                if entry is None:
+                    txn.abort()
+                    idle += 1
+                    continue
+                idle = 0
+                if flags.pop(0) if flags else False:
+                    # Silent death: walk away mid-transaction.  Only the
+                    # lease watchdog can give this task back.
+                    abandoned[0] += 1
+                    continue
+                runtime.sleep(50.0)
+                space.write(ResultEntry(app_id=app.app_id,
+                                        task_id=entry.task_id,
+                                        payload=entry.payload * entry.payload,
+                                        worker="w0"), txn=txn)
+                txn.commit()
+
+        def root():
+            runtime.spawn(worker_loop, name="worker")
+            return master.run()
+
+        proc = runtime.kernel.spawn(root, name="requeue-root")
+        runtime.kernel.run_until_idle()
+        if proc.error is not None:
+            raise proc.error
+        assert proc.finished
+        return proc.result, abandoned[0], manager, metrics
+    finally:
+        runtime.shutdown()
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.booleans(), min_size=0, max_size=10))
+def test_job_completes_exactly_once_despite_silent_worker_deaths(crash_flags):
+    report, abandoned, manager, metrics = run_requeue(crash_flags)
+    assert report.complete
+    assert report.solution == sum(i * i for i in range(N))
+    # Exactly-once: one aggregation per task, nothing duplicated.
+    assert sum(report.results_by_worker.values()) == N
+    assert report.duplicate_results == 0
+    assert report.dead_letters == {}
+    # Every abandoned take was reclaimed by the watchdog, and only those.
+    assert manager.aborted_by_lease == abandoned
+    assert len(metrics.events_named("txn-lease-expired")) == abandoned
+
+
+def test_task_is_invisible_until_the_lease_expires():
+    report, abandoned, manager, _ = run_requeue([True])
+    assert abandoned == 1
+    assert report.complete
+    assert manager.aborted_by_lease == 1

@@ -1,0 +1,131 @@
+"""Server-side transaction lease expiry.
+
+The lease watchdog is what turns a crashed/stuck worker into a
+recoverable event: its taken task entry comes back to the space when the
+transaction lease runs out, *without* the connection having to drop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import Metrics
+from repro.errors import TransactionAbortedError
+from repro.net.address import Address
+from repro.net.network import Network
+from repro.runtime import SimulatedRuntime
+from repro.tuplespace.entry import Entry
+from repro.tuplespace.proxy import SpaceProxy, SpaceServer
+from repro.tuplespace.space import JavaSpace
+from repro.tuplespace.transaction import TransactionManager
+
+
+class Point(Entry):
+    def __init__(self, x=None, y=None) -> None:
+        self.x = x
+        self.y = y
+
+
+@pytest.fixture
+def runtime():
+    rt = SimulatedRuntime()
+    yield rt
+    rt.shutdown()
+
+
+def run(runtime, fn, name="test-proc"):
+    proc = runtime.kernel.spawn(fn, name=name)
+    runtime.kernel.run_until_idle()
+    if proc.error is not None:
+        raise proc.error
+    assert proc.finished
+    return proc.result
+
+
+def test_watchdog_aborts_expired_txn_and_restores_the_take(runtime):
+    metrics = Metrics(runtime)
+    space = JavaSpace(runtime)
+    manager = TransactionManager(runtime, metrics=metrics)
+
+    def scenario():
+        space.write(Point(1, 1))
+        txn = manager.create(timeout_ms=500.0)
+        assert space.take(Point(1, 1), txn=txn, timeout_ms=0.0) is not None
+        assert space.count(Point(1, 1)) == 0     # hidden by the open txn
+        # The holder never commits, never aborts, never disconnects.
+        runtime.sleep(1_000.0)
+        assert txn.state == "aborted"            # watchdog fired, not lazily
+        assert space.count(Point(1, 1)) == 1     # the take rolled back
+        with pytest.raises(TransactionAbortedError):
+            space.write(Point(2, 2), txn=txn)
+
+    run(runtime, scenario)
+    assert manager.aborted_by_lease == 1
+    assert metrics.events_named("txn-lease-expired")
+
+
+def test_renewal_rearms_the_watchdog(runtime):
+    manager = TransactionManager(runtime)
+    space = JavaSpace(runtime)
+
+    def scenario():
+        space.write(Point(1, 1))
+        txn = manager.create(timeout_ms=500.0)
+        space.take(Point(1, 1), txn=txn, timeout_ms=0.0)
+        runtime.sleep(400.0)
+        txn.lease.renew(500.0)                   # now expires at t=900
+        runtime.sleep(300.0)                     # t=700: past the old deadline
+        assert txn.state == "active"             # old timer chased, not fired
+        runtime.sleep(400.0)                     # t=1100: past the new deadline
+        assert txn.state == "aborted"
+        assert space.count(Point(1, 1)) == 1
+
+    run(runtime, scenario)
+    assert manager.aborted_by_lease == 1
+
+
+def test_commit_before_expiry_cancels_the_watchdog(runtime):
+    manager = TransactionManager(runtime)
+    space = JavaSpace(runtime)
+
+    def scenario():
+        space.write(Point(1, 1))
+        txn = manager.create(timeout_ms=500.0)
+        space.take(Point(1, 1), txn=txn, timeout_ms=0.0)
+        txn.commit()
+        runtime.sleep(1_000.0)                   # watchdog must be a no-op
+        assert txn.state == "committed"
+        assert space.count(Point(1, 1)) == 0     # the take stuck
+
+    run(runtime, scenario)
+    assert manager.aborted_by_lease == 0
+
+
+def test_remote_txn_expires_with_a_healthy_connection(runtime):
+    """The exact worker-stall scenario: the proxy connection stays open,
+    yet the server-side lease abort releases the task entry."""
+    network = Network(runtime)
+    metrics = Metrics(runtime)
+    space = JavaSpace(runtime)
+    address = Address("master", 9300)
+    server = SpaceServer(runtime, space, network, address,
+                         txn_manager=TransactionManager(runtime, metrics=metrics))
+    server.start()
+
+    def scenario():
+        worker = SpaceProxy(network, "worker", address)
+        observer = SpaceProxy(network, "observer", address)
+        worker.write(Point(1, 1))
+        txn = worker.transaction(timeout_ms=500.0)
+        assert worker.take(Point(1, 1), txn=txn, timeout_ms=0.0) is not None
+        assert observer.count(Point(1, 1)) == 0
+        runtime.sleep(1_000.0)                   # worker "hangs"; conn is fine
+        assert observer.take(Point(1, 1), timeout_ms=0.0) is not None
+        with pytest.raises(TransactionAbortedError):
+            worker.write(Point(2, 2), txn=txn)
+        worker.close()
+        observer.close()
+        server.stop(drain_ms=0.0)
+
+    run(runtime, scenario)
+    assert metrics.events_named("txn-lease-expired")
