@@ -19,19 +19,32 @@ The ``baseline`` section is preserved across runs (it is seeded from the
 first recording and only replaced with ``--rebaseline``), so the JSON
 always answers "how much faster than when we started measuring?".
 
+Two end-to-end workloads ride along with the substrate microbenchmarks:
+a raytrace-shaped synthetic job (600×600 plane, 24 strips, 4 workers)
+run unpipelined vs pipelined (worker prefetch + batched RPC + master
+batch seed/drain), and the durable-commit path under
+``fsync_policy=always`` vs ``group``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_micro.py [--rounds N] [--smoke]
-        [--rebaseline] [--output PATH]
+        [--quick] [--check] [--rebaseline] [--output PATH]
+
+``--quick`` is the CI smoke mode: one round, nothing written, and the
+run fails if any throughput metric drops below ``CHECK_FLOOR`` (0.8×) of
+the committed ``current`` values (same as ``--check``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import sys
+import tempfile
 import time
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable
 
 from repro.runtime import SimulatedRuntime
 from repro.sim import SimKernel
@@ -39,6 +52,9 @@ from repro.tuplespace import JavaSpace
 from tests.tuplespace.entries import TaskEntry
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_micro.json"
+
+#: --check/--quick fail when current/committed drops below this.
+CHECK_FLOOR = 0.8
 
 
 def _time(fn: Callable[[], int], rounds: int) -> float:
@@ -180,6 +196,121 @@ def contention_wakeups_per_write(writes: int = 200, takers: int = 16) -> float:
     return wakeups / writes
 
 
+def e2e_job_rate(prefetch: int = 1, seed_batch: int = 1,
+                 drain_batch: int = 1, workers: int = 4,
+                 strips: int = 24, rounds: int = 1) -> float:
+    """Best-of-``rounds`` tasks/second for one full master–worker job.
+
+    Raytrace-shaped (paper §5.1.2): a 600×600 image plane split into
+    ``strips`` full-width scanline strips; each task carries its region's
+    four coordinates and returns a synthetic per-row rendering.  Compute
+    cost is modelled virtual time, so the wall clock measures exactly
+    what the pipeline changes: round trips, messages, and handoffs.
+    The timer brackets the *second* ``master.run()`` on a standing
+    framework — seed through final aggregation, the paper's
+    job-completion measure, with one-time costs (worker class loading,
+    connection setup) amortized by the warm-up job — not runtime
+    construction or thread teardown, which are identical in both
+    configurations.  Poll budgets are generous because blocking takes
+    wake on arrival in virtual time; short budgets would just add poll
+    traffic both configurations share.
+    """
+    from repro.core.application import Application, ClassLoadProfile, Task
+    from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
+    from repro.experiments.harness import run_simulation
+    from repro.node.cluster import testbed_small
+    from repro.sim.rng import RandomStreams
+
+    width, height = 600, 600
+    strip_rows = height // strips
+
+    class StripJob(Application):
+        app_id = "bench-strips"
+
+        def plan(self):
+            return [Task(task_id=i,
+                         payload={"region": (0, i * strip_rows, width,
+                                             (i + 1) * strip_rows)})
+                    for i in range(strips)]
+
+        def execute(self, payload):
+            x0, y0, x1, y1 = payload["region"]
+            return [(x1 - x0) * y for y in range(y0, y1)]
+
+        def aggregate(self, results):
+            return sum(sum(rows) for rows in results.values())
+
+        def task_cost_ms(self, task):
+            return 2_500.0
+
+        def planning_cost_ms(self, task):
+            return 20.0
+
+        def aggregation_cost_ms(self, task_id, result):
+            return 30.0
+
+        def classload_profile(self):
+            return ClassLoadProfile(work_ref_ms=100.0, demand_percent=80.0,
+                                    bundle_bytes=50_000)
+
+    def body(runtime):
+        cluster = testbed_small(runtime, workers=workers,
+                                streams=RandomStreams(7))
+        framework = AdaptiveClusterFramework(
+            runtime, cluster, StripJob(),
+            FrameworkConfig(
+                monitoring=False,
+                compute_real=True,
+                transactional_takes=True,
+                worker_poll_ms=10_000.0,
+                dead_letter_poll_ms=10_000.0,
+                worker_prefetch=prefetch,
+                master_seed_batch=seed_batch,
+                master_drain_batch=drain_batch,
+            ),
+        )
+        framework.start()
+        framework.start_all_workers()
+        warmup = framework.master.run()
+        t0 = time.perf_counter()
+        report = framework.master.run()
+        elapsed = time.perf_counter() - t0
+        framework.shutdown()
+        assert warmup.complete and report.complete, \
+            "benchmark job did not complete"
+        return elapsed
+
+    best = 0.0
+    for _ in range(rounds):
+        elapsed = run_simulation(body)
+        if elapsed > 0:
+            best = max(best, strips / elapsed)
+    return best
+
+
+def durable_commit_rate(fsync_policy: str, n: int = 400,
+                        group_size: int = 64) -> int:
+    """Commit records through a file-backed WAL under one fsync policy.
+
+    ``always`` pays one fsync per commit; ``group`` amortizes one fsync
+    over up to ``group_size`` buffered commits (the trailing partial
+    group is flushed by the final durability barrier, so both policies
+    end fully durable)."""
+    from repro.tuplespace.wal import FileWalStore, WriteAheadLog, op_write
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = FileWalStore(os.path.join(tmp, "wal"),
+                             fsync_policy=fsync_policy,
+                             group_size=group_size)
+        wal = WriteAheadLog(store)
+        payload = b"x" * 100
+        for i in range(n):
+            wal.append((op_write(i, payload, float("inf")),))
+        wal.sync()
+        store.close()
+    return n
+
+
 # -------------------------------------------------------------------- driver --
 
 def run(rounds: int, smoke: bool) -> dict[str, float]:
@@ -197,8 +328,36 @@ def run(rounds: int, smoke: bool) -> dict[str, float]:
             lambda: contention_write_take(500 // scale), rounds),
         "contention_wakeups_per_write": contention_wakeups_per_write(
             200 // scale),
+        "e2e_unpipelined_tasks_per_s": e2e_job_rate(
+            prefetch=1, seed_batch=1, drain_batch=1,
+            strips=24 if scale == 1 else 6, rounds=rounds),
+        "e2e_pipelined_tasks_per_s": e2e_job_rate(
+            prefetch=6, seed_batch=24, drain_batch=24,
+            strips=24 if scale == 1 else 6, rounds=rounds),
+        "durable_commits_always_per_s": _time(
+            lambda: durable_commit_rate("always", 400 // scale), rounds),
+        "durable_commits_group_per_s": _time(
+            lambda: durable_commit_rate("group", 400 // scale), rounds),
     }
     return results
+
+
+def check_against(committed: dict[str, Any],
+                  current: dict[str, float]) -> list[str]:
+    """CI floor: every committed throughput must stay >= CHECK_FLOOR×."""
+    failures = []
+    for key, reference in committed.items():
+        if not key.endswith("_per_s") or not reference:
+            continue
+        measured = current.get(key)
+        if measured is None:
+            continue
+        ratio = measured / reference
+        if ratio < CHECK_FLOOR:
+            failures.append(
+                f"{key}: {measured:.1f} is {ratio:.2f}x of committed "
+                f"{reference:.1f} (floor {CHECK_FLOOR}x)")
+    return failures
 
 
 def main() -> None:
@@ -207,12 +366,22 @@ def main() -> None:
                         help="take the best of N rounds per workload")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads; checks the harness, not perf")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: one round, no write, implies --check")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if any throughput drops below "
+                             f"{CHECK_FLOOR}x of the committed current values")
     parser.add_argument("--rebaseline", action="store_true",
                         help="replace the stored baseline with this run")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args()
     if args.rounds < 1:
         parser.error(f"--rounds must be >= 1 (got {args.rounds})")
+    if args.quick:
+        # Two rounds: one is too noisy for a 0.8x floor on a busy CI
+        # box, three is the full default.
+        args.check = True
+        args.rounds = min(args.rounds, 2)
 
     current = run(args.rounds, args.smoke)
 
@@ -222,9 +391,14 @@ def main() -> None:
             doc = json.loads(args.output.read_text())
         except json.JSONDecodeError:
             pass
+    committed = dict(doc.get("current") or {})
     baseline = doc.get("baseline")
     if baseline is None or args.rebaseline:
         baseline = dict(current)
+    else:
+        # Workloads added after the baseline was recorded seed their own.
+        for key, value in current.items():
+            baseline.setdefault(key, value)
 
     speedup = {
         k: round(current[k] / baseline[k], 3)
@@ -233,7 +407,7 @@ def main() -> None:
     }
     doc.update({"schema": 1, "baseline": baseline, "current": current,
                 "speedup": speedup})
-    if not args.smoke:
+    if not (args.smoke or args.quick):
         args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
     for key in sorted(current):
@@ -241,8 +415,21 @@ def main() -> None:
         print(f"{key:>36}: {current[key]:>14.1f}{extra}")
     if args.smoke:
         print("smoke run: harness OK, BENCH_micro.json left untouched")
+    elif args.quick:
+        print("quick run: BENCH_micro.json left untouched")
     else:
         print(f"wrote {args.output}")
+
+    if args.check:
+        failures = check_against(committed, current)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            raise SystemExit(1)
+        checked = sum(1 for k in committed
+                      if k.endswith("_per_s") and k in current)
+        print(f"check OK: {checked} throughput metrics >= "
+              f"{CHECK_FLOOR}x committed")
 
 
 if __name__ == "__main__":

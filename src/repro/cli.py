@@ -130,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(hot standby + master checkpoints); repeatable")
     p.add_argument("--verify-determinism", action="store_true",
                    help="run twice and require identical recovery traces")
+    p.add_argument("--prefetch", type=int, default=1,
+                   help="worker pipeline depth (also batches master "
+                        "seed/drain); faults then land mid-batch")
 
     p = sub.add_parser("render", help="render a JSON scene on the cluster")
     p.add_argument("scene", nargs="?", default=None,
@@ -216,7 +219,8 @@ def _chaos(args) -> int:
     if args.faults:
         return _coordination_chaos(args)
     result = chaos_experiment(seed=args.seed, workers=args.workers,
-                              tasks=args.tasks, random_plan=args.random_plan)
+                              tasks=args.tasks, random_plan=args.random_plan,
+                              prefetch=args.prefetch)
     print(result.format_summary())
     if not result.correct:
         print("FAIL: solution does not match the expected partial sum")
@@ -224,7 +228,8 @@ def _chaos(args) -> int:
     if args.verify_determinism:
         ok = verify_chaos_determinism(seed=args.seed, workers=args.workers,
                                       tasks=args.tasks,
-                                      random_plan=args.random_plan)
+                                      random_plan=args.random_plan,
+                                      prefetch=args.prefetch)
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:
             return 1
@@ -239,7 +244,7 @@ def _coordination_chaos(args) -> int:
 
     result = coordination_chaos_experiment(
         seed=args.seed, workers=args.workers, tasks=args.tasks,
-        faults=args.faults,
+        faults=args.faults, prefetch=args.prefetch,
     )
     print(result.format_summary())
     if not result.exactly_once:
@@ -248,7 +253,7 @@ def _coordination_chaos(args) -> int:
     if args.verify_determinism:
         ok = verify_coordination_determinism(
             seed=args.seed, workers=args.workers, tasks=args.tasks,
-            faults=args.faults,
+            faults=args.faults, prefetch=args.prefetch,
         )
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:

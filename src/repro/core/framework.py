@@ -93,6 +93,14 @@ class FrameworkConfig:
     task_txn_lease_ms: Optional[float] = None  # worker task-txn lease (None=∞)
     staleness_ms: Optional[float] = None    # SNMP sample staleness window
 
+    # -- end-to-end throughput (see DESIGN.md "Throughput path") -------------
+    worker_prefetch: int = 1                # tasks per worker pipeline cycle
+    master_seed_batch: int = 1              # tasks per seeding write_all
+    master_drain_batch: int = 1             # results per drain round trip
+    wal_fsync_policy: str = "always"        # durability barrier: always|group|os
+    wal_group_size: int = 64                # group-commit size watermark
+    wal_group_ms: Optional[float] = None    # group-commit time watermark
+
 
 class AdaptiveClusterFramework:
     """One deployment of the framework on a cluster, for one application."""
@@ -124,6 +132,9 @@ class AdaptiveClusterFramework:
             self.space: JavaSpace = DurableSpace(
                 runtime, name=f"space:{app.app_id}",
                 snapshot_every=self.config.wal_snapshot_every,
+                fsync_policy=self.config.wal_fsync_policy,
+                group_size=self.config.wal_group_size,
+                group_commit_ms=self.config.wal_group_ms,
             )
         else:
             self.space = JavaSpace(runtime, name=f"space:{app.app_id}")
@@ -188,6 +199,8 @@ class AdaptiveClusterFramework:
             checkpoint_lease_ms=config.checkpoint_lease_ms,
             space_retry_ms=retry_ms,
             space_max_retries=max(20, 8 * config.failover_max_misses),
+            seed_batch=config.master_seed_batch,
+            drain_batch=config.master_drain_batch,
         )
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -319,6 +332,7 @@ class AdaptiveClusterFramework:
                 max_task_attempts=config.max_task_attempts,
                 recovery=recovery,
                 task_txn_lease_ms=config.task_txn_lease_ms,
+                prefetch=config.worker_prefetch,
                 locator=(self._space_locator(node.hostname)
                          if config.hot_standby else None),
                 # Jitter from a per-worker named stream: deterministic

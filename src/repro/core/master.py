@@ -95,6 +95,8 @@ class Master:
         checkpoint_lease_ms: float = 60_000.0,
         space_retry_ms: Optional[float] = None,
         space_max_retries: int = 20,
+        seed_batch: int = 1,
+        drain_batch: int = 1,
     ) -> None:
         self.runtime = runtime
         self.node = node
@@ -124,6 +126,15 @@ class Master:
         #: it and the results-dict dedup keeps aggregation exactly-once.
         self.space_retry_ms = space_retry_ms
         self.space_max_retries = space_max_retries
+        #: Pipelining: seed tasks in chunks of ``seed_batch`` via one
+        #: write_all per chunk, and drain up to ``drain_batch`` results
+        #: per round trip via take_multiple.  1/1 = the classic
+        #: one-entry-per-round-trip loops.
+        if seed_batch < 1 or drain_batch < 1:
+            raise ValueError(
+                f"seed_batch/drain_batch must be >= 1: {seed_batch}/{drain_batch}")
+        self.seed_batch = seed_batch
+        self.drain_batch = drain_batch
         self.replicated_tasks = 0
         self.duplicate_results = 0
         self.checkpoints_written = 0
@@ -176,6 +187,9 @@ class Master:
     def _write(self, entry, lease_ms: float = FOREVER):
         return self._guard(lambda: self.space.write(entry, lease_ms=lease_ms))
 
+    def _write_all(self, entries):
+        return self._guard(lambda: self.space.write_all(entries))
+
     def _take(self, template, timeout_ms):
         return self._guard(lambda: self.space.take(template, timeout_ms=timeout_ms))
 
@@ -206,6 +220,19 @@ class Master:
                       if self.checkpoint_ms is not None else None)
         if checkpoint is not None:
             self._resume_from(checkpoint, tasks, results, dead, by_worker)
+        elif self.seed_batch > 1:
+            # Chunked seeding: one planning CPU charge and one write_all
+            # round trip per chunk (summed charges end at the same virtual
+            # time as per-task ones, minus the per-task kernel handoffs).
+            for start in range(0, len(tasks), self.seed_batch):
+                group = tasks[start:start + self.seed_batch]
+                t0 = self.runtime.now()
+                cost = sum(max(0.0, app.planning_cost_ms(t)) for t in group)
+                if self.model_time and cost > 0:
+                    self.node.cpu.execute(cost)
+                self._write_all([TaskEntry(app.app_id, t.task_id, t.payload)
+                                 for t in group])
+                max_overhead = max(max_overhead, self.runtime.now() - t0)
         else:
             for task in tasks:
                 t0 = self.runtime.now()
@@ -229,20 +256,22 @@ class Master:
             if self._cancelled:
                 break
             self._check_crashed()
+            ckpt = None
             if self.checkpoint_ms is not None and \
                     self.runtime.now() - last_checkpoint >= self.checkpoint_ms:
-                self._write_checkpoint(tasks, results, dead, by_worker)
+                ckpt = self._build_checkpoint(tasks, results, dead, by_worker)
                 last_checkpoint = self.runtime.now()
             wait_ms = (self.straggler_timeout_ms if self.eager_scheduling
                        else self.dead_letter_poll_ms)
             if self.checkpoint_ms is not None:
                 wait_ms = min(wait_ms, self.checkpoint_ms)
-            entry = self._take(template, timeout_ms=wait_ms)
+            entries = self._drain_results(template, wait_ms, ckpt)
             # A kill that lands while a take is in flight must not
-            # aggregate the entry it returned: the result is dropped here
-            # (eager replication recomputes it for the resumed master).
+            # aggregate the entries it returned: the results are dropped
+            # here (eager replication recomputes them for the resumed
+            # master).
             self._check_crashed()
-            if entry is None:
+            if not entries:
                 # No result: look for quarantined tasks (their result will
                 # never come), then consider straggler replication / giving
                 # up with a partial solution.
@@ -261,22 +290,38 @@ class Master:
                     break
                 continue
             last_progress = self.runtime.now()
-            if entry.task_id in results:
-                self.duplicate_results += 1
-                continue  # a straggler and its replica both finished
-            t0 = self.runtime.now()
-            cost = app.aggregation_cost_ms(entry.task_id, entry.payload)
-            if self.model_time and cost > 0:
-                self.node.cpu.execute(cost)
-            results[entry.task_id] = entry.payload
-            # A replica's late success trumps an earlier dead letter.
-            dead.pop(entry.task_id, None)
-            if entry.worker:
-                by_worker[entry.worker] = by_worker.get(entry.worker, 0) + 1
-            if self.checkpoint_ms is not None:
-                self.metrics.event("result-aggregated", app=app.app_id,
-                                   task_id=entry.task_id, worker=entry.worker)
-            max_overhead = max(max_overhead, self.runtime.now() - t0)
+            # One aggregation CPU charge for the whole drained batch:
+            # summed over the first occurrence of each fresh task, exactly
+            # what per-entry charging would have cost, in one sleep.  The
+            # elapsed time is apportioned back per task so the overhead
+            # metric still sees each entry's own aggregation cost.
+            agg_cost: dict[int, float] = {}
+            for entry in entries:
+                if entry.task_id in results or entry.task_id in agg_cost:
+                    continue
+                agg_cost[entry.task_id] = max(0.0, app.aggregation_cost_ms(
+                    entry.task_id, entry.payload))
+            batch_cost = sum(agg_cost.values())
+            charged = 0.0
+            if self.model_time and batch_cost > 0:
+                charged = self.node.cpu.execute(batch_cost)
+            for entry in entries:
+                if entry.task_id in results:
+                    self.duplicate_results += 1
+                    continue  # a straggler and its replica both finished
+                t0 = self.runtime.now()
+                results[entry.task_id] = entry.payload
+                # A replica's late success trumps an earlier dead letter.
+                dead.pop(entry.task_id, None)
+                if entry.worker:
+                    by_worker[entry.worker] = by_worker.get(entry.worker, 0) + 1
+                if self.checkpoint_ms is not None:
+                    self.metrics.event("result-aggregated", app=app.app_id,
+                                       task_id=entry.task_id, worker=entry.worker)
+                share = (charged * agg_cost.get(entry.task_id, 0.0) / batch_cost
+                         if batch_cost > 0 else 0.0)
+                max_overhead = max(max_overhead,
+                                   share + self.runtime.now() - t0)
         self._drain_dead_letters(dead, results)
         if self.eager_scheduling:
             self._drain_leftovers(template, task_by_id)
@@ -354,6 +399,7 @@ class Master:
         self.replicated_tasks = checkpoint.replicas or 0
         self._ckpt_seq = checkpoint.seq or 0
         self.resumed_from_seq = checkpoint.seq
+        reseed: list[TaskEntry] = []
         reseeded = 0
         for task in tasks:
             tid = task.task_id
@@ -368,12 +414,52 @@ class Master:
             if self._read_if_exists(
                     DeadLetterEntry(app_id=self.app.app_id, task_id=tid)) is not None:
                 continue
-            self._write(TaskEntry(self.app.app_id, tid, task.payload))
+            reseed.append(TaskEntry(self.app.app_id, tid, task.payload))
             reseeded += 1
+            if self.seed_batch > 1 and len(reseed) >= self.seed_batch:
+                self._write_all(reseed)
+                reseed = []
+        if reseed:
+            if self.seed_batch > 1:
+                self._write_all(reseed)
+            else:
+                for entry in reseed:
+                    self._write(entry)
         self.metrics.event(
             "master-resumed", app=self.app.app_id, seq=checkpoint.seq,
             results=len(results), dead=len(dead), reseeded=reseeded,
         )
+
+    def _build_checkpoint(
+        self,
+        tasks: list[Task],
+        results: dict[int, Any],
+        dead: dict[int, str],
+        by_worker: dict[str, int],
+    ) -> MasterCheckpointEntry:
+        """Assemble checkpoint ``seq+1``; :meth:`_drain_results` writes it.
+
+        The write rides the next drain round trip, and the predecessor's
+        retirement rides the same message — write-new-before-take-old
+        order is preserved inside the batch, so a crash anywhere still
+        leaves at least one checkpoint in the space; resume adopts the
+        highest ``seq`` and the end-of-run sweep clears any leftovers.
+        """
+        self._ckpt_seq += 1
+        outstanding = [t.task_id for t in tasks
+                       if t.task_id not in results and t.task_id not in dead]
+        entry = MasterCheckpointEntry(
+            app_id=self.app.app_id, seq=self._ckpt_seq,
+            results=dict(results), dead=dict(dead),
+            by_worker=dict(by_worker), outstanding=outstanding,
+            duplicates=self.duplicate_results,
+            replicas=self.replicated_tasks,
+        )
+        self.checkpoints_written += 1
+        self.metrics.event("master-checkpoint", app=self.app.app_id,
+                           seq=self._ckpt_seq, results=len(results),
+                           outstanding=len(outstanding))
+        return entry
 
     def _write_checkpoint(
         self,
@@ -382,33 +468,62 @@ class Master:
         dead: dict[int, str],
         by_worker: dict[str, int],
     ) -> None:
-        """Write checkpoint ``seq+1``, then retire its predecessor.
-
-        Write-new-before-take-old means a crash anywhere in between leaves
-        at least one checkpoint in the space; resume adopts the highest
-        ``seq`` and the next cycle sweeps any leftovers.
-        """
-        self._ckpt_seq += 1
-        outstanding = [t.task_id for t in tasks
-                       if t.task_id not in results and t.task_id not in dead]
-        self._write(
-            MasterCheckpointEntry(
-                app_id=self.app.app_id, seq=self._ckpt_seq,
-                results=dict(results), dead=dict(dead),
-                by_worker=dict(by_worker), outstanding=outstanding,
-                duplicates=self.duplicate_results,
-                replicas=self.replicated_tasks,
-            ),
-            lease_ms=self.checkpoint_lease_ms,
-        )
-        self.checkpoints_written += 1
-        self.metrics.event("master-checkpoint", app=self.app.app_id,
-                           seq=self._ckpt_seq, results=len(results),
-                           outstanding=len(outstanding))
+        """Write checkpoint ``seq+1`` now, then retire its predecessor
+        (standalone form; the run loop piggybacks the same operations on
+        a drain round trip via :meth:`_drain_results`)."""
+        ckpt = self._build_checkpoint(tasks, results, dead, by_worker)
+        self._write(ckpt, lease_ms=self.checkpoint_lease_ms)
         while self._take_if_exists(
-            MasterCheckpointEntry(app_id=self.app.app_id, seq=self._ckpt_seq - 1)
+            MasterCheckpointEntry(app_id=self.app.app_id, seq=(ckpt.seq or 0) - 1)
         ) is not None:
             pass
+
+    def _drain_results(self, template: ResultEntry, wait_ms: float,
+                       ckpt: Optional[MasterCheckpointEntry]) -> list[ResultEntry]:
+        """One drain round trip: up to ``drain_batch`` results, with a due
+        checkpoint (write new + retire old) riding the same message.
+
+        Over a proxy this is a single pipelined ``batch`` RPC; on a local
+        space the operations run directly (there is no round trip to
+        save).  The unpipelined configuration (``drain_batch == 1``, no
+        checkpoint due) keeps the classic single blocking take.
+        """
+        old = (MasterCheckpointEntry(app_id=self.app.app_id,
+                                     seq=(ckpt.seq or 0) - 1)
+               if ckpt is not None and (ckpt.seq or 0) > 1 else None)
+
+        def attempt() -> list[ResultEntry]:
+            if ckpt is None and self.drain_batch <= 1:
+                entry = self.space.take(template, timeout_ms=wait_ms)
+                return [entry] if entry is not None else []
+            batcher = getattr(self.space, "batch", None)
+            if batcher is None:
+                if ckpt is not None:
+                    self.space.write(ckpt, lease_ms=self.checkpoint_lease_ms)
+                    if old is not None:
+                        while self.space.take_if_exists(old) is not None:
+                            pass
+                if self.drain_batch > 1:
+                    return self.space.take_multiple(
+                        template, self.drain_batch, timeout_ms=wait_ms)
+                entry = self.space.take(template, timeout_ms=wait_ms)
+                return [entry] if entry is not None else []
+            batch = batcher()
+            if ckpt is not None:
+                batch.write(ckpt, lease_ms=self.checkpoint_lease_ms)
+                if old is not None:
+                    batch.take(old, timeout_ms=0.0)
+            if self.drain_batch > 1:
+                batch.take_multiple(template, self.drain_batch,
+                                    timeout_ms=wait_ms)
+            else:
+                batch.take(template, timeout_ms=wait_ms)
+            got = batch.flush()[-1]
+            if self.drain_batch > 1:
+                return got or []
+            return [got] if got is not None else []
+
+        return self._guard(attempt)
 
     def _clear_checkpoints(self) -> None:
         """The run is settled: retire every checkpoint for this app."""

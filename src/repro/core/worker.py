@@ -68,6 +68,7 @@ class WorkerHost:
         recovery_rng: Any = None,
         task_txn_lease_ms: Optional[float] = None,
         locator: Optional[Callable[[], Any]] = None,
+        prefetch: int = 1,
     ) -> None:
         self.runtime = runtime
         self.node = node
@@ -93,6 +94,16 @@ class WorkerHost:
         self.task_txn_lease_ms = task_txn_lease_ms
         # Service locator consulted on reconnect (failover re-discovery).
         self.locator = locator
+        # Pipeline depth: take up to this many tasks per cycle (one
+        # take_multiple under one transaction), compute them all, and
+        # write the results back with a single batched write_all+commit.
+        # 1 = the classic one-task-per-cycle loop.
+        if prefetch < 1:
+            raise ValueError(f"prefetch must be >= 1: {prefetch}")
+        self.prefetch = prefetch
+        # Steady-state pipeline carry: the (txn, tasks) a write-back RPC
+        # prefetched for the next cycle.  Released on pause/stop.
+        self._pending: Optional[tuple[Any, list[TaskEntry]]] = None
         self.crashed = False
         self.network: Network = node.network
         self.engine = RemoteNodeConfigurationEngine(
@@ -310,10 +321,16 @@ class WorkerHost:
         disconnected_at: Optional[float] = None
         try:
             while self.running and generation == self._loop_generation:
+                if self._pending is not None and (
+                        self.engine.paused or self.engine.stop_requested):
+                    self._release_pending()
                 if not self.engine.wait_for_clearance(self._honored):
                     break
                 try:
-                    self._one_task(proxy, template)
+                    if self.prefetch > 1:
+                        self._task_batch(proxy, template)
+                    else:
+                        self._one_task(proxy, template)
                 except TransactionError:
                     # The task txn's lease expired server-side (a compute
                     # longer than the lease, or a failover pause): the take
@@ -371,7 +388,10 @@ class WorkerHost:
                 self.machine.apply(Signal.STOP)
         finally:
             if not self.crashed:
+                self._release_pending()
                 proxy.close()
+            else:
+                self._pending = None
             if self.engine.stop_requested:
                 # Shutdown/cleanup: classes dropped, control returns to parent.
                 self.engine.unload_classes()
@@ -428,6 +448,118 @@ class WorkerHost:
             if txn is not None and not txn.completed:
                 self._abort_quietly(txn)
 
+    def _task_batch(self, proxy: SpaceProxy, template: TaskEntry) -> None:
+        """Pipelined cycle: take up to ``prefetch`` tasks under one
+        transaction, compute them all, write everything back in one
+        batched RPC (write_all + commit ride one network message).
+        The txn_create rides the take_multiple's batch via an intra-batch
+        reference, so a full cycle is two round trips, not four per task.
+
+        The whole local batch is always drained — a Pause/Stop signal
+        received mid-batch waits until these tasks are written back, the
+        same "honored between tasks, never lose a task" rule as the
+        single-task loop, applied at batch granularity.  A failing task
+        does not poison its batchmates: its replacement (requeue or dead
+        letter) joins the same write_all, so the swap of every entry in
+        the batch commits atomically.
+
+        In steady state the write-back batch also carries the *next*
+        cycle's txn_create + take_multiple, so one round trip both
+        retires a batch and prefetches the next (the carry is released —
+        txn aborted, tasks reverted — before a Pause/Stop is honored).
+        """
+        lease = (self.task_txn_lease_ms
+                 if self.task_txn_lease_ms is not None else FOREVER)
+        txn = None
+        tasks = None
+        nxt = None
+        if self._pending is not None:
+            txn, tasks = self._pending
+            self._pending = None
+        try:
+            if tasks is None:
+                if self.transactional:
+                    opener = proxy.batch()
+                    txn = opener.txn_create(timeout_ms=lease)
+                    opener.take_multiple(template, self.prefetch, txn=txn,
+                                         timeout_ms=self.worker_poll_ms)
+                    tasks = opener.flush()[-1]
+                else:
+                    tasks = proxy.take_multiple(
+                        template, self.prefetch,
+                        timeout_ms=self.worker_poll_ms,
+                    )
+            if not tasks:
+                return
+            if self.first_take_ms is None:
+                self.first_take_ms = self.runtime.now()
+            out: list[Any] = []
+            results = 0
+            shares = self._charge_batch(tasks)
+            for task, compute_ms in zip(tasks, shares):
+                try:
+                    payload = (self.app.execute(task.payload)
+                               if self.compute_real else None)
+                except Exception as exc:  # noqa: BLE001 - poison-task quarantine
+                    out.append(self._replacement_for(task, exc))
+                    continue
+                out.append(
+                    ResultEntry(
+                        app_id=self.app.app_id,
+                        task_id=task.task_id,
+                        payload=payload,
+                        worker=self.node.hostname,
+                        compute_ms=compute_ms,
+                    )
+                )
+                results += 1
+            batch = proxy.batch()
+            batch.write_all(out, txn=txn)
+            if txn is not None:
+                batch.commit(txn)
+            if self.transactional:
+                nxt = batch.txn_create(timeout_ms=lease)
+            batch.take_multiple(template, self.prefetch, txn=nxt,
+                                timeout_ms=self.worker_poll_ms)
+            values = batch.flush()
+            self._pending = (nxt, values[-1])
+            if results:
+                self.last_result_ms = self.runtime.now()
+                self.tasks_done += results
+        finally:
+            # A still-unresolved batch_ref id means the txn never came
+            # into being server-side — nothing to abort.
+            if (txn is not None and not txn.completed
+                    and not isinstance(txn.txn_id, dict)):
+                self._abort_quietly(txn)
+            # A prefetch txn that survived a failed flush is also released.
+            if (self._pending is None and nxt is not None
+                    and not nxt.completed and not isinstance(nxt.txn_id, dict)):
+                self._abort_quietly(nxt)
+
+    def _replacement_for(self, task: TaskEntry, exc: Exception) -> Any:
+        """Quarantine decision for one failed task: a requeued TaskEntry
+        with a bumped attempt count, or a DeadLetterEntry once the
+        attempt budget is exhausted."""
+        attempts = (task.attempts or 0) + 1
+        if attempts >= self.max_task_attempts:
+            self.metrics.event(
+                "dead-letter", worker=self.node.hostname,
+                task_id=task.task_id, attempts=attempts, error=repr(exc),
+            )
+            return DeadLetterEntry(
+                app_id=self.app.app_id, task_id=task.task_id,
+                payload=task.payload, error=repr(exc),
+                worker=self.node.hostname, attempts=attempts,
+            )
+        self.metrics.event(
+            "task-requeued", worker=self.node.hostname,
+            task_id=task.task_id, attempts=attempts, error=repr(exc),
+        )
+        return TaskEntry(
+            self.app.app_id, task.task_id, task.payload, attempts=attempts,
+        )
+
     def _quarantine(self, proxy: SpaceProxy, txn: Optional[RemoteTransaction],
                     task: TaskEntry, exc: Exception) -> None:
         """Application code failed on ``task``: requeue it with a bumped
@@ -436,25 +568,7 @@ class WorkerHost:
         Committing the same transaction that took the task makes the swap
         atomic: the original entry disappears exactly when its replacement
         (or dead letter) becomes visible."""
-        attempts = (task.attempts or 0) + 1
-        if attempts >= self.max_task_attempts:
-            self.metrics.event(
-                "dead-letter", worker=self.node.hostname,
-                task_id=task.task_id, attempts=attempts, error=repr(exc),
-            )
-            replacement: Any = DeadLetterEntry(
-                app_id=self.app.app_id, task_id=task.task_id,
-                payload=task.payload, error=repr(exc),
-                worker=self.node.hostname, attempts=attempts,
-            )
-        else:
-            self.metrics.event(
-                "task-requeued", worker=self.node.hostname,
-                task_id=task.task_id, attempts=attempts, error=repr(exc),
-            )
-            replacement = TaskEntry(
-                self.app.app_id, task.task_id, task.payload, attempts=attempts,
-            )
+        replacement = self._replacement_for(task, exc)
         proxy.write(replacement, txn=txn)
         if txn is not None:
             txn.commit()
@@ -467,6 +581,26 @@ class WorkerHost:
         except (ConnectionClosedError, ConnectionRefusedError_, SpaceError):
             txn.completed = True
 
+    def _release_pending(self) -> None:
+        """Give back a carried prefetch batch before pausing or stopping.
+
+        Transactional carry: aborting the txn reverts the takes, so the
+        tasks reappear for other workers.  Non-transactional carry: the
+        takes are final, so the tasks are written back instead."""
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return
+        txn, tasks = pending
+        if txn is not None:
+            if not txn.completed and not isinstance(txn.txn_id, dict):
+                self._abort_quietly(txn)
+        elif tasks and self._proxy is not None:
+            try:
+                self._proxy.write_all(tasks)
+            except (ConnectionClosedError, ConnectionRefusedError_,
+                    SpaceError):
+                pass  # space gone; nothing more this worker can do
+
     def _compute(self, payload: Any, task_id: int) -> Any:
         """Charge the modelled CPU cost, then run the real computation."""
         from repro.core.application import Task
@@ -477,3 +611,26 @@ class WorkerHost:
         if self.compute_real:
             return self.app.execute(payload)
         return None
+
+    def _charge_batch(self, tasks: list[TaskEntry]) -> list[float]:
+        """Charge a whole batch's modelled CPU in one blocking call.
+
+        Processor sharing is additive under unchanged load, so one
+        ``cpu.execute`` of the summed cost ends at the same virtual time
+        as per-task charges — but costs one kernel handoff instead of one
+        per task.  The elapsed time is apportioned back to the tasks by
+        their share of the modelled work, so per-task ``compute_ms``
+        matches what the single-task path would have recorded.
+        """
+        from repro.core.application import Task
+
+        costs = [
+            max(0.0, self.app.task_cost_ms(
+                Task(task_id=t.task_id, payload=t.payload)))
+            for t in tasks
+        ]
+        total = sum(costs)
+        if not self.model_time or total <= 0:
+            return [0.0] * len(tasks)
+        elapsed = self.node.cpu.execute(total)
+        return [elapsed * (cost / total) for cost in costs]

@@ -146,8 +146,14 @@ def chaos_experiment(
     plan: Optional[FaultPlan] = None,
     random_plan: bool = False,
     give_up_after_ms: float = 30_000.0,
+    prefetch: int = 1,
 ) -> ChaosResult:
-    """Run the acceptance scenario; fully replayable from ``seed``."""
+    """Run the acceptance scenario; fully replayable from ``seed``.
+
+    ``prefetch`` > 1 runs the whole pipelined data path (worker batch
+    cycles, batched RPC, master batch seed/drain) under the same fault
+    campaign — faults then land mid-batch as well as mid-task.
+    """
 
     def body(runtime: SimulatedRuntime) -> ChaosResult:
         streams = RandomStreams(seed)
@@ -165,6 +171,9 @@ def chaos_experiment(
                 rpc_timeout_ms=1_000.0,     # notice a partitioned server fast
                 dead_letter_poll_ms=500.0,
                 give_up_after_ms=give_up_after_ms,
+                worker_prefetch=max(1, prefetch),
+                master_seed_batch=max(1, prefetch),
+                master_drain_batch=max(1, prefetch),
             ),
         )
         framework.start()
@@ -292,9 +301,14 @@ def coordination_chaos_experiment(
     tasks: int = 24,
     faults: Sequence[str] = ("kill-primary-space",),
     give_up_after_ms: float = 60_000.0,
+    prefetch: int = 1,
 ) -> CoordinationChaosResult:
     """Kill the space primary and/or the master mid-run; the job must
-    still complete every task exactly-once.  Replayable from ``seed``."""
+    still complete every task exactly-once.  Replayable from ``seed``.
+
+    With ``prefetch`` > 1 the coordinator faults hit the pipelined path:
+    a worker's in-flight batch (several tasks under one transaction) is
+    killed mid-swap and must revert or commit as a unit."""
     faults = tuple(faults)
 
     def body(runtime: SimulatedRuntime) -> CoordinationChaosResult:
@@ -318,6 +332,9 @@ def coordination_chaos_experiment(
                 hot_standby=True,
                 master_checkpoint_ms=1_000.0,
                 master_restart_delay_ms=500.0,
+                worker_prefetch=max(1, prefetch),
+                master_seed_batch=max(1, prefetch),
+                master_drain_batch=max(1, prefetch),
             ),
         )
         framework.start()

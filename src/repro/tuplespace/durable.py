@@ -58,9 +58,18 @@ class DurableSpace(JavaSpace):
         name: str = "JavaSpaces",
         wal: Optional[WriteAheadLog] = None,
         snapshot_every: Optional[int] = 64,
+        fsync_policy: str = "always",
+        group_size: int = 64,
+        group_commit_ms: Optional[float] = None,
     ) -> None:
         super().__init__(runtime, name)
-        self.wal = wal if wal is not None else WriteAheadLog()
+        if wal is None:
+            wal = WriteAheadLog(
+                WalStore(fsync_policy=fsync_policy, group_size=group_size),
+                group_ms=group_commit_ms,
+            )
+        self.wal = wal
+        self.wal.bind(runtime)
         self.snapshot_every = snapshot_every
         self._applying = False      # replay/replication: don't re-journal
         self._commits_since_snapshot = 0
@@ -74,12 +83,18 @@ class DurableSpace(JavaSpace):
         store: WalStore,
         name: str = "JavaSpaces",
         snapshot_every: Optional[int] = 64,
+        group_commit_ms: Optional[float] = None,
     ) -> "DurableSpace":
         """Rebuild the last committed state from a surviving WAL store."""
-        space = cls(runtime, name, wal=WriteAheadLog(store),
+        space = cls(runtime, name,
+                    wal=WriteAheadLog(store, group_ms=group_commit_ms),
                     snapshot_every=snapshot_every)
         space._replay()
         return space
+
+    def sync(self) -> None:
+        """Durability barrier: flush any buffered commit group."""
+        self.wal.sync()
 
     def _replay(self) -> None:
         self._applying = True
@@ -268,6 +283,14 @@ class HotStandby:
                 while self._running and not self.promoted:
                     message = conn.receive(timeout_ms=None)
                     if message is None:
+                        continue
+                    # The feed ships commit *batches* (records coalesced
+                    # within one kernel tick); single-record messages are
+                    # accepted too for compatibility.
+                    batch = message.get("repl_batch")
+                    if batch is not None:
+                        for record in batch:
+                            self.space.apply_commit(record)
                         continue
                     record = message.get("repl")
                     if record is not None:

@@ -31,7 +31,8 @@ from repro.tuplespace.lease import FOREVER
 from repro.tuplespace.space import JavaSpace
 from repro.tuplespace.transaction import Transaction, TransactionManager
 
-__all__ = ["SpaceServer", "SpaceProxy", "RemoteTransaction", "RecoveryPolicy"]
+__all__ = ["SpaceServer", "SpaceProxy", "ProxyBatch", "RemoteTransaction",
+           "RecoveryPolicy"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +84,11 @@ _REMOTE_ERROR_TYPES: dict[str, type] = {
 #: turned the connection into a one-way stream (replication feed).
 _STREAMING = object()
 
+#: Operations that cannot ride inside a ``batch`` request: they hijack the
+#: connection (``replicate``), need their own side channel (``notify``),
+#: or would nest (``batch``).
+_NON_BATCHABLE = frozenset({"replicate", "notify", "batch"})
+
 
 class SpaceServer:
     """Exports a :class:`JavaSpace` on a network address."""
@@ -128,6 +134,12 @@ class SpaceServer:
         self._running = False
         if self._listener is not None:
             self._listener.close()
+        # Graceful stop is a durability barrier: a buffered commit group
+        # must not be lost to a *clean* shutdown (crash() skips this on
+        # purpose — that is the failure being modelled).
+        space_sync = getattr(self.space, "sync", None)
+        if space_sync is not None:
+            space_sync()
         if drain_ms is not None and self._connections:
             def _drain() -> None:
                 if self._running:
@@ -265,6 +277,69 @@ class SpaceServer:
     def _op_ping(self, args, txn, transactions, conn) -> Any:
         return "pong"
 
+    def _op_batch(self, args, txn, transactions, conn) -> Any:
+        """Execute a pipeline of sub-operations from one network message.
+
+        Sub-ops run strictly in request order and stop at the first
+        failure: later sub-ops are *not* attempted (their replies are
+        simply absent), so a client can treat the reply list's length as
+        the count of operations that actually ran.  One message each way
+        replaces one round trip per operation — the proxy-side win that
+        lets a pipelined worker do take+compute+write+commit in two
+        RPCs per *batch* instead of four per *task*.
+
+        A sub-op may name a transaction created *earlier in the same
+        batch* with ``txn_id={"batch_ref": k}`` (``k`` = index of the
+        ``txn_create`` sub-op): the placeholder resolves to that reply's
+        id, so ``txn_create`` + ``take_multiple`` need only one round
+        trip even though the client never saw the id.
+        """
+        replies: list[dict[str, Any]] = []
+        for sub in args["ops"]:
+            op = sub.get("op")
+            handler = _DISPATCH.get(op)
+            if handler is None or op in _NON_BATCHABLE:
+                replies.append({"ok": False, "type": "SpaceError",
+                                "error": f"not batchable: {op!r}"})
+                break
+            sub_args = sub.get("args", {})
+            sub_txn = None
+            bad_ref = _SENTINEL = object()
+            # "txn_id" names the transaction of space ops; "id" names the
+            # one txn_commit/txn_abort act on — both may be placeholders.
+            for key in ("txn_id", "id"):
+                value = sub_args.get(key)
+                if not isinstance(value, dict):
+                    continue
+                ref = value.get("batch_ref")
+                if (not isinstance(ref, int) or not 0 <= ref < len(replies)
+                        or not replies[ref].get("ok")):
+                    bad_ref = ref
+                    break
+                sub_args = dict(sub_args)
+                sub_args[key] = replies[ref]["value"]
+            if bad_ref is not _SENTINEL:
+                replies.append({"ok": False, "type": "TransactionError",
+                                "error": f"bad batch_ref {bad_ref!r}"})
+                break
+            txn_id = sub_args.get("txn_id")
+            if txn_id is not None:
+                sub_txn = transactions.get(txn_id)
+                if sub_txn is None:
+                    replies.append({"ok": False, "type": "TransactionError",
+                                    "error": f"unknown transaction id {txn_id}"})
+                    break
+            try:
+                value = handler(self, sub_args, sub_txn, transactions, conn)
+            except ConnectionClosedError:
+                raise
+            except Exception as exc:
+                replies.append({"ok": False, "error": str(exc),
+                                "type": type(exc).__name__})
+                break
+            replies.append({"ok": True, "value": value})
+        return {"replies": replies}
+
     def _op_replicate(self, args, txn, transactions, conn) -> Any:
         """Bootstrap a standby and turn this connection into its feed.
 
@@ -288,11 +363,30 @@ class SpaceServer:
                 "records": wal.records_since(base_lsn),
             }})
 
-            def feed(record: Any, c: StreamSocket = conn) -> None:
+            # Commit records are buffered and shipped as one
+            # ``repl_batch`` message per kernel tick: the flush timer at
+            # delay 0 runs after the current event finishes, so every
+            # record committed at the same virtual instant (a write_all,
+            # a transaction pipeline) rides one network message instead
+            # of paying per-record latency.
+            pending: list[Any] = []
+            armed = [False]
+
+            def flush(c: StreamSocket = conn) -> None:
+                armed[0] = False
+                if not pending:
+                    return
+                batch, pending[:] = list(pending), []
                 try:
-                    c.send({"repl": record})
+                    c.send({"repl_batch": batch})
                 except (ConnectionClosedError, NetworkError):
                     wal.unsubscribe(feed)  # standby gone; stop feeding it
+
+            def feed(record: Any) -> None:
+                pending.append(record)
+                if not armed[0]:
+                    armed[0] = True
+                    self.runtime.call_later(0.0, flush)
 
             wal.subscribe(feed)
         return _STREAMING
@@ -334,13 +428,14 @@ _DISPATCH: dict[str, Callable[..., Any]] = {
     "notify": SpaceServer._op_notify,
     "ping": SpaceServer._op_ping,
     "replicate": SpaceServer._op_replicate,
+    "batch": SpaceServer._op_batch,
 }
 
 
 class RemoteTransaction:
     """Client-side handle on a server transaction."""
 
-    def __init__(self, proxy: "SpaceProxy", txn_id: int) -> None:
+    def __init__(self, proxy: "SpaceProxy", txn_id: Any) -> None:
         self._proxy = proxy
         self.txn_id = txn_id
         self.completed = False
@@ -363,6 +458,125 @@ class RemoteTransaction:
             self.commit()
         else:
             self.abort()
+
+
+class ProxyBatch:
+    """Collects compatible operations into one pipelined ``batch`` RPC.
+
+    Build the pipeline with the JavaSpace-shaped methods, then
+    :meth:`flush` sends everything in one network message and returns the
+    per-operation results in order.  The server stops at the first
+    failing sub-op; :meth:`flush` re-raises that error (reconstructed by
+    type, like single calls) after running the side effects of the
+    successful prefix — in particular a transaction whose ``commit`` rode
+    in the batch is marked completed iff the commit actually ran, so its
+    context manager never double-completes it.
+
+    Retry semantics are inherited unchanged from PR 2: the whole batch is
+    transparently re-issued on reconnect only if *every* sub-op is
+    idempotent; otherwise the disconnect surfaces to the caller.
+    """
+
+    def __init__(self, proxy: "SpaceProxy") -> None:
+        self._proxy = proxy
+        self._ops: list[tuple[str, dict[str, Any]]] = []
+        self._post: list[tuple[int, Callable[[Any], None]]] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def _add(self, op: str, args: dict[str, Any],
+             post: Optional[Callable[[Any], None]] = None) -> int:
+        self._ops.append((op, args))
+        if post is not None:
+            self._post.append((len(self._ops) - 1, post))
+        return len(self._ops) - 1
+
+    # -- the batchable operation set ----------------------------------------
+
+    def write(self, entry: Entry, txn: Optional["RemoteTransaction"] = None,
+              lease_ms: float = FOREVER) -> int:
+        return self._add("write", {"entry": entry, "lease_ms": lease_ms,
+                                   "txn_id": txn.txn_id if txn else None})
+
+    def write_all(self, entries: list[Entry],
+                  txn: Optional["RemoteTransaction"] = None,
+                  lease_ms: float = FOREVER) -> int:
+        return self._add("write_all",
+                         {"entries": entries, "lease_ms": lease_ms,
+                          "txn_id": txn.txn_id if txn else None})
+
+    def read(self, template: Entry, txn: Optional["RemoteTransaction"] = None,
+             timeout_ms: Optional[float] = 0.0) -> int:
+        return self._add("read", {"template": template,
+                                  "timeout_ms": timeout_ms,
+                                  "txn_id": txn.txn_id if txn else None})
+
+    def take(self, template: Entry, txn: Optional["RemoteTransaction"] = None,
+             timeout_ms: Optional[float] = 0.0) -> int:
+        return self._add("take", {"template": template,
+                                  "timeout_ms": timeout_ms,
+                                  "txn_id": txn.txn_id if txn else None})
+
+    def take_multiple(self, template: Entry, max_entries: int,
+                      txn: Optional["RemoteTransaction"] = None,
+                      timeout_ms: Optional[float] = 0.0) -> int:
+        return self._add("take_multiple",
+                         {"template": template, "max_entries": max_entries,
+                          "timeout_ms": timeout_ms,
+                          "txn_id": txn.txn_id if txn else None})
+
+    def count(self, template: Entry) -> int:
+        return self._add("count", {"template": template, "txn_id": None})
+
+    def txn_create(self, timeout_ms: float = FOREVER) -> "RemoteTransaction":
+        """Open a transaction inside this batch.
+
+        The returned handle carries a ``{"batch_ref": k}`` placeholder id
+        that later ops *in the same batch* may use as their ``txn=``; the
+        server resolves it, and :meth:`flush` swaps in the real id so the
+        handle then works like any :meth:`SpaceProxy.transaction` result.
+        """
+        txn = RemoteTransaction(self._proxy, None)
+        index = self._add("txn_create", {"timeout_ms": timeout_ms},
+                          post=lambda value: setattr(txn, "txn_id", value))
+        txn.txn_id = {"batch_ref": index}
+        return txn
+
+    def commit(self, txn: "RemoteTransaction") -> int:
+        return self._add("txn_commit", {"id": txn.txn_id},
+                         post=lambda _: setattr(txn, "completed", True))
+
+    def abort(self, txn: "RemoteTransaction") -> int:
+        return self._add("txn_abort", {"id": txn.txn_id},
+                         post=lambda _: setattr(txn, "completed", True))
+
+    # -- execution -----------------------------------------------------------
+
+    def flush(self) -> list[Any]:
+        """Send the pipeline as one RPC; return per-op values in order."""
+        if not self._ops:
+            return []
+        ops, self._ops = self._ops, []
+        post, self._post = self._post, []
+        replies = self._proxy._call_batch(ops)
+        for index, hook in post:
+            if index < len(replies) and replies[index].get("ok"):
+                hook(replies[index].get("value"))
+        results: list[Any] = []
+        for i, (op, _) in enumerate(ops):
+            if i >= len(replies):
+                raise SpaceError(
+                    f"batched {op} skipped: an earlier operation failed")
+            reply = replies[i]
+            if not reply.get("ok"):
+                exc_cls = _REMOTE_ERROR_TYPES.get(reply.get("type"))
+                if exc_cls is not None:
+                    raise exc_cls(f"remote {op} failed: {reply.get('error')}")
+                raise SpaceError(f"remote {op} failed: "
+                                 f"{reply.get('type')}: {reply.get('error')}")
+            results.append(reply.get("value"))
+        return results
 
 
 class SpaceProxy:
@@ -489,10 +703,15 @@ class SpaceProxy:
 
     def _call(self, op: str, args: dict[str, Any]) -> Any:
         retriable = self.recovery is not None and op in _IDEMPOTENT_OPS
+        return self._call_with_recovery(
+            op, lambda: self._call_once(op, args), retriable)
+
+    def _call_with_recovery(self, label: str, attempt_fn: Callable[[], Any],
+                            retriable: bool) -> Any:
         attempt = 0
         while True:
             try:
-                return self._call_once(op, args)
+                return attempt_fn()
             except (ConnectionClosedError, ConnectionRefusedError_):
                 self._drop_connection()
                 if self._failed or not retriable:
@@ -502,11 +721,51 @@ class SpaceProxy:
                     raise
                 self.retries += 1
                 if self._metrics is not None:
-                    self._metrics.event("proxy-retry", host=self.host, op=op,
-                                        attempt=attempt)
+                    self._metrics.event("proxy-retry", host=self.host,
+                                        op=label, attempt=attempt)
                 self.network.runtime.sleep(
                     self.recovery.backoff_ms(attempt, self._rng)
                 )
+
+    # -- request pipelining ------------------------------------------------------
+
+    def batch(self) -> "ProxyBatch":
+        """Start collecting operations for one pipelined ``batch`` RPC."""
+        return ProxyBatch(self)
+
+    def _batch_once(self, ops: list[tuple[str, dict[str, Any]]]) -> list[dict]:
+        conn = self._connection()
+        conn.send({"op": "batch",
+                   "args": {"ops": [{"op": o, "args": a} for o, a in ops]}})
+        timeout_ms = self.recovery.call_timeout_ms if self.recovery else None
+        if timeout_ms is not None:
+            # Sub-ops execute sequentially server-side, so the reply
+            # deadline must cover the *sum* of their wait budgets on top
+            # of the single RPC budget (same rule as _call_once, summed).
+            for op, args in ops:
+                if op in _BLOCKING_OPS:
+                    wait = args.get("timeout_ms")
+                    if wait is None:
+                        timeout_ms = None
+                        break
+                    timeout_ms += wait
+        reply = conn.receive(timeout_ms=timeout_ms)
+        if reply is None:
+            self._drop_connection()
+            raise ConnectionClosedError("space rpc 'batch' timed out")
+        if reply.get("ok"):
+            return reply["value"]["replies"]
+        raise SpaceError(
+            f"remote batch failed: {reply.get('type')}: {reply.get('error')}")
+
+    def _call_batch(self, ops: list[tuple[str, dict[str, Any]]]) -> list[dict]:
+        # A batch is transparently retriable only if *every* sub-op is —
+        # one non-idempotent passenger (write/take/commit) makes a blind
+        # re-issue unsafe, exactly as for a lone call.
+        retriable = (self.recovery is not None
+                     and all(op in _IDEMPOTENT_OPS for op, _ in ops))
+        return self._call_with_recovery(
+            "batch", lambda: self._batch_once(ops), retriable)
 
     def close(self) -> None:
         if self._conn is not None:

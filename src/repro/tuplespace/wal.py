@@ -16,9 +16,36 @@ real filesystem.  A periodic *snapshot* — the serialized committed store
 — bounds replay time: installing one truncates every record it already
 covers.
 
+Group commit & fsync policy
+---------------------------
+Every store takes an ``fsync_policy``:
+
+* ``"always"`` (default) — each appended record is persisted *and*
+  fsynced before the append returns.  An acknowledged commit survives
+  power loss; every commit pays one durability barrier.
+* ``"group"`` — records buffer and are persisted+fsynced together when
+  the group reaches ``group_size`` records (or when the owning
+  :class:`WriteAheadLog`'s ``group_ms`` time watermark fires, or on an
+  explicit :meth:`WalStore.sync`).  One barrier amortizes over the whole
+  group, multiplying commit throughput — the tradeoff is that commits
+  acknowledged after the last barrier can vanish on *power loss* (they
+  still survive a process crash, which keeps the OS page cache).
+* ``"os"`` — persist to the OS (write+flush) per record, never fsync.
+  Fast, survives process crashes, loses the tail since the last explicit
+  barrier on power loss.
+
+Snapshot compaction is crash-safe: pending records are synced, the new
+snapshot is written to a temp file, fsynced, and atomically renamed into
+place *before* the log is truncated (itself via temp-write → fsync →
+rename).  A crash at any point leaves either the old snapshot with the
+full log or the new snapshot with a (possibly still-full) log — both
+recover to the same committed state, since replay skips records at or
+below the snapshot LSN.
+
 The log is also the replication feed: a hot standby subscribes and
 receives every appended record in commit order (see
-:mod:`repro.tuplespace.durable`).
+:mod:`repro.tuplespace.durable`).  Replication is independent of the
+fsync policy — records ship as they commit, not as they hit the disk.
 """
 
 from __future__ import annotations
@@ -31,10 +58,13 @@ from typing import Any, Callable, Optional
 from repro.errors import SpaceError
 
 __all__ = ["CommitRecord", "WalStore", "FileWalStore", "WriteAheadLog",
-           "OP_WRITE", "OP_TAKE"]
+           "OP_WRITE", "OP_TAKE", "FSYNC_POLICIES"]
 
 OP_WRITE = "write"
 OP_TAKE = "take"
+
+#: Valid values for the ``fsync_policy`` knob, strongest first.
+FSYNC_POLICIES = ("always", "group", "os")
 
 
 @dataclass(frozen=True)
@@ -56,21 +86,90 @@ class WalStore:
 
     The object models the disk — hand the *same store* to a recovering
     space after discarding the crashed one and the committed state comes
-    back.  Subclasses persist the same structure elsewhere.
+    back (that models a process/machine crash, which preserves the OS
+    page cache).  :meth:`power_loss` models losing power as well: every
+    record past the last durability barrier is discarded, which is
+    exactly what the ``group`` and ``os`` policies risk.
+
+    Subclasses persist the same structure elsewhere.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fsync_policy: str = "always",
+                 group_size: int = 64) -> None:
+        if fsync_policy not in FSYNC_POLICIES:
+            raise SpaceError(
+                f"unknown fsync_policy {fsync_policy!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        if group_size < 1:
+            raise SpaceError(f"group_size must be >= 1: {group_size}")
+        self.fsync_policy = fsync_policy
+        self.group_size = group_size
         self.snapshot: Optional[tuple[int, bytes]] = None  # (lsn, state)
         self.records: list[CommitRecord] = []
+        #: Records in ``records[:_synced]`` are behind a durability
+        #: barrier; the tail is pending (buffered or OS-cached only).
+        self._synced = 0
+        #: Durability barriers issued (fsyncs, for the file store).
+        self.syncs = 0
+
+    # -- appending ----------------------------------------------------------
 
     def append(self, record: CommitRecord) -> None:
         self.records.append(record)
+        if self.fsync_policy == "group":
+            if self.pending() >= self.group_size:
+                self.sync()
+        else:
+            self._persist([record])
+            if self.fsync_policy == "always":
+                self._synced = len(self.records)
+                self._fsync()
+
+    def pending(self) -> int:
+        """Records appended but not yet behind a durability barrier."""
+        return len(self.records) - self._synced
+
+    def sync(self) -> None:
+        """Durability barrier: persist and fsync everything pending."""
+        if self.fsync_policy == "group":
+            tail = self.records[self._synced:]
+            if tail:
+                self._persist(tail)
+        self._synced = len(self.records)
+        self._fsync()
+
+    # -- persistence hooks (overridden by FileWalStore) ----------------------
+
+    def _persist(self, records: list[CommitRecord]) -> None:
+        """Hand ``records`` to the medium (OS write; in-memory: no-op)."""
+
+    def _fsync(self) -> None:
+        self.syncs += 1
+
+    # -- failure modelling ----------------------------------------------------
+
+    def power_loss(self) -> int:
+        """Discard every record not behind a durability barrier.
+
+        Models power loss (as opposed to a process crash, which this
+        object survives wholesale).  Returns how many acknowledged
+        commits vanished — 0 under ``fsync_policy="always"``.
+        """
+        lost = len(self.records) - self._synced
+        del self.records[self._synced:]
+        return lost
+
+    # -- snapshotting ---------------------------------------------------------
 
     def install_snapshot(self, lsn: int, state: bytes) -> None:
         """Persist ``state`` covering everything up to ``lsn`` and drop
-        the records it makes redundant."""
+        the records it makes redundant.  Acts as a durability barrier:
+        the snapshot is durable before the log loses anything."""
+        self.sync()
         self.snapshot = (lsn, state)
         self.records = [r for r in self.records if r.lsn > lsn]
+        self._synced = len(self.records)
 
     def last_lsn(self) -> int:
         if self.records:
@@ -85,12 +184,15 @@ class FileWalStore(WalStore):
 
     Layout: ``<path>.snap`` holds ``(lsn, state)``; ``<path>.log`` holds
     consecutive pickled :class:`CommitRecord` frames (``pickle.load``
-    framing is self-delimiting).  Appends flush immediately — the WAL
-    contract is that an acknowledged commit survives the process.
+    framing is self-delimiting).  The WAL contract under the default
+    ``fsync_policy="always"`` is that an acknowledged commit survives
+    power loss — each append is written, flushed *and fsynced*.  See the
+    module docstring for what ``group`` and ``os`` trade away.
     """
 
-    def __init__(self, path) -> None:
-        super().__init__()
+    def __init__(self, path, fsync_policy: str = "always",
+                 group_size: int = 64) -> None:
+        super().__init__(fsync_policy=fsync_policy, group_size=group_size)
         path = os.fspath(path)
         self._snap_path = path + ".snap"
         self._log_path = path + ".log"
@@ -108,28 +210,61 @@ class FileWalStore(WalStore):
                         record = pickle.load(fh)
                     except EOFError:
                         break
+                    except pickle.UnpicklingError:
+                        break  # torn tail frame from a mid-write crash
                     self.records.append(record)
         if self.snapshot is not None:
             lsn = self.snapshot[0]
             self.records = [r for r in self.records if r.lsn > lsn]
+        self._synced = len(self.records)
 
-    def append(self, record: CommitRecord) -> None:
-        super().append(record)
-        self._log_fh.write(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
-        self._log_fh.flush()
+    def _persist(self, records: list[CommitRecord]) -> None:
+        fh = self._log_fh
+        for record in records:
+            fh.write(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        fh.flush()
+
+    def _fsync(self) -> None:
+        super()._fsync()
+        os.fsync(self._log_fh.fileno())
+
+    @staticmethod
+    def _write_atomic(path: str, writer: Callable[[Any], None]) -> None:
+        """temp-write → fsync → rename: the file at ``path`` is either
+        the old complete version or the new complete version, never a
+        torn intermediate."""
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            writer(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
 
     def install_snapshot(self, lsn: int, state: bytes) -> None:
-        super().install_snapshot(lsn, state)
-        with open(self._snap_path, "wb") as fh:
-            pickle.dump((lsn, state), fh, protocol=pickle.HIGHEST_PROTOCOL)
-        # Rewrite the log with only the surviving tail.
+        # Crash-safe compaction order: (1) pending records hit the disk,
+        # (2) the new snapshot becomes durable atomically, (3) only then
+        # is the log truncated (also atomically).  A crash between any
+        # two steps recovers correctly — replay skips records <= lsn.
+        self.sync()
+        WalStore.install_snapshot(self, lsn, state)  # updates memory view
+        self._write_atomic(
+            self._snap_path,
+            lambda fh: pickle.dump((lsn, state), fh,
+                                   protocol=pickle.HIGHEST_PROTOCOL),
+        )
         self._log_fh.close()
-        with open(self._log_path, "wb") as fh:
+
+        def write_tail(fh) -> None:
             for record in self.records:
-                fh.write(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+                fh.write(pickle.dumps(record,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+
+        self._write_atomic(self._log_path, write_tail)
         self._log_fh = open(self._log_path, "ab")
+        self._synced = len(self.records)
 
     def close(self) -> None:
+        self.sync()
         self._log_fh.close()
 
 
@@ -140,11 +275,26 @@ class WriteAheadLog:
     of a record replicated from a primary, so a promoted standby's log
     lines up with the stream it tailed.  Subscribers (replication
     channels) are invoked synchronously in commit order.
+
+    With a ``runtime`` and ``group_ms``, a *time watermark* backs the
+    store's size watermark under ``fsync_policy="group"``: the first
+    record to buffer arms a one-shot flush ``group_ms`` later, so a lull
+    in traffic can delay durability by at most that long.
     """
 
-    def __init__(self, store: Optional[WalStore] = None) -> None:
+    def __init__(self, store: Optional[WalStore] = None,
+                 runtime: Any = None,
+                 group_ms: Optional[float] = None) -> None:
         self.store = store if store is not None else WalStore()
+        self.group_ms = group_ms
+        self._runtime = runtime
+        self._flush_armed = False
         self._subscribers: list[Callable[[CommitRecord], None]] = []
+
+    def bind(self, runtime: Any) -> None:
+        """Late-bind the runtime that drives the time watermark."""
+        if self._runtime is None:
+            self._runtime = runtime
 
     # -- writing ------------------------------------------------------------
 
@@ -152,6 +302,7 @@ class WriteAheadLog:
         record = CommitRecord(self.store.last_lsn() + 1, tuple(ops))
         self.store.append(record)
         self._notify(record)
+        self._arm_flush()
         return record
 
     def import_record(self, record: CommitRecord) -> None:
@@ -163,9 +314,26 @@ class WriteAheadLog:
             )
         self.store.append(record)
         self._notify(record)
+        self._arm_flush()
 
     def install_snapshot(self, lsn: int, state: bytes) -> None:
         self.store.install_snapshot(lsn, state)
+
+    def sync(self) -> None:
+        """Durability barrier: flush any buffered group to the medium."""
+        self.store.sync()
+
+    def _arm_flush(self) -> None:
+        if (self._runtime is None or self.group_ms is None
+                or self._flush_armed or self.store.pending() == 0):
+            return
+        self._flush_armed = True
+        self._runtime.call_later(self.group_ms, self._flush_due)
+
+    def _flush_due(self) -> None:
+        self._flush_armed = False
+        if self.store.pending():
+            self.store.sync()
 
     # -- reading ------------------------------------------------------------
 

@@ -62,3 +62,44 @@ def test_both_coordinator_faults_in_one_run():
 def test_same_seed_replays_identical_coordination_trace(faults):
     seed = int(os.environ.get("CHAOS_SEED", "42"))
     assert verify_coordination_determinism(seed=seed, faults=faults)
+
+
+# ---------------------------------------------------------------------------
+# Mid-batch coordinator faults (pipelined data path, prefetch > 1).
+#
+# With prefetch=4 each worker holds several tasks under one transaction
+# and retires them with a single batched write-back RPC, so the kill
+# lands while a multi-task batch is in flight: the batch must revert or
+# commit as a unit — never half-apply — for exactly-once to hold.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_primary_kill_mid_batch_preserves_exactly_once(seed):
+    result = coordination_chaos_experiment(
+        seed=seed, faults=("kill-primary-space",), prefetch=4)
+    assert result.faults_injected == 1
+    assert result.exactly_once, result.format_summary()
+    names = {n for _, n, _ in result.trace}
+    assert {"space-primary-killed", "standby-promoted",
+            "failover-complete"} <= names, result.format_summary()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_master_kill_mid_batch_preserves_exactly_once(seed):
+    result = coordination_chaos_experiment(
+        seed=seed, faults=("kill-master",), prefetch=4)
+    assert result.faults_injected == 1
+    assert result.master_restarts == 1
+    assert result.exactly_once, result.format_summary()
+    names = {n for _, n, _ in result.trace}
+    assert {"master-killed", "master-restarted",
+            "master-resumed"} <= names, result.format_summary()
+
+
+def test_both_faults_mid_batch_and_deterministic_replay():
+    result = coordination_chaos_experiment(
+        seed=2, faults=("kill-primary-space", "kill-master"), prefetch=4)
+    assert result.faults_injected == 2
+    assert result.exactly_once, result.format_summary()
+    assert verify_coordination_determinism(
+        seed=2, faults=("kill-primary-space", "kill-master"), prefetch=4)

@@ -1,0 +1,137 @@
+"""Group commit: fsync policies, watermarks, power loss, compaction."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import SpaceError
+from repro.tuplespace.wal import (
+    FileWalStore,
+    WalStore,
+    WriteAheadLog,
+    op_write,
+)
+from tests.conftest import run_in_sim
+
+
+def _append(wal, n, start=0):
+    for i in range(start, start + n):
+        wal.append((op_write(i, b"payload", float("inf")),))
+
+
+def test_always_policy_syncs_every_append():
+    store = WalStore(fsync_policy="always")
+    wal = WriteAheadLog(store)
+    _append(wal, 3)
+    assert store.pending() == 0
+    assert store.syncs == 3
+    assert store.power_loss() == 0
+
+
+def test_group_policy_buffers_until_size_watermark():
+    store = WalStore(fsync_policy="group", group_size=3)
+    wal = WriteAheadLog(store)
+    _append(wal, 2)
+    assert store.pending() == 2 and store.syncs == 0
+    _append(wal, 1, start=2)                 # watermark reached
+    assert store.pending() == 0 and store.syncs == 1
+
+
+def test_group_policy_power_loss_drops_only_the_unsynced_tail():
+    store = WalStore(fsync_policy="group", group_size=10)
+    wal = WriteAheadLog(store)
+    _append(wal, 4)
+    wal.sync()                               # durability barrier
+    _append(wal, 3, start=4)
+    assert store.power_loss() == 3
+    assert [r.lsn for r in store.records] == [1, 2, 3, 4]
+
+
+def test_os_policy_loses_everything_unsynced_on_power_loss():
+    store = WalStore(fsync_policy="os")
+    wal = WriteAheadLog(store)
+    _append(wal, 5)
+    assert store.pending() == 5
+    assert store.power_loss() == 5
+
+
+def test_time_watermark_flushes_a_traffic_lull(rt):
+    store = WalStore(fsync_policy="group", group_size=100)
+    wal = WriteAheadLog(store, runtime=rt, group_ms=50.0)
+
+    def body():
+        _append(wal, 2)
+        buffered = store.pending()
+        rt.sleep(60.0)                       # past the group_ms deadline
+        return buffered, store.pending()
+
+    assert run_in_sim(rt, body) == (2, 0)
+
+
+def test_bad_policy_and_group_size_rejected():
+    with pytest.raises(SpaceError):
+        WalStore(fsync_policy="sometimes")
+    with pytest.raises(SpaceError):
+        WalStore(group_size=0)
+
+
+def test_file_group_commit_not_on_disk_until_sync(tmp_path):
+    path = os.fspath(tmp_path / "wal")
+    store = FileWalStore(path, fsync_policy="group", group_size=10)
+    wal = WriteAheadLog(store)
+    _append(wal, 3)
+
+    peek = FileWalStore(path)                # what a power loss would find
+    buffered = len(peek.records)
+    peek.close()
+
+    wal.sync()
+    peek = FileWalStore(path)
+    durable = len(peek.records)
+    peek.close()
+    store.close()
+    assert (buffered, durable) == (0, 3)
+
+
+def test_file_compaction_survives_reopen(tmp_path):
+    path = os.fspath(tmp_path / "wal")
+    store = FileWalStore(path)
+    wal = WriteAheadLog(store)
+    _append(wal, 5)
+    store.install_snapshot(3, b"state-at-3")
+    _append(wal, 2, start=5)
+    store.close()
+
+    recovered = FileWalStore(path)
+    try:
+        assert recovered.snapshot == (3, b"state-at-3")
+        assert [r.lsn for r in recovered.records] == [4, 5, 6, 7]
+        assert recovered.last_lsn() == 7
+    finally:
+        recovered.close()
+
+
+def test_file_compaction_truncates_the_log(tmp_path):
+    path = os.fspath(tmp_path / "wal")
+    store = FileWalStore(path)
+    wal = WriteAheadLog(store)
+    _append(wal, 50)
+    before = os.path.getsize(path + ".log")
+    store.install_snapshot(50, b"all-covered")
+    after = os.path.getsize(path + ".log")
+    store.close()
+    assert before > 0
+    assert after == 0                        # every record was covered
+
+
+def test_compaction_leaves_no_torn_temp_files(tmp_path):
+    path = os.fspath(tmp_path / "wal")
+    store = FileWalStore(path)
+    wal = WriteAheadLog(store)
+    _append(wal, 8)
+    store.install_snapshot(4, b"state")
+    store.close()
+    leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+    assert leftovers == []
