@@ -1,0 +1,64 @@
+"""Tracing-overhead gate: traced throughput must stay >= FLOOR of untraced.
+
+Runs the raytrace-shaped end-to-end job from ``run_micro.py`` with
+tracing off and on in interleaved rounds and compares the *median*
+wall-clock tasks/second.  Span recording sits on the data path (every
+RPC, compute, and aggregate opens a span), so this is the honest worst
+case for observability cost; the CI telemetry job fails the build when
+the traced median drops below ``FLOOR`` (0.9×) of the untraced one.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_trace_overhead.py [--rounds N]
+        [--strips N] [--floor X]
+
+Exit status 1 on a floor violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.run_micro import e2e_job_rate  # noqa: E402
+
+FLOOR = 0.9
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="best-of-N per configuration")
+    parser.add_argument("--strips", type=int, default=24)
+    parser.add_argument("--floor", type=float, default=FLOOR,
+                        help="minimum traced/untraced throughput ratio")
+    args = parser.parse_args()
+
+    # Interleave the rounds so machine-speed phases (noisy CI boxes) land
+    # on both configurations, and compare *medians* — a single lucky
+    # sample must not decide a ratio gate.
+    kwargs = dict(prefetch=6, seed_batch=24, drain_batch=24,
+                  strips=args.strips, rounds=1)
+    untraced_runs, traced_runs = [], []
+    for _ in range(args.rounds):
+        untraced_runs.append(e2e_job_rate(trace=False, **kwargs))
+        traced_runs.append(e2e_job_rate(trace=True, **kwargs))
+    untraced = statistics.median(untraced_runs)
+    traced = statistics.median(traced_runs)
+    ratio = traced / untraced if untraced else 0.0
+    print(f"untraced: {untraced:>10.1f} tasks/s")
+    print(f"traced  : {traced:>10.1f} tasks/s")
+    print(f"ratio   : {ratio:.3f}x (floor {args.floor}x)")
+    if ratio < args.floor:
+        print(f"OVERHEAD: tracing costs {(1 - ratio):.1%} "
+              f"(> {(1 - args.floor):.0%} budget)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

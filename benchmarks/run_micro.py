@@ -198,7 +198,8 @@ def contention_wakeups_per_write(writes: int = 200, takers: int = 16) -> float:
 
 def e2e_job_rate(prefetch: int = 1, seed_batch: int = 1,
                  drain_batch: int = 1, workers: int = 4,
-                 strips: int = 24, rounds: int = 1) -> float:
+                 strips: int = 24, rounds: int = 1,
+                 trace: bool = False) -> float:
     """Best-of-``rounds`` tasks/second for one full master–worker job.
 
     Raytrace-shaped (paper §5.1.2): a 600×600 image plane split into
@@ -267,6 +268,7 @@ def e2e_job_rate(prefetch: int = 1, seed_batch: int = 1,
                 worker_prefetch=prefetch,
                 master_seed_batch=seed_batch,
                 master_drain_batch=drain_batch,
+                trace=trace,
             ),
         )
         framework.start()

@@ -133,6 +133,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefetch", type=int, default=1,
                    help="worker pipeline depth (also batches master "
                         "seed/drain); faults then land mid-batch")
+    p.add_argument("--trace", action="store_true",
+                   help="record telemetry spans during the campaign "
+                        "(does not perturb the recovery trace)")
+    p.add_argument("--trace-out", default="chaos_trace.json",
+                   help="Chrome trace_event output path (with --trace)")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the final Prometheus metrics dump here")
+
+    p = sub.add_parser(
+        "trace",
+        help="run one traced job; write a Perfetto-loadable span file",
+    )
+    p.add_argument("job", choices=sorted(APP_FACTORIES))
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace_event JSON (open in ui.perfetto.dev)")
+    p.add_argument("--jsonl", default=None,
+                   help="also write raw spans as JSON lines")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the final Prometheus metrics dump here")
+    p.add_argument("--real", action="store_true",
+                   help="run the real kernels (default: cost model only)")
+
+    p = sub.add_parser("top", help="live cluster console for one job")
+    p.add_argument("job", choices=sorted(APP_FACTORIES))
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--interval", type=float, default=1_000.0,
+                   help="frame interval in virtual ms")
+    p.add_argument("--follow", action="store_true",
+                   help="print every frame, not just the final snapshot")
+    p.add_argument("--real", action="store_true",
+                   help="run the real kernels (default: cost model only)")
 
     p = sub.add_parser("render", help="render a JSON scene on the cluster")
     p.add_argument("scene", nargs="?", default=None,
@@ -167,6 +201,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         _price(args)
     elif command == "chaos":
         return _chaos(args)
+    elif command == "trace":
+        return _trace_cmd(args)
+    elif command == "top":
+        return _top(args)
     elif command == "render":
         _render(args)
     return 0
@@ -213,6 +251,18 @@ def _price(args) -> None:
     print(f"parallel : {report.parallel_ms:,.0f} virtual ms")
 
 
+def _write_telemetry(result, trace_out, metrics_out) -> None:
+    """Export the chaos run's telemetry artifacts, if any were recorded."""
+    if trace_out is not None and result.tracer is not None \
+            and result.tracer.enabled:
+        result.tracer.write_chrome(trace_out)
+        print(f"trace: {len(result.tracer.spans)} spans → {trace_out}")
+    if metrics_out is not None:
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(result.prometheus)
+        print(f"metrics: → {metrics_out}")
+
+
 def _chaos(args) -> int:
     from repro.experiments.chaos import chaos_experiment, verify_chaos_determinism
 
@@ -220,8 +270,10 @@ def _chaos(args) -> int:
         return _coordination_chaos(args)
     result = chaos_experiment(seed=args.seed, workers=args.workers,
                               tasks=args.tasks, random_plan=args.random_plan,
-                              prefetch=args.prefetch)
+                              prefetch=args.prefetch, trace=args.trace)
     print(result.format_summary())
+    _write_telemetry(result, args.trace_out if args.trace else None,
+                     args.metrics_out)
     if not result.correct:
         print("FAIL: solution does not match the expected partial sum")
         return 1
@@ -229,7 +281,8 @@ def _chaos(args) -> int:
         ok = verify_chaos_determinism(seed=args.seed, workers=args.workers,
                                       tasks=args.tasks,
                                       random_plan=args.random_plan,
-                                      prefetch=args.prefetch)
+                                      prefetch=args.prefetch,
+                                      trace=args.trace)
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:
             return 1
@@ -244,20 +297,101 @@ def _coordination_chaos(args) -> int:
 
     result = coordination_chaos_experiment(
         seed=args.seed, workers=args.workers, tasks=args.tasks,
-        faults=args.faults, prefetch=args.prefetch,
+        faults=args.faults, prefetch=args.prefetch, trace=args.trace,
     )
     print(result.format_summary())
+    _write_telemetry(result, args.trace_out if args.trace else None,
+                     args.metrics_out)
     if not result.exactly_once:
         print("FAIL: job did not complete every task exactly-once")
         return 1
     if args.verify_determinism:
         ok = verify_coordination_determinism(
             seed=args.seed, workers=args.workers, tasks=args.tasks,
-            faults=args.faults, prefetch=args.prefetch,
+            faults=args.faults, prefetch=args.prefetch, trace=args.trace,
         )
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:
             return 1
+    return 0
+
+
+def _traced_run(app_id: str, workers: Optional[int], seed: int, real: bool,
+                trace: bool, monitor=None, snapshot_ms: Optional[float] = 500.0):
+    """Run one job on a fresh simulated cluster; return (report, framework).
+
+    ``monitor`` is an optional ``fn(runtime, framework, done)`` spawned as
+    a sidecar process before the master starts (the console uses it);
+    ``done`` becomes truthy when the job finishes, and the monitor must
+    return soon after so the simulation can drain.
+    """
+    from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
+    from repro.experiments.harness import run_simulation
+    from repro.sim.rng import RandomStreams
+
+    config = FrameworkConfig(compute_real=real, trace=trace,
+                             metrics_snapshot_ms=snapshot_ms)
+
+    def body(runtime):
+        cluster = CLUSTER_FACTORIES[app_id](
+            runtime, workers=workers or MAX_WORKERS[app_id],
+            streams=RandomStreams(seed))
+        framework = AdaptiveClusterFramework(
+            runtime, cluster, APP_FACTORIES[app_id](), config)
+        framework.start()
+        done: list[bool] = []
+        if monitor is not None:
+            runtime.spawn(lambda: monitor(runtime, framework, done),
+                          name="console")
+        report = framework.run()
+        done.append(True)
+        framework.shutdown()
+        return report, framework
+
+    return run_simulation(body)
+
+
+def _trace_cmd(args) -> int:
+    report, framework = _traced_run(args.job, args.workers, args.seed,
+                                    args.real, trace=True)
+    tracer = framework.tracer
+    job = tracer.find("job")
+    coverage = (tracer.coverage(job.start_ms, job.end_ms)
+                if job is not None else 0.0)
+    tracer.write_chrome(args.out)
+    print(f"{args.job}: {report.parallel_ms:,.0f} virtual ms, "
+          f"{len(tracer.spans)} spans, coverage {coverage:.1%} of job time")
+    print(f"trace: → {args.out}  (open in https://ui.perfetto.dev)")
+    if args.jsonl:
+        tracer.write_jsonl(args.jsonl)
+        print(f"spans: → {args.jsonl}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(framework.telemetry.prometheus_text())
+        print(f"metrics: → {args.metrics_out}")
+    return 0
+
+
+def _top(args) -> int:
+    from repro.telemetry import cluster_table
+
+    frames: list[str] = []
+
+    def monitor(runtime, framework, done):
+        while True:
+            runtime.sleep(args.interval)
+            if done:
+                return
+            frames.append(cluster_table(framework))
+
+    report, framework = _traced_run(args.job, args.workers, args.seed,
+                                    args.real, trace=False, monitor=monitor,
+                                    snapshot_ms=None)
+    if args.follow:
+        for frame in frames:
+            print(frame)
+            print()
+    print(cluster_table(framework, report=report))
     return 0
 
 

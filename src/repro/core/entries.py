@@ -23,6 +23,11 @@ class TaskEntry(Entry):
     re-writes the task with ``attempts + 1`` instead of crashing, and
     after ``max_attempts`` the task becomes a :class:`DeadLetterEntry`.
     ``None`` in a template is, as for every field, a wildcard.
+
+    ``trace`` carries the task's trace ID (``"<app_id>/<task_id>"``)
+    end-to-end.  The master mints it unconditionally — even with tracing
+    disabled — so entry bytes (and hence modelled transfer latencies)
+    are identical whether or not spans are being recorded.
     """
 
     def __init__(
@@ -31,11 +36,13 @@ class TaskEntry(Entry):
         task_id: Optional[int] = None,
         payload: Any = None,
         attempts: Optional[int] = None,
+        trace: Optional[str] = None,
     ) -> None:
         self.app_id = app_id
         self.task_id = task_id
         self.payload = payload
         self.attempts = attempts
+        self.trace = trace
 
 
 class ResultEntry(Entry):
@@ -48,12 +55,14 @@ class ResultEntry(Entry):
         payload: Any = None,
         worker: Optional[str] = None,
         compute_ms: Optional[float] = None,
+        trace: Optional[str] = None,
     ) -> None:
         self.app_id = app_id
         self.task_id = task_id
         self.payload = payload
         self.worker = worker
         self.compute_ms = compute_ms
+        self.trace = trace
 
 
 class MasterCheckpointEntry(Entry):
@@ -106,6 +115,7 @@ class DeadLetterEntry(Entry):
         error: Optional[str] = None,
         worker: Optional[str] = None,
         attempts: Optional[int] = None,
+        trace: Optional[str] = None,
     ) -> None:
         self.app_id = app_id
         self.task_id = task_id
@@ -113,3 +123,4 @@ class DeadLetterEntry(Entry):
         self.error = error
         self.worker = worker
         self.attempts = attempts
+        self.trace = trace

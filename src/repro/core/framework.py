@@ -27,6 +27,7 @@ from repro.core.netmgmt import RULEBASE_PORT, NetworkManagementModule
 from repro.core.signals import ThresholdPolicy
 from repro.core.worker import WorkerHost
 from repro.errors import ConfigurationError, MasterCrashedError
+from repro.telemetry import Telemetry
 from repro.jini.discovery import DiscoveryClient
 from repro.jini.join import JoinManager, LookupClient
 from repro.jini.lookup import LookupService, ServiceItem
@@ -101,6 +102,16 @@ class FrameworkConfig:
     wal_group_size: int = 64                # group-commit size watermark
     wal_group_ms: Optional[float] = None    # group-commit time watermark
 
+    # -- telemetry (see DESIGN.md "Observability") ---------------------------
+    #: Record per-task span trees (virtual-time under simulation).  Trace
+    #: IDs are minted and stamped into entries *regardless* of this flag —
+    #: enabling it only turns on span recording, so traced and untraced
+    #: runs share one virtual timeline (``--verify-determinism`` holds).
+    trace: bool = False
+    #: Period for mirroring registry instruments into the ``Metrics``
+    #: series via the kernel's ``on_advance`` hook (``None`` = off).
+    metrics_snapshot_ms: Optional[float] = None
+
 
 class AdaptiveClusterFramework:
     """One deployment of the framework on a cluster, for one application."""
@@ -112,12 +123,17 @@ class AdaptiveClusterFramework:
         app: Application,
         config: Optional[FrameworkConfig] = None,
         metrics: Optional[Metrics] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.runtime = runtime
         self.cluster = cluster
         self.app = app
         self.config = config if config is not None else FrameworkConfig()
         self.metrics = metrics if metrics is not None else Metrics(runtime)
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry(runtime, trace=self.config.trace))
+        self.tracer = self.telemetry.tracer
+        self.registry = self.telemetry.registry
         # Cost models charge virtual CPU only under simulation; on the
         # threaded runtime the real computation already takes real time.
         from repro.runtime import SimulatedRuntime
@@ -138,6 +154,15 @@ class AdaptiveClusterFramework:
             )
         else:
             self.space = JavaSpace(runtime, name=f"space:{app.app_id}")
+        # Registry naming scheme: the space's counters surface as
+        # ``space.<key>`` (read-through — no per-op registry cost).
+        self.registry.expose_dict("space", self.space.stats)
+        if isinstance(self.space, DurableSpace):
+            self.space.wal.tracer = self.tracer
+            self.registry.expose("wal.commits",
+                                 lambda: self.space.wal.last_lsn)
+            self.registry.expose("wal.syncs",
+                                 lambda: self.space.wal.store.syncs)
         offset = self.config.port_offset
         self.space_address = Address(cluster.master.hostname, SPACE_PORT + offset)
         #: Where the promoted standby serves (primary port + 1).
@@ -185,6 +210,7 @@ class AdaptiveClusterFramework:
                 self.cluster.network, self.cluster.master.hostname,
                 self.space_address, metrics=self.metrics,
                 locator=self._space_locator(self.cluster.master.hostname),
+                tracer=self.tracer,
             )
             space = self._master_proxy
             retry_ms = config.failover_heartbeat_ms
@@ -201,6 +227,7 @@ class AdaptiveClusterFramework:
             space_max_retries=max(20, 8 * config.failover_max_misses),
             seed_batch=config.master_seed_batch,
             drain_batch=config.master_drain_batch,
+            tracer=self.tracer,
         )
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -302,8 +329,16 @@ class AdaptiveClusterFramework:
                 port=RULEBASE_PORT + offset,
                 trap_port=None if offset == 0 else 162 + offset,
                 staleness_ms=config.staleness_ms,
+                registry=self.registry,
             )
             self.netmgmt.start()
+
+        # Remaining component stats join the registry as read-through
+        # views; periodic snapshots mirror them into the Metrics series.
+        self.registry.expose_dict("net", network.stats)
+        if config.metrics_snapshot_ms is not None:
+            self.telemetry.enable_snapshots(
+                self.metrics, interval_ms=config.metrics_snapshot_ms)
 
         # Worker hosts on every worker node.
         netmgmt_address = self.netmgmt.address if self.netmgmt else None
@@ -333,6 +368,7 @@ class AdaptiveClusterFramework:
                 recovery=recovery,
                 task_txn_lease_ms=config.task_txn_lease_ms,
                 prefetch=config.worker_prefetch,
+                tracer=self.tracer,
                 locator=(self._space_locator(node.hostname)
                          if config.hot_standby else None),
                 # Jitter from a per-worker named stream: deterministic

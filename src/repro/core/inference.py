@@ -59,6 +59,10 @@ class InferenceEngine:
         self._streaks: dict[int, tuple[str, int]] = {}  # worker → (band, count)
         self._workers: dict[int, WorkerRecord] = {}
         self._next_id = 1
+        #: Decision counters, surfaced by the telemetry registry as
+        #: ``inference.decisions`` / ``inference.signals``.  Observational
+        #: only — the rule base itself stays a pure function of its inputs.
+        self.stats = {"decisions": 0, "signals": 0}
 
     # -- registry ---------------------------------------------------------------
 
@@ -97,6 +101,14 @@ class InferenceEngine:
         loaded   stopped   —
         ======== ========= =========
         """
+        signal = self._decide(state, load_percent)
+        self.stats["decisions"] += 1
+        if signal is not None:
+            self.stats["signals"] += 1
+        return signal
+
+    def _decide(self, state: WorkerState,
+                load_percent: float) -> Optional[Signal]:
         band = self.policy.band(load_percent)
         if band == "idle":
             if state == WorkerState.STOPPED:

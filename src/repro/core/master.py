@@ -97,12 +97,21 @@ class Master:
         space_max_retries: int = 20,
         seed_batch: int = 1,
         drain_batch: int = 1,
+        tracer: Any = None,
     ) -> None:
         self.runtime = runtime
         self.node = node
         self.space = space
         self.app = app
         self.metrics = metrics
+        #: Telemetry tracer (may be ``None``/disabled).  The master mints
+        #: one trace per task — ``"<app_id>/<task_id>"``, stamped into
+        #: every ``TaskEntry`` regardless of enablement so entry bytes
+        #: (and modelled transfer times) never depend on tracing — and
+        #: owns each task's root ``"task"`` span from seed to settlement.
+        self.tracer = tracer
+        self._task_spans: dict[int, Any] = {}
+        self._job_span: Any = None
         self.eager_scheduling = eager_scheduling
         self.straggler_timeout_ms = straggler_timeout_ms
         self.max_replicas = max_replicas
@@ -202,10 +211,43 @@ class Master:
     def _contents(self, template):
         return self._guard(lambda: self.space.contents(template))
 
+    # -- tracing -----------------------------------------------------------------
+
+    def _trace_id(self, task_id: int) -> str:
+        return f"{self.app.app_id}/{task_id}"
+
+    def _open_task_span(self, task_id: int) -> None:
+        """Open the task's root span (span_id == trace_id, so workers can
+        parent compute spans without any span-ID propagation)."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled or task_id in self._task_spans:
+            return
+        tid = self._trace_id(task_id)
+        parent = self._job_span.span_id if self._job_span is not None else None
+        self._task_spans[task_id] = tracer.start(
+            "task", trace_id=tid, span_id=tid, parent_id=parent,
+            proc="master", task_id=task_id)
+
+    def _settle_task_span(self, task_id: int, **attrs: Any) -> None:
+        span = self._task_spans.pop(task_id, None)
+        if span is not None:
+            span.end(**attrs)
+
     def run(self) -> MasterReport:
         """Execute the full master lifecycle; blocks until aggregation ends."""
         app = self.app
         started = self.runtime.now()
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        plan_span = None
+        if tracing:
+            self._task_spans = {}
+            self._job_span = tracer.start(
+                "job", trace_id=f"job/{app.app_id}",
+                span_id=f"job/{app.app_id}", proc="master", app=app.app_id)
+            plan_span = tracer.start(
+                "planning", trace_id=f"job/{app.app_id}",
+                parent_id=self._job_span.span_id, proc="master")
         max_overhead = 0.0
         results: dict[int, Any] = {}
         by_worker: dict[str, int] = {}
@@ -230,7 +272,10 @@ class Master:
                 cost = sum(max(0.0, app.planning_cost_ms(t)) for t in group)
                 if self.model_time and cost > 0:
                     self.node.cpu.execute(cost)
-                self._write_all([TaskEntry(app.app_id, t.task_id, t.payload)
+                for t in group:
+                    self._open_task_span(t.task_id)
+                self._write_all([TaskEntry(app.app_id, t.task_id, t.payload,
+                                           trace=self._trace_id(t.task_id))
                                  for t in group])
                 max_overhead = max(max_overhead, self.runtime.now() - t0)
         else:
@@ -239,14 +284,23 @@ class Master:
                 cost = app.planning_cost_ms(task)
                 if self.model_time and cost > 0:
                     self.node.cpu.execute(cost)
-                self._write(TaskEntry(app.app_id, task.task_id, task.payload))
+                self._open_task_span(task.task_id)
+                self._write(TaskEntry(app.app_id, task.task_id, task.payload,
+                                      trace=self._trace_id(task.task_id)))
                 max_overhead = max(max_overhead, self.runtime.now() - t0)
         planning_ms = self.runtime.now() - started
         self.metrics.scalar(f"master/{app.app_id}/planning_ms", planning_ms)
         self.metrics.event("planning-done", app=app.app_id, tasks=len(tasks))
+        if plan_span is not None:
+            plan_span.end(tasks=len(tasks))
 
         # ---- result-aggregation phase ---------------------------------------------
         aggregation_started = self.runtime.now()
+        agg_span = None
+        if tracing:
+            agg_span = tracer.start(
+                "aggregation", trace_id=f"job/{app.app_id}",
+                parent_id=self._job_span.span_id, proc="master")
         template = ResultEntry(app_id=app.app_id)
         task_by_id = {task.task_id: task for task in tasks}
         replicas: dict[int, int] = {}
@@ -303,6 +357,7 @@ class Master:
                     entry.task_id, entry.payload))
             batch_cost = sum(agg_cost.values())
             charged = 0.0
+            agg_cursor = self.runtime.now()
             if self.model_time and batch_cost > 0:
                 charged = self.node.cpu.execute(batch_cost)
             for entry in entries:
@@ -320,6 +375,18 @@ class Master:
                                        task_id=entry.task_id, worker=entry.worker)
                 share = (charged * agg_cost.get(entry.task_id, 0.0) / batch_cost
                          if batch_cost > 0 else 0.0)
+                if tracing:
+                    # The batch CPU charge already elapsed in one sleep;
+                    # tile the apportioned shares across that interval so
+                    # each task's tree shows its own aggregation cost.
+                    trace_id = entry.trace or self._trace_id(entry.task_id)
+                    tracer.record("aggregate", trace_id=trace_id,
+                                  parent_id=trace_id, start_ms=agg_cursor,
+                                  end_ms=agg_cursor + share, proc="master",
+                                  worker=entry.worker)
+                    agg_cursor += share
+                    self._settle_task_span(entry.task_id, status="aggregated",
+                                           worker=entry.worker)
                 max_overhead = max(max_overhead,
                                    share + self.runtime.now() - t0)
         self._drain_dead_letters(dead, results)
@@ -350,6 +417,12 @@ class Master:
             self.metrics.scalar(f"master/{app.app_id}/dead_letters", len(dead))
         self.metrics.scalar(f"master/{app.app_id}/aggregation_ms", aggregation_ms)
         self.metrics.scalar(f"master/{app.app_id}/parallel_ms", parallel_ms)
+        if tracing:
+            for task_id in list(self._task_spans):
+                self._settle_task_span(task_id, status="unsettled")
+            agg_span.end(results=len(results), dead=len(dead))
+            self._job_span.end(complete=complete,
+                               parallel_ms=parallel_ms)
         return MasterReport(
             app_id=app.app_id,
             task_count=len(tasks),
@@ -405,6 +478,7 @@ class Master:
             tid = task.task_id
             if tid in results or tid in dead:
                 continue
+            self._open_task_span(tid)
             if self._read_if_exists(
                     TaskEntry(app_id=self.app.app_id, task_id=tid)) is not None:
                 continue
@@ -414,7 +488,8 @@ class Master:
             if self._read_if_exists(
                     DeadLetterEntry(app_id=self.app.app_id, task_id=tid)) is not None:
                 continue
-            reseed.append(TaskEntry(self.app.app_id, tid, task.payload))
+            reseed.append(TaskEntry(self.app.app_id, tid, task.payload,
+                                    trace=self._trace_id(tid)))
             reseeded += 1
             if self.seed_batch > 1 and len(reseed) >= self.seed_batch:
                 self._write_all(reseed)
@@ -554,6 +629,8 @@ class Master:
                 continue
             dead[entry.task_id] = entry.error or "unknown error"
             progressed = True
+            self._settle_task_span(entry.task_id, status="dead-letter",
+                                   error=entry.error, worker=entry.worker)
             self.metrics.event(
                 "dead-letter-received", app=self.app.app_id,
                 task_id=entry.task_id, worker=entry.worker,
@@ -586,7 +663,8 @@ class Master:
             self.replicated_tasks += 1
             self.metrics.event("task-replicated", app=self.app.app_id,
                                task_id=task_id)
-            self._write(TaskEntry(self.app.app_id, task_id, task.payload))
+            self._write(TaskEntry(self.app.app_id, task_id, task.payload,
+                                  trace=self._trace_id(task_id)))
 
     def _drain_leftovers(self, template: ResultEntry,
                          task_by_id: dict[int, Task]) -> None:

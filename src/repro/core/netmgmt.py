@@ -18,7 +18,7 @@ total load for ablations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.errors import ConnectionClosedError, SnmpError, TimeoutError_
 from repro.core.inference import InferenceEngine, WorkerRecord
@@ -56,6 +56,7 @@ class NetworkManagementModule:
         mode: str = "poll",
         trap_port: Optional[int] = None,
         staleness_ms: Optional[float] = None,
+        registry: Any = None,
     ) -> None:
         if load_metric not in ("external", "total"):
             raise ValueError(f"load_metric must be 'external' or 'total': {load_metric}")
@@ -81,6 +82,11 @@ class NetworkManagementModule:
         self.running = False
         self.stats = {"polls": 0, "poll_failures": 0, "signals_sent": 0,
                       "traps_received": 0, "stale_stops": 0}
+        if registry is not None:
+            # Surface as ``netmgmt.polls`` etc. plus the inference
+            # engine's decision counters — read-through, no per-poll cost.
+            registry.expose_dict("netmgmt", self.stats)
+            registry.expose_dict("inference", self.inference.stats)
 
     # -- lifecycle -----------------------------------------------------------------
 

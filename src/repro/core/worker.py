@@ -19,6 +19,7 @@ the process but keeps classes in memory, so Resume skips the reload —
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Callable, Optional
 
 from repro.errors import (
@@ -69,10 +70,14 @@ class WorkerHost:
         task_txn_lease_ms: Optional[float] = None,
         locator: Optional[Callable[[], Any]] = None,
         prefetch: int = 1,
+        tracer: Any = None,
     ) -> None:
         self.runtime = runtime
         self.node = node
         self.app = app
+        # Telemetry tracer (None/disabled = zero-cost): compute spans hang
+        # off the task's trace carried in the entry's ``trace`` field.
+        self.tracer = tracer
         self.space_address = space_address
         self.netmgmt_address = netmgmt_address
         self.metrics = metrics
@@ -306,14 +311,22 @@ class WorkerHost:
                 self._exit_cond.notify_all()
 
     def _worker_loop(self, generation: int, start_received_at: float) -> None:
+        tracer = self.tracer
         if not self.engine.classes_loaded:
+            load_span = None
+            if tracer is not None and tracer.enabled:
+                load_span = tracer.start(
+                    "class-load", trace_id=f"worker/{self.node.hostname}",
+                    proc=self.node.hostname, app=self.app.app_id)
             self.engine.load_classes(self.app.app_id)
+            if load_span is not None:
+                load_span.end()
             self.metrics.event("class-load", worker=self.node.hostname)
         self._honored(Signal.START, start_received_at)
         proxy = SpaceProxy(
             self.network, self.node.hostname, self.space_address,
             recovery=self.recovery, rng=self._recovery_rng, metrics=self.metrics,
-            locator=self.locator,
+            locator=self.locator, tracer=tracer,
         )
         self._proxy = proxy
         template = TaskEntry(app_id=self.app.app_id)
@@ -424,24 +437,42 @@ class WorkerHost:
             if self.first_take_ms is None:
                 self.first_take_ms = self.runtime.now()
             compute_started = self.runtime.now()
-            try:
-                payload = self._compute(task.payload, task.task_id)
-            except Exception as exc:  # noqa: BLE001 - poison-task quarantine
-                self._quarantine(proxy, txn, task, exc)
-                return
-            compute_ms = self.runtime.now() - compute_started
-            proxy.write(
-                ResultEntry(
-                    app_id=self.app.app_id,
-                    task_id=task.task_id,
-                    payload=payload,
-                    worker=self.node.hostname,
-                    compute_ms=compute_ms,
-                ),
-                txn=txn,
-            )
-            if txn is not None:
-                txn.commit()
+            tracer = self.tracer
+            span = None
+            if tracer is not None and tracer.enabled and task.trace:
+                span = tracer.start("compute", trace_id=task.trace,
+                                    parent_id=task.trace,
+                                    proc=self.node.hostname,
+                                    task_id=task.task_id)
+            # Activation makes the compute span the ambient parent, so
+            # RPCs issued during compute *and* the result write-back join
+            # the task's trace as children of the compute span.
+            activation = (tracer.activate(span) if span is not None
+                          else nullcontext())
+            with activation:
+                try:
+                    payload = self._compute(task.payload, task.task_id)
+                except Exception as exc:  # noqa: BLE001 - poison quarantine
+                    if span is not None:
+                        span.end(status="error", error=repr(exc))
+                    self._quarantine(proxy, txn, task, exc)
+                    return
+                compute_ms = self.runtime.now() - compute_started
+                if span is not None:
+                    span.end(compute_ms=compute_ms)
+                proxy.write(
+                    ResultEntry(
+                        app_id=self.app.app_id,
+                        task_id=task.task_id,
+                        payload=payload,
+                        worker=self.node.hostname,
+                        compute_ms=compute_ms,
+                        trace=task.trace,
+                    ),
+                    txn=txn,
+                )
+                if txn is not None:
+                    txn.commit()
             self.last_result_ms = self.runtime.now()
             self.tasks_done += 1
         finally:
@@ -495,14 +526,36 @@ class WorkerHost:
                 self.first_take_ms = self.runtime.now()
             out: list[Any] = []
             results = 0
+            batch_started = self.runtime.now()
             shares = self._charge_batch(tasks)
+            tracer = self.tracer
+            tracing = tracer is not None and tracer.enabled
+            span_cursor = batch_started
             for task, compute_ms in zip(tasks, shares):
                 try:
                     payload = (self.app.execute(task.payload)
                                if self.compute_real else None)
                 except Exception as exc:  # noqa: BLE001 - poison-task quarantine
+                    if tracing and task.trace:
+                        tracer.record("compute", trace_id=task.trace,
+                                      parent_id=task.trace,
+                                      start_ms=span_cursor,
+                                      end_ms=span_cursor + compute_ms,
+                                      proc=self.node.hostname, batched=True,
+                                      status="error", error=repr(exc))
+                        span_cursor += compute_ms
                     out.append(self._replacement_for(task, exc))
                     continue
+                if tracing and task.trace:
+                    # The batch's single CPU charge already elapsed; tile
+                    # the apportioned per-task shares across it so each
+                    # trace still shows its own compute interval.
+                    tracer.record("compute", trace_id=task.trace,
+                                  parent_id=task.trace, start_ms=span_cursor,
+                                  end_ms=span_cursor + compute_ms,
+                                  proc=self.node.hostname, batched=True,
+                                  compute_ms=compute_ms)
+                    span_cursor += compute_ms
                 out.append(
                     ResultEntry(
                         app_id=self.app.app_id,
@@ -510,6 +563,7 @@ class WorkerHost:
                         payload=payload,
                         worker=self.node.hostname,
                         compute_ms=compute_ms,
+                        trace=task.trace,
                     )
                 )
                 results += 1
@@ -551,6 +605,7 @@ class WorkerHost:
                 app_id=self.app.app_id, task_id=task.task_id,
                 payload=task.payload, error=repr(exc),
                 worker=self.node.hostname, attempts=attempts,
+                trace=task.trace,
             )
         self.metrics.event(
             "task-requeued", worker=self.node.hostname,
@@ -558,6 +613,7 @@ class WorkerHost:
         )
         return TaskEntry(
             self.app.app_id, task.task_id, task.payload, attempts=attempts,
+            trace=task.trace,
         )
 
     def _quarantine(self, proxy: SpaceProxy, txn: Optional[RemoteTransaction],

@@ -100,6 +100,12 @@ class ChaosResult:
     trace: list[tuple[float, str, tuple]] = field(default_factory=list)
     faults_injected: int = 0
     faults_healed: int = 0
+    #: Telemetry artifacts when the campaign ran with ``trace=True``:
+    #: the tracer (export via ``write_chrome``/``write_jsonl``) and the
+    #: final Prometheus registry dump.  Deliberately excluded from the
+    #: determinism comparison — that compares the recovery-event trace.
+    tracer: Any = None
+    prometheus: str = ""
 
     @property
     def correct(self) -> bool:
@@ -147,12 +153,17 @@ def chaos_experiment(
     random_plan: bool = False,
     give_up_after_ms: float = 30_000.0,
     prefetch: int = 1,
+    trace: bool = False,
 ) -> ChaosResult:
     """Run the acceptance scenario; fully replayable from ``seed``.
 
     ``prefetch`` > 1 runs the whole pipelined data path (worker batch
     cycles, batched RPC, master batch seed/drain) under the same fault
     campaign — faults then land mid-batch as well as mid-task.
+
+    ``trace`` records telemetry spans alongside the campaign.  Trace IDs
+    travel in the entries either way, so the virtual timeline — and hence
+    the replayable recovery trace — is identical with it on or off.
     """
 
     def body(runtime: SimulatedRuntime) -> ChaosResult:
@@ -174,6 +185,7 @@ def chaos_experiment(
                 worker_prefetch=max(1, prefetch),
                 master_seed_batch=max(1, prefetch),
                 master_drain_batch=max(1, prefetch),
+                trace=trace,
             ),
         )
         framework.start()
@@ -190,7 +202,7 @@ def chaos_experiment(
         report = framework.master.run()
         injector.disarm()       # late plan entries must not hit the teardown
         framework.shutdown()
-        trace = [
+        events = [
             (t, name, tuple(sorted(payload.items())))
             for t, name, payload in framework.metrics.events
             if name in TRACE_EVENTS
@@ -199,9 +211,11 @@ def chaos_experiment(
             seed=seed,
             report=report,
             expected_solution=app.expected_solution(),
-            trace=trace,
+            trace=events,
             faults_injected=injector.injected,
             faults_healed=injector.healed,
+            tracer=framework.tracer,
+            prometheus=framework.telemetry.prometheus_text(),
         )
 
     return run_simulation(body)
@@ -231,6 +245,9 @@ class CoordinationChaosResult:
     aggregations: list[tuple[float, int]] = field(default_factory=list)
     faults_injected: int = 0
     master_restarts: int = 0
+    #: Telemetry artifacts (see :class:`ChaosResult`).
+    tracer: Any = None
+    prometheus: str = ""
 
     @property
     def correct(self) -> bool:
@@ -302,6 +319,7 @@ def coordination_chaos_experiment(
     faults: Sequence[str] = ("kill-primary-space",),
     give_up_after_ms: float = 60_000.0,
     prefetch: int = 1,
+    trace: bool = False,
 ) -> CoordinationChaosResult:
     """Kill the space primary and/or the master mid-run; the job must
     still complete every task exactly-once.  Replayable from ``seed``.
@@ -335,6 +353,7 @@ def coordination_chaos_experiment(
                 worker_prefetch=max(1, prefetch),
                 master_seed_batch=max(1, prefetch),
                 master_drain_batch=max(1, prefetch),
+                trace=trace,
             ),
         )
         framework.start()
@@ -346,7 +365,7 @@ def coordination_chaos_experiment(
         report = framework.run_with_recovery()
         injector.disarm()
         framework.shutdown()
-        trace = [
+        events = [
             (t, name, tuple(sorted(payload.items())))
             for t, name, payload in framework.metrics.events
             if name in TRACE_EVENTS
@@ -361,10 +380,12 @@ def coordination_chaos_experiment(
             faults=faults,
             report=report,
             expected_solution=app.expected_solution(),
-            trace=trace,
+            trace=events,
             aggregations=aggregations,
             faults_injected=injector.injected,
             master_restarts=framework.master_restarts,
+            tracer=framework.tracer,
+            prometheus=framework.telemetry.prometheus_text(),
         )
 
     return run_simulation(body)

@@ -13,8 +13,9 @@ fresh simulated cluster and measure the paper's four quantities:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.core.application import Application
 from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
@@ -45,6 +46,10 @@ class ScalabilityRow:
 class ScalabilityResult:
     app_id: str
     rows: list[ScalabilityRow] = field(default_factory=list)
+    #: Telemetry from the *last* sweep point when run with ``trace=True``
+    #: (the largest cluster — the point whose span tree is interesting).
+    tracer: Any = None
+    prometheus: str = ""
 
     def speedups(self) -> list[tuple[int, float]]:
         base = self.rows[0].parallel_ms
@@ -92,8 +97,15 @@ def scalability_experiment(
     worker_counts: list[int],
     config: Optional[FrameworkConfig] = None,
     seed: int = 0,
+    trace: bool = False,
 ) -> ScalabilityResult:
-    """Sweep the worker count; one isolated simulation per point."""
+    """Sweep the worker count; one isolated simulation per point.
+
+    ``trace`` records telemetry spans at the final (largest) sweep point
+    and attaches the tracer + Prometheus dump to the result.  Timing is
+    unaffected — trace IDs ride in the entries whether or not spans are
+    recorded.
+    """
     app_id = app_factory().app_id
     result = ScalabilityResult(app_id=app_id)
     if config is None:
@@ -101,21 +113,35 @@ def scalability_experiment(
         # skip re-computing them: the sweep measures time, not values.
         config = FrameworkConfig(compute_real=False)
 
-    for workers in worker_counts:
-        def body(runtime: SimulatedRuntime, workers=workers):
+    for index, workers in enumerate(worker_counts):
+        traced = trace and index == len(worker_counts) - 1
+        point_config = (dataclasses.replace(config, trace=True)
+                        if traced else config)
+
+        def body(runtime: SimulatedRuntime, workers=workers,
+                 point_config=point_config, traced=traced):
             cluster = cluster_factory(
                 runtime, workers=workers, streams=RandomStreams(seed)
             )
             report, framework = run_framework_once(
-                runtime, cluster, app_factory(), config
+                runtime, cluster, app_factory(), point_config
             )
-            return ScalabilityRow(
+            row = ScalabilityRow(
                 workers=workers,
                 max_worker_ms=framework.max_worker_time_ms(),
                 parallel_ms=report.parallel_ms,
                 planning_ms=report.planning_ms,
                 aggregation_ms=report.aggregation_ms,
             )
+            if traced:
+                return (row, framework.tracer,
+                        framework.telemetry.prometheus_text())
+            return row
 
-        result.rows.append(run_simulation(body))
+        outcome = run_simulation(body)
+        if traced:
+            row, result.tracer, result.prometheus = outcome
+        else:
+            row = outcome
+        result.rows.append(row)
     return result

@@ -156,6 +156,12 @@ class SimKernel:
         self._failed: list[SimProcess] = []  # set by the failing process
         self._running = False
         self._shutdown = False
+        #: Optional observer called once per distinct virtual time, right
+        #: before that time's bucket drains: ``on_advance(time_ms)``.
+        #: Lets telemetry sample the clock without scheduling events of
+        #: its own, so attaching it cannot change the event order.  Must
+        #: not call back into the kernel scheduler.
+        self.on_advance: Optional[Callable[[float], None]] = None
 
     # -- context manager -----------------------------------------------------
 
@@ -253,6 +259,8 @@ class SimKernel:
                 # buckets, so this bucket stays the queue minimum until dry.
                 bucket = buckets[time_ms]
                 self._now = time_ms
+                if self.on_advance is not None:
+                    self.on_advance(time_ms)
                 while bucket:
                     event = bucket.popleft()
                     if event.cancelled:
@@ -292,6 +300,8 @@ class SimKernel:
             time_ms = times[0]
             bucket = buckets[time_ms]
             self._now = time_ms
+            if self.on_advance is not None:
+                self.on_advance(time_ms)
             while bucket:
                 event = bucket.popleft()
                 if event.cancelled:

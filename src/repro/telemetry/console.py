@@ -1,0 +1,73 @@
+"""Cluster console: render the framework's live state as a text table.
+
+``repro top`` drives this — one row per worker (state, tasks completed,
+throughput, RPC health, signal reaction latency) plus space and job
+summary lines.  The renderer only *reads* framework state, so it can be
+called from a monitor process mid-run (live frames) or once after
+``framework.run()`` returns (final snapshot).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["cluster_table"]
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return f"{value:,.0f}" if value is not None else "-"
+
+
+def _signal_latencies(metrics: Any, hostname: str) -> list[float]:
+    out = []
+    for _, payload in metrics.events_named("signal-honored"):
+        if payload.get("worker") == hostname:
+            latency = payload.get("latency_ms")
+            if latency is not None:
+                out.append(float(latency))
+    return out
+
+
+def cluster_table(framework: Any, report: Any = None) -> str:
+    """One frame of the cluster console for ``framework``."""
+    runtime = framework.runtime
+    metrics = framework.metrics
+    now = runtime.now()
+
+    header = (f"{'worker':<12} {'state':<10} {'tasks':>5} {'tasks/s':>8} "
+              f"{'busy ms':>9} {'reconn':>6} {'retry':>5} "
+              f"{'sig p50':>8} {'sig max':>8}")
+    lines = [f"cluster {framework.app.app_id!r}  t={now:,.0f} ms",
+             header, "-" * len(header)]
+
+    for host in framework.worker_hosts:
+        hostname = host.node.hostname
+        busy_ms = host.worker_time_ms()
+        rate = (host.tasks_done / (busy_ms / 1000.0)
+                if busy_ms else 0.0)
+        proxy = host._proxy
+        reconnects = proxy.reconnects if proxy is not None else 0
+        retries = proxy.retries if proxy is not None else 0
+        latencies = sorted(_signal_latencies(metrics, hostname))
+        p50 = latencies[len(latencies) // 2] if latencies else None
+        worst = latencies[-1] if latencies else None
+        lines.append(
+            f"{hostname:<12} {str(host.state):<10} {host.tasks_done:>5} "
+            f"{rate:>8.2f} {_fmt_ms(busy_ms):>9} {reconnects:>6} "
+            f"{retries:>5} {_fmt_ms(p50):>8} {_fmt_ms(worst):>8}")
+
+    stats = framework.space.stats
+    queued = stats["writes"] - stats["takes"] - stats["expired"]
+    lines.append("-" * len(header))
+    lines.append(
+        f"space: writes={stats['writes']} takes={stats['takes']} "
+        f"reads={stats['reads']} queue≈{max(queued, 0)} "
+        f"wakeups={stats['wakeups']} bytes={stats['bytes_written']:,}")
+
+    if report is not None:
+        lines.append(
+            f"job:   parallel={report.parallel_ms:,.0f} ms "
+            f"planning={report.planning_ms:,.0f} ms "
+            f"aggregation={report.aggregation_ms:,.0f} ms "
+            f"(complete={report.complete})")
+    return "\n".join(lines)

@@ -153,6 +153,10 @@ class DurableSpace(JavaSpace):
                              protocol=pickle.HIGHEST_PROTOCOL)
         self.wal.install_snapshot(self.wal.last_lsn, state)
         self._commits_since_snapshot = 0
+        tracer = self.wal.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant("wal.snapshot", trace_id="wal", proc="wal",
+                           lsn=self.wal.last_lsn, entries=len(entries))
 
     # -- replication (standby side) -------------------------------------------
 

@@ -602,6 +602,7 @@ class SpaceProxy:
         rng: Any = None,
         metrics: Any = None,
         locator: Optional[Callable[[], Optional[Address]]] = None,
+        tracer: Any = None,
     ) -> None:
         self.network = network
         self.host = host
@@ -609,6 +610,11 @@ class SpaceProxy:
         self.recovery = recovery
         self._rng = rng
         self._metrics = metrics
+        #: Optional telemetry tracer: each RPC (and pipelined batch)
+        #: becomes a span, parented to the caller's ambient span so task
+        #: traces show their space round trips.  ``None``/disabled costs
+        #: one attribute check per call.
+        self._tracer = tracer
         #: Optional service locator (e.g. a Jini lookup query) consulted on
         #: every reconnect: after a failover the proxy re-discovers the
         #: promoted standby instead of hammering the dead primary address.
@@ -703,8 +709,24 @@ class SpaceProxy:
 
     def _call(self, op: str, args: dict[str, Any]) -> Any:
         retriable = self.recovery is not None and op in _IDEMPOTENT_OPS
-        return self._call_with_recovery(
-            op, lambda: self._call_once(op, args), retriable)
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            return self._call_with_recovery(
+                op, lambda: self._call_once(op, args), retriable)
+        span = self._rpc_span(f"rpc.{op}", tracer)
+        with span:
+            value = self._call_with_recovery(
+                op, lambda: self._call_once(op, args), retriable)
+        return value
+
+    def _rpc_span(self, name: str, tracer: Any):
+        """Open an RPC span under the caller's ambient span (if any)."""
+        parent = tracer.current
+        if parent is not None:
+            return tracer.start(name, trace_id=parent.trace_id,
+                                parent_id=parent.span_id, proc=self.host)
+        return tracer.start(name, trace_id=f"rpc/{self.host}",
+                            proc=self.host)
 
     def _call_with_recovery(self, label: str, attempt_fn: Callable[[], Any],
                             retriable: bool) -> Any:
@@ -764,8 +786,16 @@ class SpaceProxy:
         # re-issue unsafe, exactly as for a lone call.
         retriable = (self.recovery is not None
                      and all(op in _IDEMPOTENT_OPS for op, _ in ops))
-        return self._call_with_recovery(
-            "batch", lambda: self._batch_once(ops), retriable)
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            return self._call_with_recovery(
+                "batch", lambda: self._batch_once(ops), retriable)
+        span = self._rpc_span("rpc.batch", tracer)
+        span.annotate(ops=[op for op, _ in ops])
+        with span:
+            value = self._call_with_recovery(
+                "batch", lambda: self._batch_once(ops), retriable)
+        return value
 
     def close(self) -> None:
         if self._conn is not None:

@@ -26,6 +26,7 @@ stored bytes, the behaviour of the real JavaSpaces proxy.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Mapping
 from heapq import heappop, heappush
 from typing import Any, Callable, Iterator, Optional
 
@@ -38,6 +39,41 @@ from repro.tuplespace.transaction import Transaction
 from repro.util.serialization import deserialize, serialize
 
 __all__ = ["JavaSpace"]
+
+
+#: Stat keys, in exposition order.  Each maps to a plain ``_stat_<key>``
+#: int attribute on the space (cheaper to bump on the hot path than a
+#: dict item) and surfaces in the telemetry registry as ``space.<key>``.
+STAT_KEYS = ("writes", "reads", "takes", "expired", "events",
+             "bytes_written", "wakeups", "listener_errors")
+
+
+class _SpaceStats(Mapping):
+    """Read-through dict view over the space's ``_stat_*`` attributes.
+
+    Keeps the historical ``space.stats["writes"]`` API (tests and
+    benchmarks read it) while the counters themselves live as plain
+    attributes that cost one integer add per operation.
+    """
+
+    __slots__ = ("_space",)
+
+    def __init__(self, space: "JavaSpace") -> None:
+        self._space = space
+
+    def __getitem__(self, key: str) -> int:
+        if key not in STAT_KEYS:
+            raise KeyError(key)
+        return getattr(self._space, "_stat_" + key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(STAT_KEYS)
+
+    def __len__(self) -> int:
+        return len(STAT_KEYS)
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
 
 _AVAILABLE = "available"
 _PENDING_WRITE = "pending-write"
@@ -148,11 +184,15 @@ class JavaSpace:
         self._txn_ops: dict[int, _TxnOps] = {}
         self._registrations: list[EventRegistration] = []
         self._reg_ids = itertools.count(1)
-        self.stats = {
-            "writes": 0, "reads": 0, "takes": 0,
-            "expired": 0, "events": 0, "bytes_written": 0,
-            "wakeups": 0, "listener_errors": 0,
-        }
+        self._stat_writes = 0
+        self._stat_reads = 0
+        self._stat_takes = 0
+        self._stat_expired = 0
+        self._stat_events = 0
+        self._stat_bytes_written = 0
+        self._stat_wakeups = 0
+        self._stat_listener_errors = 0
+        self.stats = _SpaceStats(self)
 
     # ------------------------------------------------------------------ write --
 
@@ -200,8 +240,8 @@ class JavaSpace:
         self._index_entry(stored, entry)
         if lease.expiration_ms != FOREVER:
             heappush(self._lease_heap, (lease.expiration_ms, entry_id))
-        self.stats["writes"] += 1
-        self.stats["bytes_written"] += len(data)
+        self._stat_writes += 1
+        self._stat_bytes_written += len(data)
         return stored
 
     # -------------------------------------------------------------- read/take --
@@ -369,7 +409,7 @@ class JavaSpace:
 
     def _claim(self, stored: _Stored, txn: Optional[Transaction], take: bool) -> Entry:
         if take:
-            self.stats["takes"] += 1
+            self._stat_takes += 1
             if txn is None:
                 self._remove(stored)
                 if self.journaling:
@@ -380,7 +420,7 @@ class JavaSpace:
                 stored.owner_txn = txn
                 self._ops(txn).takes.append(stored.entry_id)
         else:
-            self.stats["reads"] += 1
+            self._stat_reads += 1
             if txn is not None:
                 txn._enlist(self)
                 if txn.txn_id not in stored.read_lockers:
@@ -469,7 +509,7 @@ class JavaSpace:
                 elif stored.lease.is_expired():
                     # The lease ran out while the take was pending; the
                     # restored entry would be invisible, so reap it now.
-                    self.stats["expired"] += 1
+                    self._stat_expired += 1
                     self._remove(stored)
                 else:
                     stored.state = _AVAILABLE
@@ -713,7 +753,7 @@ class JavaSpace:
             if woke_here:
                 queue[:] = [w for w in queue if not w.woken]
         if wakeups:
-            self.stats["wakeups"] += wakeups
+            self._stat_wakeups += wakeups
 
     def _wake_txn_waiters(self, txn: Transaction) -> None:
         """Wake waiters blocked under ``txn`` so they observe its end."""
@@ -723,7 +763,7 @@ class JavaSpace:
                 if waiter.txn is txn and not waiter.woken:
                     waiter.woken = True
                     waiter.cond.notify()
-                    self.stats["wakeups"] += 1
+                    self._stat_wakeups += 1
                     woke_here = True
             if woke_here:
                 queue[:] = [w for w in queue if not w.woken]
@@ -742,7 +782,7 @@ class JavaSpace:
             reg_items = match_items(reg.template)
             if not reg_items or matches_fields(reg_items, stored.entry):
                 event = RemoteEvent(self.name, reg.registration_id, reg.next_sequence())
-                self.stats["events"] += 1
+                self._stat_events += 1
                 # Deliver outside the monitor; listeners must not block, and
                 # a listener's failure is its own problem, not the space's.
                 self.runtime.call_later(
@@ -754,7 +794,7 @@ class JavaSpace:
         try:
             registration.listener(event)
         except Exception:
-            self.stats["listener_errors"] += 1
+            self._stat_listener_errors += 1
 
     # ------------------------------------------------------------------ expiry --
 
@@ -780,7 +820,7 @@ class JavaSpace:
             for entry_id in cancelled:
                 stored = self._by_id.get(entry_id)
                 if stored is not None and stored.state != _TAKEN:
-                    self.stats["expired"] += 1
+                    self._stat_expired += 1
                     self._remove(stored)
                     if self.journaling and stored.state != _PENDING_WRITE:
                         journal.append(("take", entry_id))
@@ -803,7 +843,7 @@ class JavaSpace:
                     heappush(heap, (lease.expiration_ms, entry_id))
                 continue
             if stored.state != _TAKEN:
-                self.stats["expired"] += 1
+                self._stat_expired += 1
                 self._remove(stored)
             # _TAKEN: the owning transaction settles its fate; an expired
             # restore is reaped in _complete_transaction.

@@ -290,6 +290,10 @@ class WriteAheadLog:
         self._runtime = runtime
         self._flush_armed = False
         self._subscribers: list[Callable[[CommitRecord], None]] = []
+        #: Optional telemetry tracer; when enabled, each commit/sync drops
+        #: an instant marker under the ``"wal"`` trace.  Set by the
+        #: framework — the log itself never requires telemetry.
+        self.tracer: Any = None
 
     def bind(self, runtime: Any) -> None:
         """Late-bind the runtime that drives the time watermark."""
@@ -301,6 +305,10 @@ class WriteAheadLog:
     def append(self, ops: tuple[tuple, ...]) -> CommitRecord:
         record = CommitRecord(self.store.last_lsn() + 1, tuple(ops))
         self.store.append(record)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant("wal.commit", trace_id="wal", proc="wal",
+                           lsn=record.lsn, ops=len(record.ops))
         self._notify(record)
         self._arm_flush()
         return record
@@ -322,6 +330,10 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Durability barrier: flush any buffered group to the medium."""
         self.store.sync()
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant("wal.sync", trace_id="wal", proc="wal",
+                           lsn=self.store.last_lsn())
 
     def _arm_flush(self) -> None:
         if (self._runtime is None or self.group_ms is None
@@ -334,6 +346,10 @@ class WriteAheadLog:
         self._flush_armed = False
         if self.store.pending():
             self.store.sync()
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.instant("wal.sync", trace_id="wal", proc="wal",
+                               lsn=self.store.last_lsn(), group_flush=True)
 
     # -- reading ------------------------------------------------------------
 

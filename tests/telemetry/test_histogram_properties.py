@@ -1,0 +1,70 @@
+"""Property tests for the log-bucketed histogram's quantile bound.
+
+The documented contract: for any data and any q, the estimate satisfies
+``true_q <= est <= true_q * 2**(1/SUB_BUCKETS)`` (nearest-rank true
+quantile), with exact count/sum/min/max bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import Histogram
+
+positive_values = st.lists(
+    st.floats(min_value=1e-6, max_value=1e12,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200)
+
+quantiles = st.floats(min_value=0.01, max_value=1.0)
+
+
+def true_quantile(values: list, q: float) -> float:
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=positive_values, q=quantiles)
+def test_quantile_within_one_sub_bucket(values, q):
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    est = h.quantile(q)
+    true = true_quantile(values, q)
+    # Relative 1e-6 slack absorbs float error at exact bucket edges.
+    assert est >= true * (1 - 1e-6)
+    assert est <= true * 2 ** (1 / Histogram.SUB_BUCKETS) * (1 + 1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=positive_values)
+def test_exact_bookkeeping(values):
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    assert h.count == len(values)
+    assert h.sum == sum(values)
+    assert h.min == min(values)
+    assert h.max == max(values)
+    assert h.quantile(1.0) == h.max
+    # Cumulative bucket counts end at the total positive count.
+    counts = h.bucket_counts()
+    assert counts[-1][1] == len(values)
+    assert all(b[1] <= a[1] for b, a in zip(counts, counts[1:]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.floats(min_value=-100.0, max_value=0.0,
+                                 allow_nan=False), min_size=1, max_size=50),
+       q=quantiles)
+def test_non_positive_values_pin_to_zero_bucket(values, q):
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    assert h.count == len(values)
+    assert h.quantile(q) <= 0.0
