@@ -56,6 +56,11 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_micro.json"
 #: --check/--quick fail when current/committed drops below this.
 CHECK_FLOOR = 0.8
 
+#: --check also fails when the 16-shard e2e throughput falls below this
+#: multiple of the 1-shard number (both deterministic virtual-time
+#: figures, so the ratio is noise-free).
+SHARD_SPEEDUP_FLOOR = 4.0
+
 
 def _time(fn: Callable[[], int], rounds: int) -> float:
     """Best-of-``rounds`` ops/second for ``fn`` (returns its op count)."""
@@ -290,6 +295,24 @@ def e2e_job_rate(prefetch: int = 1, seed_batch: int = 1,
     return best
 
 
+def e2e_sharded_rate(shards: int, smoke: bool = False) -> float:
+    """Virtual-time tasks/second of the egress-bound job at one shard count.
+
+    Unlike the wall-clock e2e numbers, this one is measured on the
+    simulation clock (the job is network-bound by construction, and the
+    network is modelled), so it is deterministic for the fixed seed and
+    the 16-shard/1-shard ratio is a stable, gateable scaling figure.
+    """
+    from repro.experiments.scalability import sharded_throughput_experiment
+
+    if smoke:
+        row = sharded_throughput_experiment(
+            shards, workers=4, strips=32, result_kb=16, prefetch=4)
+    else:
+        row = sharded_throughput_experiment(shards)
+    return row.tasks_per_s
+
+
 def durable_commit_rate(fsync_policy: str, n: int = 400,
                         group_size: int = 64) -> int:
     """Commit records through a file-backed WAL under one fsync policy.
@@ -340,25 +363,44 @@ def run(rounds: int, smoke: bool) -> dict[str, float]:
             lambda: durable_commit_rate("always", 400 // scale), rounds),
         "durable_commits_group_per_s": _time(
             lambda: durable_commit_rate("group", 400 // scale), rounds),
+        # Deterministic virtual-time numbers: one run regardless of
+        # --rounds (re-running replays the identical simulation).
+        "e2e_sharded_1shard_tasks_per_s": e2e_sharded_rate(1, smoke),
+        "e2e_sharded_tasks_per_s": e2e_sharded_rate(16, smoke),
     }
     return results
 
 
 def check_against(committed: dict[str, Any],
                   current: dict[str, float]) -> list[str]:
-    """CI floor: every committed throughput must stay >= CHECK_FLOOR×."""
+    """CI floor: every committed throughput must stay >= CHECK_FLOOR×.
+
+    A committed metric the current run did not produce is itself a
+    failure — silently skipping it would let a renamed or dropped
+    workload retire its own regression gate.
+    """
     failures = []
     for key, reference in committed.items():
         if not key.endswith("_per_s") or not reference:
             continue
         measured = current.get(key)
         if measured is None:
+            failures.append(
+                f"{key}: committed metric missing from this run "
+                f"(workload dropped or renamed?)")
             continue
         ratio = measured / reference
         if ratio < CHECK_FLOOR:
             failures.append(
                 f"{key}: {measured:.1f} is {ratio:.2f}x of committed "
                 f"{reference:.1f} (floor {CHECK_FLOOR}x)")
+    base = current.get("e2e_sharded_1shard_tasks_per_s")
+    many = current.get("e2e_sharded_tasks_per_s")
+    if base and many and many / base < SHARD_SPEEDUP_FLOOR:
+        failures.append(
+            f"e2e_sharded_tasks_per_s: {many:.1f} is only "
+            f"{many / base:.2f}x the 1-shard {base:.1f} "
+            f"(floor {SHARD_SPEEDUP_FLOOR}x)")
     return failures
 
 

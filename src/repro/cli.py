@@ -79,6 +79,19 @@ def _dynamics(app_id: str, workers: Optional[int]) -> None:
     print(result.format_table())
 
 
+def _fault_spec(value: str) -> str:
+    """argparse type for ``--fault``: fixed names plus ``kill-shard:<i>``."""
+    if value in ("kill-primary-space", "kill-master"):
+        return value
+    if value.startswith("kill-shard:"):
+        index = value[len("kill-shard:"):]
+        if index.isdigit():
+            return value
+    raise argparse.ArgumentTypeError(
+        f"{value!r} is not a known fault (expected kill-primary-space, "
+        f"kill-master, or kill-shard:<i>)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -125,9 +138,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="draw the fault schedule from the seed instead of "
                         "the fixed acceptance campaign")
     p.add_argument("--fault", action="append", dest="faults",
-                   choices=["kill-primary-space", "kill-master"],
+                   type=_fault_spec, metavar="FAULT",
                    help="run the coordinator-fault campaign instead "
-                        "(hot standby + master checkpoints); repeatable")
+                        "(hot standby + master checkpoints); one of "
+                        "kill-primary-space, kill-master, kill-shard:<i>; "
+                        "repeatable")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the space over N shards "
+                        "(kill-shard:<i> needs i < N)")
     p.add_argument("--verify-determinism", action="store_true",
                    help="run twice and require identical recovery traces")
     p.add_argument("--prefetch", type=int, default=1,
@@ -161,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("job", choices=sorted(APP_FACTORIES))
     p.add_argument("--workers", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the space over N shards (adds one "
+                        "console line per shard)")
     p.add_argument("--interval", type=float, default=1_000.0,
                    help="frame interval in virtual ms")
     p.add_argument("--follow", action="store_true",
@@ -270,7 +291,8 @@ def _chaos(args) -> int:
         return _coordination_chaos(args)
     result = chaos_experiment(seed=args.seed, workers=args.workers,
                               tasks=args.tasks, random_plan=args.random_plan,
-                              prefetch=args.prefetch, trace=args.trace)
+                              prefetch=args.prefetch, trace=args.trace,
+                              shards=args.shards)
     print(result.format_summary())
     _write_telemetry(result, args.trace_out if args.trace else None,
                      args.metrics_out)
@@ -282,7 +304,8 @@ def _chaos(args) -> int:
                                       tasks=args.tasks,
                                       random_plan=args.random_plan,
                                       prefetch=args.prefetch,
-                                      trace=args.trace)
+                                      trace=args.trace,
+                                      shards=args.shards)
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:
             return 1
@@ -298,6 +321,7 @@ def _coordination_chaos(args) -> int:
     result = coordination_chaos_experiment(
         seed=args.seed, workers=args.workers, tasks=args.tasks,
         faults=args.faults, prefetch=args.prefetch, trace=args.trace,
+        shards=args.shards,
     )
     print(result.format_summary())
     _write_telemetry(result, args.trace_out if args.trace else None,
@@ -309,6 +333,7 @@ def _coordination_chaos(args) -> int:
         ok = verify_coordination_determinism(
             seed=args.seed, workers=args.workers, tasks=args.tasks,
             faults=args.faults, prefetch=args.prefetch, trace=args.trace,
+            shards=args.shards,
         )
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:
@@ -317,7 +342,8 @@ def _coordination_chaos(args) -> int:
 
 
 def _traced_run(app_id: str, workers: Optional[int], seed: int, real: bool,
-                trace: bool, monitor=None, snapshot_ms: Optional[float] = 500.0):
+                trace: bool, monitor=None, snapshot_ms: Optional[float] = 500.0,
+                shards: int = 1):
     """Run one job on a fresh simulated cluster; return (report, framework).
 
     ``monitor`` is an optional ``fn(runtime, framework, done)`` spawned as
@@ -330,7 +356,8 @@ def _traced_run(app_id: str, workers: Optional[int], seed: int, real: bool,
     from repro.sim.rng import RandomStreams
 
     config = FrameworkConfig(compute_real=real, trace=trace,
-                             metrics_snapshot_ms=snapshot_ms)
+                             metrics_snapshot_ms=snapshot_ms,
+                             shards=max(1, shards))
 
     def body(runtime):
         cluster = CLUSTER_FACTORIES[app_id](
@@ -386,7 +413,7 @@ def _top(args) -> int:
 
     report, framework = _traced_run(args.job, args.workers, args.seed,
                                     args.real, trace=False, monitor=monitor,
-                                    snapshot_ms=None)
+                                    snapshot_ms=None, shards=args.shards)
     if args.follow:
         for frame in frames:
             print(frame)

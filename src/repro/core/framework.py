@@ -38,6 +38,7 @@ from repro.tuplespace.durable import DurableSpace, HotStandby
 from repro.tuplespace.failover import JiniSpaceLocator, SpaceSupervisor
 from repro.tuplespace.lease import FOREVER
 from repro.tuplespace.proxy import SpaceProxy, SpaceServer
+from repro.tuplespace.sharding import HashRing, ShardRouter
 from repro.tuplespace.space import JavaSpace
 from repro.tuplespace.transaction import TransactionManager
 
@@ -102,6 +103,23 @@ class FrameworkConfig:
     wal_group_size: int = 64                # group-commit size watermark
     wal_group_ms: Optional[float] = None    # group-commit time watermark
 
+    # -- sharding (see DESIGN.md §10 "Sharded space") ------------------------
+    #: Number of tuple-space partitions.  1 = the classic single space.
+    shards: int = 1
+    #: Where shard servers live: ``"master"`` keeps them all on the master
+    #: node (more ports, same host); ``"spread"`` round-robins them over
+    #: ``cluster.nodes`` so each shard has its own network link;
+    #: ``"dedicated"`` round-robins them over ``cluster.space_hosts`` —
+    #: nodes that run no worker, the paper's deployment shape — so shard
+    #: egress never queues behind a co-located worker's result uploads.
+    #: With ``"spread"``/``"dedicated"`` the router path is used even at
+    #: ``shards=1`` (a served shard, reached via RPC) so scaling sweeps
+    #: compare like-for-like.
+    shard_placement: str = "master"
+    #: Wildcard scatter-gather camp quantum: how long a client blocks on
+    #: one shard before rescanning the others (see ShardRouter).
+    scatter_block_ms: float = 250.0
+
     # -- telemetry (see DESIGN.md "Observability") ---------------------------
     #: Record per-task span trees (virtual-time under simulation).  Trace
     #: IDs are minted and stamped into entries *regardless* of this flag —
@@ -144,51 +162,153 @@ class AdaptiveClusterFramework:
                 "hot_standby needs use_jini: failover re-registers the "
                 "promoted standby with the lookup service"
             )
-        if self.config.durable_space or self.config.hot_standby:
-            self.space: JavaSpace = DurableSpace(
-                runtime, name=f"space:{app.app_id}",
-                snapshot_every=self.config.wal_snapshot_every,
-                fsync_policy=self.config.wal_fsync_policy,
-                group_size=self.config.wal_group_size,
-                group_commit_ms=self.config.wal_group_ms,
-            )
-        else:
-            self.space = JavaSpace(runtime, name=f"space:{app.app_id}")
-        # Registry naming scheme: the space's counters surface as
-        # ``space.<key>`` (read-through — no per-op registry cost).
-        self.registry.expose_dict("space", self.space.stats)
-        if isinstance(self.space, DurableSpace):
-            self.space.wal.tracer = self.tracer
-            self.registry.expose("wal.commits",
-                                 lambda: self.space.wal.last_lsn)
-            self.registry.expose("wal.syncs",
-                                 lambda: self.space.wal.store.syncs)
+        if self.config.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1: {self.config.shards}")
+        if self.config.shard_placement not in ("master", "spread", "dedicated"):
+            raise ConfigurationError(
+                f"shard_placement must be 'master', 'spread' or "
+                f"'dedicated': {self.config.shard_placement!r}")
+        if (self.config.shard_placement == "dedicated"
+                and not cluster.space_hosts):
+            raise ConfigurationError(
+                "shard_placement='dedicated' needs cluster.add_space_hosts()")
+        #: True when the space is partitioned behind a ShardRouter.  The
+        #: classic single in-process space (shards=1, placement "master")
+        #: keeps the exact legacy wiring; "spread"/"dedicated" force the
+        #: router path even at one shard so scaling sweeps compare
+        #: like-for-like.
+        self.sharded = (self.config.shards > 1
+                        or self.config.shard_placement in ("spread",
+                                                           "dedicated"))
+        self.ring: Optional[HashRing] = (
+            HashRing(self.config.shards) if self.sharded else None)
         offset = self.config.port_offset
-        self.space_address = Address(cluster.master.hostname, SPACE_PORT + offset)
-        #: Where the promoted standby serves (primary port + 1).
-        self.standby_address = Address(
-            cluster.master.hostname, SPACE_PORT + offset + 1
-        )
+        if self.sharded:
+            if self.config.shard_placement == "dedicated":
+                hosts = cluster.space_hosts
+                self.shard_hosts = [hosts[i % len(hosts)].hostname
+                                    for i in range(self.config.shards)]
+            elif self.config.shard_placement == "spread":
+                nodes = cluster.nodes
+                self.shard_hosts = [nodes[i % len(nodes)].hostname
+                                    for i in range(self.config.shards)]
+            else:
+                self.shard_hosts = ([cluster.master.hostname]
+                                    * self.config.shards)
+            # Shard ports live in their own window (+100) so they never
+            # collide with the legacy space/standby pair or the lookup
+            # port, even with several shards co-hosted on the master.
+            self.shard_addresses = [
+                Address(self.shard_hosts[i], SPACE_PORT + offset + 100 + 2 * i)
+                for i in range(self.config.shards)
+            ]
+            self.shard_standby_addresses = [
+                Address(address.host, address.port + 1)
+                for address in self.shard_addresses
+            ]
+            self.spaces: list[JavaSpace] = [
+                self._make_space(f"space:{app.app_id}:shard{i}")
+                for i in range(self.config.shards)
+            ]
+            self.space: JavaSpace = self.spaces[0]
+            for i, space in enumerate(self.spaces):
+                self.registry.expose_dict("space", space.stats, shard=str(i))
+                self.registry.expose(
+                    "space.queue_depth",
+                    lambda s=space: max(
+                        s.stats["writes"] - s.stats["takes"]
+                        - s.stats["expired"], 0),
+                    shard=str(i))
+                if isinstance(space, DurableSpace):
+                    space.wal.tracer = self.tracer
+                    self.registry.expose("wal.commits",
+                                         lambda s=space: s.wal.last_lsn,
+                                         shard=str(i))
+                    self.registry.expose("wal.syncs",
+                                         lambda s=space: s.wal.store.syncs,
+                                         shard=str(i))
+            self.space_address = self.shard_addresses[0]
+            self.standby_address = self.shard_standby_addresses[0]
+        else:
+            self.space = self._make_space(f"space:{app.app_id}")
+            self.spaces = [self.space]
+            # Registry naming scheme: the space's counters surface as
+            # ``space.<key>`` (read-through — no per-op registry cost).
+            self.registry.expose_dict("space", self.space.stats)
+            if isinstance(self.space, DurableSpace):
+                self.space.wal.tracer = self.tracer
+                self.registry.expose("wal.commits",
+                                     lambda: self.space.wal.last_lsn)
+                self.registry.expose("wal.syncs",
+                                     lambda: self.space.wal.store.syncs)
+            self.shard_hosts = [cluster.master.hostname]
+            self.space_address = Address(
+                cluster.master.hostname, SPACE_PORT + offset)
+            self.shard_addresses = [self.space_address]
+            #: Where the promoted standby serves (primary port + 1).
+            self.standby_address = Address(
+                cluster.master.hostname, SPACE_PORT + offset + 1
+            )
+            self.shard_standby_addresses = [self.standby_address]
         self.space_server: Optional[SpaceServer] = None
+        self.space_servers: list[SpaceServer] = []
         self.code_server: Optional[CodeServer] = None
         self.lookup: Optional[LookupService] = None
         self.netmgmt: Optional[NetworkManagementModule] = None
         self.standby: Optional[HotStandby] = None
+        self.standbys: list[HotStandby] = []
         self.supervisor: Optional[SpaceSupervisor] = None
+        self.supervisors: list[SpaceSupervisor] = []
         self._join: Optional[JoinManager] = None
-        self._master_proxy: Optional[SpaceProxy] = None
+        self._joins: list[JoinManager] = []
+        self._master_proxy: Optional[Any] = None
         self.master_restarts = 0
         self.master = self._build_master()
         self.worker_hosts: list[WorkerHost] = []
         self._started = False
 
-    def _space_locator(self, host: str) -> JiniSpaceLocator:
-        """A lookup-backed locator so ``host`` finds the space post-failover."""
+    def _make_space(self, name: str) -> JavaSpace:
+        config = self.config
+        if config.durable_space or config.hot_standby:
+            return DurableSpace(
+                self.runtime, name=name,
+                snapshot_every=config.wal_snapshot_every,
+                fsync_policy=config.wal_fsync_policy,
+                group_size=config.wal_group_size,
+                group_commit_ms=config.wal_group_ms,
+            )
+        return JavaSpace(self.runtime, name=name)
+
+    def _space_locator(self, host: str,
+                       shard: Optional[int] = None) -> JiniSpaceLocator:
+        """A lookup-backed locator so ``host`` finds the space post-failover.
+
+        With ``shard`` set the query pins one partition (each shard
+        registers with a ``shard`` attribute, so failover re-discovery is
+        per shard)."""
+        query: dict[str, str] = {"type": "JavaSpaces", "app": self.app.app_id}
+        if shard is not None:
+            query["shard"] = str(shard)
         return JiniSpaceLocator(
             self.cluster.network, host,
             Address(self.cluster.master.hostname,
                     LOOKUP_PORT + self.config.port_offset),
-            {"type": "JavaSpaces", "app": self.app.app_id},
+            query,
+        )
+
+    def _build_router(self, host: str, recovery: Any = None,
+                      rng: Any = None) -> ShardRouter:
+        """A per-client :class:`ShardRouter` over every shard server."""
+        locators = None
+        if self.config.hot_standby:
+            locators = [self._space_locator(host, shard=i)
+                        for i in range(len(self.shard_addresses))]
+        return ShardRouter(
+            self.cluster.network, host, list(self.shard_addresses),
+            ring=self.ring, recovery=recovery, rng=rng,
+            metrics=self.metrics, locators=locators, tracer=self.tracer,
+            scatter_block_ms=self.config.scatter_block_ms,
         )
 
     def _build_master(self) -> Master:
@@ -203,7 +323,20 @@ class AdaptiveClusterFramework:
         config = self.config
         space: Any = self.space
         retry_ms = None
-        if config.hot_standby:
+        if self.sharded:
+            # The master reaches every shard through a router, like any
+            # worker; shard 0 may be co-hosted but is still served over
+            # (loopback) RPC so all shards are symmetric.
+            if self._master_proxy is not None:
+                self._master_proxy.close()
+            self._master_proxy = self._build_router(
+                self.cluster.master.hostname)
+            space = self._master_proxy
+            # Unlike the in-process space, shards are reached over RPC, so
+            # the master must ride out shard crashes/restarts like any
+            # other client — enable its retry guard unconditionally.
+            retry_ms = config.failover_heartbeat_ms
+        elif config.hot_standby:
             if self._master_proxy is not None:
                 self._master_proxy.close()
             self._master_proxy = SpaceProxy(
@@ -259,12 +392,17 @@ class AdaptiveClusterFramework:
                 f"host the Jini/JavaSpaces services: {exc}"
             ) from exc
 
-        # JavaSpaces service at the master.
-        self.space_server = SpaceServer(
-            runtime, self.space, network, self.space_address,
-            txn_manager=TransactionManager(runtime, metrics=self.metrics),
-        )
-        self.space_server.start()
+        # JavaSpaces service: one server per shard (the classic deployment
+        # is the one-shard case).  Each shard has its own transaction
+        # manager — transactions are shard-local by construction.
+        for i, space in enumerate(self.spaces):
+            server = SpaceServer(
+                runtime, space, network, self.shard_addresses[i],
+                txn_manager=TransactionManager(runtime, metrics=self.metrics),
+            )
+            server.start()
+            self.space_servers.append(server)
+        self.space_server = self.space_servers[0]
         offset = config.port_offset
 
         # Code server for remote node configuration.
@@ -273,49 +411,73 @@ class AdaptiveClusterFramework:
         self.code_server.publish(self.app.app_id, self.app.classload_profile())
         self.code_server.start()
 
-        # Jini substrate: the master registers its JavaSpaces service.
+        # Jini substrate: every shard registers its JavaSpaces service.
+        # Sharded items carry a ``shard`` attribute so per-shard locators
+        # (and the supervisor's failover re-registration) stay pinned.
         space_address = self.space_address
         if config.use_jini:
             self.lookup = LookupService(
                 runtime, network, Address(master_host, LOOKUP_PORT + offset)
             )
             self.lookup.start()
-            self._join = JoinManager(
-                runtime, network, master_host,
-                Address(master_host, LOOKUP_PORT + offset),
-                ServiceItem(
-                    f"javaspaces:{self.app.app_id}", self.space_address,
-                    {"type": "JavaSpaces", "app": self.app.app_id},
-                ),
-                lease_ms=FOREVER,
-            )
-            self._join.start()
+            registrar = Address(master_host, LOOKUP_PORT + offset)
+            if self.sharded:
+                for i, address in enumerate(self.shard_addresses):
+                    join = JoinManager(
+                        runtime, network, self.shard_hosts[i], registrar,
+                        ServiceItem(
+                            f"javaspaces:{self.app.app_id}:shard{i}", address,
+                            {"type": "JavaSpaces", "app": self.app.app_id,
+                             "shard": str(i)},
+                        ),
+                        lease_ms=FOREVER,
+                    )
+                    join.start()
+                    self._joins.append(join)
+            else:
+                self._joins.append(JoinManager(
+                    runtime, network, master_host, registrar,
+                    ServiceItem(
+                        f"javaspaces:{self.app.app_id}", self.space_address,
+                        {"type": "JavaSpaces", "app": self.app.app_id},
+                    ),
+                    lease_ms=FOREVER,
+                ))
+                self._joins[0].start()
+            self._join = self._joins[0]
 
         # Hot standby: replicate the primary's commit stream and stand by
         # to serve it; the supervisor heartbeats the primary and performs
         # the promotion + re-registration when it goes quiet.
         if config.hot_standby:
-            self.standby = HotStandby(
-                runtime, network, master_host,
-                primary_address=self.space_address,
-                address=self.standby_address,
-                name=f"space-standby:{self.app.app_id}",
-                snapshot_every=config.wal_snapshot_every,
-                metrics=self.metrics,
-            )
-            self.standby.start()
-            self.supervisor = SpaceSupervisor(
-                runtime, network, master_host,
-                standby=self.standby,
-                primary_address=self.space_address,
-                registrar=Address(master_host, LOOKUP_PORT + offset),
-                service_item=self._join.item,
-                heartbeat_ms=config.failover_heartbeat_ms,
-                max_misses=config.failover_max_misses,
-                old_registration_id=self._join.registration_id,
-                metrics=self.metrics,
-            )
-            self.supervisor.start()
+            for i in range(len(self.spaces)):
+                shard_host = self.shard_hosts[i]
+                suffix = f":shard{i}" if self.sharded else ""
+                standby = HotStandby(
+                    runtime, network, shard_host,
+                    primary_address=self.shard_addresses[i],
+                    address=self.shard_standby_addresses[i],
+                    name=f"space-standby:{self.app.app_id}{suffix}",
+                    snapshot_every=config.wal_snapshot_every,
+                    metrics=self.metrics,
+                )
+                standby.start()
+                self.standbys.append(standby)
+                supervisor = SpaceSupervisor(
+                    runtime, network, shard_host,
+                    standby=standby,
+                    primary_address=self.shard_addresses[i],
+                    registrar=Address(master_host, LOOKUP_PORT + offset),
+                    service_item=self._joins[i].item,
+                    heartbeat_ms=config.failover_heartbeat_ms,
+                    max_misses=config.failover_max_misses,
+                    old_registration_id=self._joins[i].registration_id,
+                    metrics=self.metrics,
+                )
+                supervisor.start()
+                self.supervisors.append(supervisor)
+            self.standby = self.standbys[0]
+            self.supervisor = self.supervisors[0]
 
         # Network management module on the master host.
         if config.monitoring:
@@ -354,6 +516,19 @@ class AdaptiveClusterFramework:
             )
         for node in cluster.workers:
             node.snmp_community = config.community
+            # Jitter from a per-worker named stream: deterministic under a
+            # fixed seed, independent across workers.  The router factory
+            # captures the same stream so a rebuilt worker proxy keeps
+            # drawing from it, exactly like the single-proxy path.
+            recovery_rng = cluster.streams.stream(f"recovery:{node.hostname}")
+            space_factory = None
+            locator = None
+            if self.sharded:
+                space_factory = (
+                    lambda hostname=node.hostname, rng=recovery_rng:
+                    self._build_router(hostname, recovery=recovery, rng=rng))
+            elif config.hot_standby:
+                locator = self._space_locator(node.hostname)
             host = WorkerHost(
                 runtime, node, self.app,
                 space_address=space_address,
@@ -369,13 +544,9 @@ class AdaptiveClusterFramework:
                 task_txn_lease_ms=config.task_txn_lease_ms,
                 prefetch=config.worker_prefetch,
                 tracer=self.tracer,
-                locator=(self._space_locator(node.hostname)
-                         if config.hot_standby else None),
-                # Jitter from a per-worker named stream: deterministic
-                # under a fixed seed, independent across workers.
-                recovery_rng=cluster.streams.stream(
-                    f"recovery:{node.hostname}"
-                ),
+                locator=locator,
+                recovery_rng=recovery_rng,
+                space_factory=space_factory,
             )
             host.start()
             self.worker_hosts.append(host)
@@ -445,6 +616,17 @@ class AdaptiveClusterFramework:
             self.metrics.event("space-primary-killed", app=self.app.app_id)
             self.space_server.crash()
 
+    def kill_shard(self, shard: int) -> None:
+        """Crash one shard's primary server.  Other shards keep serving;
+        with ``hot_standby`` that shard's supervisor promotes its replica
+        independently."""
+        if not self.space_servers:
+            return
+        server = self.space_servers[shard]
+        self.metrics.event("space-shard-killed", app=self.app.app_id,
+                           shard=shard)
+        server.crash()
+
     def kill_master(self) -> None:
         """Kill the master process mid-run (see :meth:`run_with_recovery`)."""
         self.metrics.event("master-kill-injected", app=self.app.app_id)
@@ -460,18 +642,18 @@ class AdaptiveClusterFramework:
             host.stop()
         if self.netmgmt is not None:
             self.netmgmt.stop()
-        if self.supervisor is not None:
-            self.supervisor.stop()
-        if self.standby is not None:
-            self.standby.stop()
+        for supervisor in self.supervisors:
+            supervisor.stop()
+        for standby in self.standbys:
+            standby.stop()
         if self._master_proxy is not None:
             self._master_proxy.close()
         if self.lookup is not None:
             self.lookup.stop()
         if self.code_server is not None:
             self.code_server.stop()
-        if self.space_server is not None:
-            self.space_server.stop()
+        for server in self.space_servers:
+            server.stop()
 
     # -- observation -----------------------------------------------------------------------
 

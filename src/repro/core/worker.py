@@ -71,6 +71,7 @@ class WorkerHost:
         locator: Optional[Callable[[], Any]] = None,
         prefetch: int = 1,
         tracer: Any = None,
+        space_factory: Optional[Callable[[], Any]] = None,
     ) -> None:
         self.runtime = runtime
         self.node = node
@@ -99,6 +100,11 @@ class WorkerHost:
         self.task_txn_lease_ms = task_txn_lease_ms
         # Service locator consulted on reconnect (failover re-discovery).
         self.locator = locator
+        # Sharded spaces: a factory returning the space client (e.g. a
+        # ShardRouter over every shard) instead of the single SpaceProxy.
+        # Anything with the SpaceProxy surface works — the loop only calls
+        # that API.
+        self.space_factory = space_factory
         # Pipeline depth: take up to this many tasks per cycle (one
         # take_multiple under one transaction), compute them all, and
         # write the results back with a single batched write_all+commit.
@@ -121,7 +127,7 @@ class WorkerHost:
         self.tasks_done = 0
         self.first_take_ms: Optional[float] = None
         self.last_result_ms: Optional[float] = None
-        self._proxy: Optional[SpaceProxy] = None
+        self._proxy: Optional[Any] = None  # SpaceProxy or ShardRouter
         self._control: Optional[StreamSocket] = None
         self._loop_generation = 0
         self._loop_active = False
@@ -323,11 +329,14 @@ class WorkerHost:
                 load_span.end()
             self.metrics.event("class-load", worker=self.node.hostname)
         self._honored(Signal.START, start_received_at)
-        proxy = SpaceProxy(
-            self.network, self.node.hostname, self.space_address,
-            recovery=self.recovery, rng=self._recovery_rng, metrics=self.metrics,
-            locator=self.locator, tracer=tracer,
-        )
+        if self.space_factory is not None:
+            proxy = self.space_factory()
+        else:
+            proxy = SpaceProxy(
+                self.network, self.node.hostname, self.space_address,
+                recovery=self.recovery, rng=self._recovery_rng,
+                metrics=self.metrics, locator=self.locator, tracer=tracer,
+            )
         self._proxy = proxy
         template = TaskEntry(app_id=self.app.app_id)
         disconnects = 0                       # consecutive failed cycles

@@ -82,7 +82,8 @@ TRACE_EVENTS = frozenset({
     "task-requeued", "dead-letter", "dead-letter-received",
     "task-replicated", "master-gave-up",
     # coordinator faults (durability / failover / checkpoint-resume)
-    "space-primary-killed", "standby-caught-up", "standby-promoted",
+    "space-primary-killed", "space-shard-killed",
+    "standby-caught-up", "standby-promoted",
     "primary-heartbeat-miss", "failover-complete", "proxy-rediscovered",
     "master-kill-injected", "master-killed", "master-restarted",
     "master-checkpoint", "master-resumed", "master-space-retry",
@@ -154,12 +155,18 @@ def chaos_experiment(
     give_up_after_ms: float = 30_000.0,
     prefetch: int = 1,
     trace: bool = False,
+    shards: int = 1,
 ) -> ChaosResult:
     """Run the acceptance scenario; fully replayable from ``seed``.
 
     ``prefetch`` > 1 runs the whole pipelined data path (worker batch
     cycles, batched RPC, master batch seed/drain) under the same fault
     campaign — faults then land mid-batch as well as mid-task.
+
+    ``shards`` > 1 partitions the space (all shard servers co-hosted on
+    the master node) — the job result must be byte-identical to the
+    unsharded run, since routing never changes *what* completes, only
+    *where* entries live.
 
     ``trace`` records telemetry spans alongside the campaign.  Trace IDs
     travel in the entries either way, so the virtual timeline — and hence
@@ -186,6 +193,7 @@ def chaos_experiment(
                 master_seed_batch=max(1, prefetch),
                 master_drain_batch=max(1, prefetch),
                 trace=trace,
+                shards=max(1, shards),
             ),
         )
         framework.start()
@@ -303,12 +311,21 @@ class CoordinationChaosResult:
 def coordination_chaos_plan(faults: Sequence[str],
                             first_at_ms: float = 3_000.0,
                             spacing_ms: float = 1_500.0) -> FaultPlan:
-    """One coordinator fault per entry, spaced so each lands mid-run."""
+    """One coordinator fault per entry, spaced so each lands mid-run.
+
+    Entries are ``"kill-primary-space"``, ``"kill-master"``, or
+    ``"kill-shard:<i>"`` (crash shard ``i``'s primary server)."""
     plan = FaultPlan()
     kinds = {"kill-primary-space": FaultKind.KILL_PRIMARY_SPACE,
              "kill-master": FaultKind.KILL_MASTER}
     for index, fault in enumerate(faults):
-        plan.add(FaultEvent(first_at_ms + index * spacing_ms, kinds[fault]))
+        at_ms = first_at_ms + index * spacing_ms
+        if fault.startswith("kill-shard:"):
+            shard = int(fault.split(":", 1)[1])
+            plan.add(FaultEvent(at_ms, FaultKind.KILL_SHARD,
+                                target=str(shard)))
+        else:
+            plan.add(FaultEvent(at_ms, kinds[fault]))
     return plan
 
 
@@ -320,13 +337,18 @@ def coordination_chaos_experiment(
     give_up_after_ms: float = 60_000.0,
     prefetch: int = 1,
     trace: bool = False,
+    shards: int = 1,
 ) -> CoordinationChaosResult:
     """Kill the space primary and/or the master mid-run; the job must
     still complete every task exactly-once.  Replayable from ``seed``.
 
     With ``prefetch`` > 1 the coordinator faults hit the pipelined path:
     a worker's in-flight batch (several tasks under one transaction) is
-    killed mid-swap and must revert or commit as a unit."""
+    killed mid-swap and must revert or commit as a unit.
+
+    ``shards`` > 1 partitions the space; ``"kill-shard:<i>"`` faults then
+    crash one shard's primary and that shard's supervisor promotes its
+    hot standby while the other shards keep serving."""
     faults = tuple(faults)
 
     def body(runtime: SimulatedRuntime) -> CoordinationChaosResult:
@@ -354,6 +376,7 @@ def coordination_chaos_experiment(
                 master_seed_batch=max(1, prefetch),
                 master_drain_batch=max(1, prefetch),
                 trace=trace,
+                shards=max(1, shards),
             ),
         )
         framework.start()

@@ -40,6 +40,7 @@ class FaultInjector:
         rng=None,
         primary_killer=None,
         master_killer=None,
+        shard_killer=None,
     ) -> None:
         self.runtime = runtime
         self.network = network
@@ -52,6 +53,8 @@ class FaultInjector:
         #: restart and the primary kill must also be observable.
         self.primary_killer = primary_killer
         self.master_killer = master_killer
+        #: Sharded deployments: callable taking the shard index to crash.
+        self.shard_killer = shard_killer
         self._rng = rng          # drives ChaosProfile drop/delay draws
         self.injected = 0
         self.healed = 0
@@ -68,6 +71,7 @@ class FaultInjector:
             space_server=framework.space_server, rng=rng,
             primary_killer=framework.kill_primary_space,
             master_killer=framework.kill_master,
+            shard_killer=getattr(framework, "kill_shard", None),
         )
 
     def arm(self) -> None:
@@ -133,6 +137,10 @@ class FaultInjector:
             if self.master_killer is None:
                 return
             self.master_killer()
+        elif kind == FaultKind.KILL_SHARD:
+            if self.shard_killer is None or event.target is None:
+                return
+            self.shard_killer(int(event.target))
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
         self.injected += 1

@@ -33,9 +33,10 @@ class FaultKind:
     CHAOS_WINDOW = "chaos-window"      # probabilistic drop/delay period
     KILL_PRIMARY_SPACE = "kill-primary-space"  # permanent; standby promotes
     KILL_MASTER = "kill-master"        # master process dies; resume from ckpt
+    KILL_SHARD = "kill-shard"          # one shard's primary dies (target=index)
 
     ALL = (WORKER_CRASH, LINK_FLAP, SERVER_RESTART, CHAOS_WINDOW,
-           KILL_PRIMARY_SPACE, KILL_MASTER)
+           KILL_PRIMARY_SPACE, KILL_MASTER, KILL_SHARD)
 
 
 @dataclass(frozen=True)

@@ -43,6 +43,7 @@ class Cluster:
         )
         self.master = Node(runtime, self.network, "master", master_spec)
         self.workers: list[Node] = []
+        self.space_hosts: list[Node] = []
 
     def add_worker(self, spec: MachineSpec, hostname: Optional[str] = None) -> Node:
         name = hostname if hostname is not None else f"worker{len(self.workers) + 1}"
@@ -52,6 +53,20 @@ class Cluster:
 
     def add_workers(self, count: int, spec: MachineSpec) -> list[Node]:
         return [self.add_worker(spec) for _ in range(count)]
+
+    def add_space_host(self, spec: MachineSpec,
+                       hostname: Optional[str] = None) -> Node:
+        """A node that serves tuple-space shards but runs no worker — the
+        paper's deployment shape (the JavaSpaces server got its own
+        machine, off the compute nodes)."""
+        name = (hostname if hostname is not None
+                else f"space{len(self.space_hosts) + 1}")
+        node = Node(self.runtime, self.network, name, spec)
+        self.space_hosts.append(node)
+        return node
+
+    def add_space_hosts(self, count: int, spec: MachineSpec) -> list[Node]:
+        return [self.add_space_host(spec) for _ in range(count)]
 
     def worker(self, hostname: str) -> Node:
         for node in self.workers:

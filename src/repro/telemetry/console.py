@@ -56,13 +56,28 @@ def cluster_table(framework: Any, report: Any = None) -> str:
             f"{rate:>8.2f} {_fmt_ms(busy_ms):>9} {reconnects:>6} "
             f"{retries:>5} {_fmt_ms(p50):>8} {_fmt_ms(worst):>8}")
 
-    stats = framework.space.stats
-    queued = stats["writes"] - stats["takes"] - stats["expired"]
     lines.append("-" * len(header))
+    spaces = getattr(framework, "spaces", None) or [framework.space]
+    if len(spaces) > 1:
+        # Sharded space: one line per partition, then the merged totals.
+        for i, space in enumerate(spaces):
+            stats = space.stats
+            queued = stats["writes"] - stats["takes"] - stats["expired"]
+            lines.append(
+                f"shard {i:<2} writes={stats['writes']} "
+                f"takes={stats['takes']} reads={stats['reads']} "
+                f"queue≈{max(queued, 0)} wakeups={stats['wakeups']} "
+                f"bytes={stats['bytes_written']:,}")
+    totals = {
+        key: sum(space.stats[key] for space in spaces)
+        for key in ("writes", "takes", "reads", "expired",
+                    "wakeups", "bytes_written")
+    }
+    queued = totals["writes"] - totals["takes"] - totals["expired"]
     lines.append(
-        f"space: writes={stats['writes']} takes={stats['takes']} "
-        f"reads={stats['reads']} queue≈{max(queued, 0)} "
-        f"wakeups={stats['wakeups']} bytes={stats['bytes_written']:,}")
+        f"space: writes={totals['writes']} takes={totals['takes']} "
+        f"reads={totals['reads']} queue≈{max(queued, 0)} "
+        f"wakeups={totals['wakeups']} bytes={totals['bytes_written']:,}")
 
     if report is not None:
         lines.append(

@@ -27,6 +27,13 @@ from repro.tuplespace.proxy import RecoveryPolicy, SpaceProxy, SpaceServer
 from repro.tuplespace.wal import CommitRecord, FileWalStore, WalStore, WriteAheadLog
 from repro.tuplespace.durable import DurableSpace, HotStandby
 from repro.tuplespace.failover import JiniSpaceLocator, SpaceSupervisor
+from repro.tuplespace.sharding import (
+    HashRing,
+    ShardRouter,
+    ShardedBatch,
+    ShardedTransaction,
+    stable_hash,
+)
 
 __all__ = [
     "RecoveryPolicy",
@@ -50,4 +57,9 @@ __all__ = [
     "HotStandby",
     "JiniSpaceLocator",
     "SpaceSupervisor",
+    "HashRing",
+    "ShardRouter",
+    "ShardedBatch",
+    "ShardedTransaction",
+    "stable_hash",
 ]

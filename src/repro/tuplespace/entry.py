@@ -37,6 +37,18 @@ class Entry:
     in matching.  Entries must be picklable (enforced at ``write``).
     """
 
+    def shard_key(self) -> Any:
+        """The routable key for sharded spaces.
+
+        The default routes on ``task_id`` when the entry declares one
+        (``TaskEntry``/``ResultEntry`` pairs land on the same shard, so a
+        take-task + write-result transaction stays shard-local).
+        Subclasses may override to route on another field.  ``None``
+        means *no route*: as an entry, write to the class's home shard;
+        as a template, scatter-gather across all shards.
+        """
+        return getattr(self, "task_id", None)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         fields = ", ".join(f"{k}={v!r}" for k, v in entry_fields(self).items())
         return f"{type(self).__name__}({fields})"

@@ -65,12 +65,13 @@ class RecoveryPolicy:
 #: ``take``/``write`` could consume or duplicate an entry whose first
 #: attempt actually landed, so those surface the disconnect to the caller,
 #: whose transaction was aborted server-side anyway.
-_IDEMPOTENT_OPS = frozenset({"read", "count", "contents", "ping", "txn_create"})
+_IDEMPOTENT_OPS = frozenset({"read", "exists", "count", "contents", "ping",
+                             "txn_create"})
 
 #: Operations whose ``timeout_ms`` arg is a *server-side wait budget*: the
 #: client's reply deadline must cover it on top of the RPC budget, or a
 #: long blocking take would be misread as a dead connection.
-_BLOCKING_OPS = frozenset({"read", "take", "take_multiple"})
+_BLOCKING_OPS = frozenset({"read", "exists", "take", "take_multiple"})
 
 #: Server exceptions reconstructed as their own type on the client, so a
 #: caller can distinguish "your transaction expired" from a generic remote
@@ -237,6 +238,13 @@ class SpaceServer:
 
     def _op_count(self, args, txn, transactions, conn) -> Any:
         return self.space.count(args["template"], txn=txn)
+
+    def _op_exists(self, args, txn, transactions, conn) -> Any:
+        # A blocking read whose reply is one bit: scatter-gather clients
+        # camp on shards with this, so waiting for a fat entry to appear
+        # somewhere does not drag the entry itself over the wire.
+        return self.space.read(args["template"], txn=txn,
+                               timeout_ms=args["timeout_ms"]) is not None
 
     def _op_write_all(self, args, txn, transactions, conn) -> Any:
         leases = self.space.write_all(args["entries"], txn=txn,
@@ -419,6 +427,7 @@ _DISPATCH: dict[str, Callable[..., Any]] = {
     "read": SpaceServer._op_read,
     "take": SpaceServer._op_take,
     "count": SpaceServer._op_count,
+    "exists": SpaceServer._op_exists,
     "write_all": SpaceServer._op_write_all,
     "take_multiple": SpaceServer._op_take_multiple,
     "contents": SpaceServer._op_contents,
@@ -838,6 +847,15 @@ class SpaceProxy:
 
     def count(self, template: Entry) -> int:
         return self._call("count", {"template": template, "txn_id": None})
+
+    def exists(self, template: Entry,
+               timeout_ms: Optional[float] = None) -> bool:
+        """Block until a matching entry is present (non-consuming) and
+        return whether one was seen — a ``read`` whose reply carries one
+        bit instead of the entry."""
+        return bool(self._call(
+            "exists", {"template": template, "timeout_ms": timeout_ms,
+                       "txn_id": None}))
 
     def write_all(self, entries: list[Entry],
                   txn: Optional[RemoteTransaction] = None,

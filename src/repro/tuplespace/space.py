@@ -273,6 +273,12 @@ class JavaSpace:
     def read_if_exists(self, template: Entry, txn: Optional[Transaction] = None) -> Optional[Entry]:
         return self.read(template, txn, timeout_ms=0.0)
 
+    def exists(self, template: Entry, txn: Optional[Transaction] = None,
+               timeout_ms: Optional[float] = None) -> bool:
+        """Non-consuming presence check: a ``read`` that reports only
+        whether a match was seen (scatter clients camp on this)."""
+        return self.read(template, txn, timeout_ms=timeout_ms) is not None
+
     def take_if_exists(self, template: Entry, txn: Optional[Transaction] = None) -> Optional[Entry]:
         return self.take(template, txn, timeout_ms=0.0)
 

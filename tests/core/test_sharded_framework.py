@@ -1,0 +1,53 @@
+"""Framework-level sharding: result equivalence, determinism, kill-shard.
+
+Partitioning the space is a transport-layer change — the job's result
+must be byte-identical to the single-space run, per seed, chaos and all;
+and killing one shard's primary must fail over that shard alone while
+the campaign still completes exactly-once.
+
+CI's shard matrix re-runs this file with ``REPRO_SHARDS`` ∈ {1, 4, 16}
+(default 4 locally), the same env-parametrization idiom as
+``CHAOS_SEED`` in the fault-tolerance suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.chaos import (
+    chaos_experiment,
+    coordination_chaos_experiment,
+    verify_chaos_determinism,
+)
+
+SHARDS = int(os.environ.get("REPRO_SHARDS", "4"))
+#: A shard index that exists at any matrix point (1, 4, or 16 shards).
+KILL_SHARD = min(1, SHARDS - 1)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_sharded_solution_is_byte_identical_to_unsharded(seed):
+    unsharded = chaos_experiment(seed=seed)
+    sharded = chaos_experiment(seed=seed, shards=SHARDS)
+    assert sharded.report.solution == unsharded.report.solution
+    assert type(sharded.report.solution) is type(unsharded.report.solution)
+
+
+def test_sharded_chaos_campaign_is_seed_deterministic():
+    assert verify_chaos_determinism(seed=42, shards=SHARDS)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_kill_shard_fails_over_that_shard_and_completes(seed):
+    result = coordination_chaos_experiment(
+        seed=seed, faults=(f"kill-shard:{KILL_SHARD}",), shards=SHARDS)
+    assert result.correct
+    assert result.faults_injected == 1
+    names = [name for _, name, _ in result.trace]
+    assert "space-shard-killed" in names
+    assert "standby-promoted" in names
+    # No duplicate aggregation: every task settled exactly once.
+    task_ids = [task_id for _, task_id in result.aggregations]
+    assert len(task_ids) == len(set(task_ids))

@@ -1,0 +1,55 @@
+"""The BENCH_micro regression gate must not skip silently.
+
+Loaded straight from ``benchmarks/run_micro.py`` (it is a script, not a
+package module) so the gate logic is tested without running workloads.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "run_micro", Path(__file__).resolve().parent.parent
+    / "benchmarks" / "run_micro.py")
+run_micro = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(run_micro)
+
+
+def test_check_passes_at_or_above_floor():
+    committed = {"a_per_s": 100.0, "b_per_s": 50.0}
+    current = {"a_per_s": 100.0 * run_micro.CHECK_FLOOR, "b_per_s": 60.0}
+    assert run_micro.check_against(committed, current) == []
+
+
+def test_check_flags_a_regression():
+    committed = {"a_per_s": 100.0}
+    current = {"a_per_s": 100.0 * run_micro.CHECK_FLOOR - 1.0}
+    failures = run_micro.check_against(committed, current)
+    assert len(failures) == 1 and "a_per_s" in failures[0]
+
+
+def test_check_fails_when_a_committed_metric_is_missing():
+    """A dropped or renamed workload must not retire its own gate."""
+    committed = {"a_per_s": 100.0, "gone_per_s": 10.0}
+    current = {"a_per_s": 120.0}
+    failures = run_micro.check_against(committed, current)
+    assert len(failures) == 1
+    assert "gone_per_s" in failures[0] and "missing" in failures[0]
+
+
+def test_check_ignores_non_throughput_and_empty_references():
+    committed = {"wakeups_per_write": 16.0, "zero_per_s": 0.0}
+    assert run_micro.check_against(committed, {}) == []
+
+
+def test_check_enforces_shard_speedup_floor():
+    committed = {}
+    current = {"e2e_sharded_1shard_tasks_per_s": 100.0,
+               "e2e_sharded_tasks_per_s":
+                   100.0 * run_micro.SHARD_SPEEDUP_FLOOR - 1.0}
+    failures = run_micro.check_against(committed, current)
+    assert len(failures) == 1 and "e2e_sharded_tasks_per_s" in failures[0]
+    current["e2e_sharded_tasks_per_s"] = \
+        100.0 * run_micro.SHARD_SPEEDUP_FLOOR
+    assert run_micro.check_against(committed, current) == []
