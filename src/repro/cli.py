@@ -79,17 +79,44 @@ def _dynamics(app_id: str, workers: Optional[int]) -> None:
     print(result.format_table())
 
 
-def _fault_spec(value: str) -> str:
-    """argparse type for ``--fault``: fixed names plus ``kill-shard:<i>``."""
+#: Nemesis fault kinds accepted by ``--fault``; an optional ``:target``
+#: suffix picks the victim ("space", "shard:<i>", or a hostname).
+_NEMESIS_NAMES = ("partition", "pause", "gray-slow")
+
+
+def _one_fault(value: str) -> str:
     if value in ("kill-primary-space", "kill-master"):
         return value
     if value.startswith("kill-shard:"):
         index = value[len("kill-shard:"):]
         if index.isdigit():
             return value
+    name, _, suffix = value.partition(":")
+    if name in _NEMESIS_NAMES:
+        # Bare kind, "space", "shard:<i>", or a literal hostname —
+        # anything except an obviously malformed shard index.
+        shard = suffix.partition(":")
+        if suffix.startswith("shard:") and not shard[2].isdigit():
+            raise argparse.ArgumentTypeError(
+                f"{value!r}: shard target must be shard:<i> with integer i")
+        return value
     raise argparse.ArgumentTypeError(
         f"{value!r} is not a known fault (expected kill-primary-space, "
-        f"kill-master, or kill-shard:<i>)")
+        f"kill-master, kill-shard:<i>, or partition/pause/gray-slow with "
+        f"an optional :space, :shard:<i>, or :<hostname> target)")
+
+
+def _fault_spec(value: str) -> list[str]:
+    """argparse type for ``--fault``: a comma-separated fault list.
+
+    One ``--fault`` flag may compose a whole campaign
+    (``--fault partition:space,kill-shard:1``); the flag also remains
+    repeatable, and the two forms mix freely.
+    """
+    faults = [part.strip() for part in value.split(",") if part.strip()]
+    if not faults:
+        raise argparse.ArgumentTypeError("empty fault list")
+    return [_one_fault(fault) for fault in faults]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,12 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--random-plan", action="store_true",
                    help="draw the fault schedule from the seed instead of "
                         "the fixed acceptance campaign")
-    p.add_argument("--fault", action="append", dest="faults",
-                   type=_fault_spec, metavar="FAULT",
+    p.add_argument("--fault", action="extend", dest="faults",
+                   type=_fault_spec, metavar="FAULT[,FAULT...]",
                    help="run the coordinator-fault campaign instead "
-                        "(hot standby + master checkpoints); one of "
-                        "kill-primary-space, kill-master, kill-shard:<i>; "
-                        "repeatable")
+                        "(hot standby + master checkpoints + consistency "
+                        "checker); kill-primary-space, kill-master, "
+                        "kill-shard:<i>, or a nemesis kind partition / "
+                        "pause / gray-slow with an optional target "
+                        "(:space, :shard:<i>, :<hostname>).  Accepts a "
+                        "comma-separated list and is repeatable, e.g. "
+                        "--fault partition:space,kill-shard:1")
     p.add_argument("--shards", type=int, default=1,
                    help="partition the space over N shards "
                         "(kill-shard:<i> needs i < N)")
@@ -299,6 +330,9 @@ def _chaos(args) -> int:
     if not result.correct:
         print("FAIL: solution does not match the expected partial sum")
         return 1
+    if not result.consistent:
+        print("FAIL: consistency checker found history violations")
+        return 1
     if args.verify_determinism:
         ok = verify_chaos_determinism(seed=args.seed, workers=args.workers,
                                       tasks=args.tasks,
@@ -328,6 +362,9 @@ def _coordination_chaos(args) -> int:
                      args.metrics_out)
     if not result.exactly_once:
         print("FAIL: job did not complete every task exactly-once")
+        return 1
+    if not result.consistent:
+        print("FAIL: consistency checker found history violations")
         return 1
     if args.verify_determinism:
         ok = verify_coordination_determinism(

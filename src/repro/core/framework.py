@@ -35,6 +35,7 @@ from repro.net.address import Address
 from repro.node.cluster import Cluster
 from repro.runtime.base import Runtime
 from repro.tuplespace.durable import DurableSpace, HotStandby
+from repro.tuplespace.entry import Entry
 from repro.tuplespace.failover import JiniSpaceLocator, SpaceSupervisor
 from repro.tuplespace.lease import FOREVER
 from repro.tuplespace.proxy import SpaceProxy, SpaceServer
@@ -89,6 +90,8 @@ class FrameworkConfig:
     hot_standby: bool = False               # replica + supervisor + promotion
     failover_heartbeat_ms: float = 250.0    # supervisor probe period
     failover_max_misses: int = 3            # missed probes before promotion
+    sync_replication: bool = True           # gate acks on standby confirmation
+    repl_ack_timeout_ms: float = 500.0      # then drop the client unanswered
     master_checkpoint_ms: Optional[float] = None  # master checkpoint period
     checkpoint_lease_ms: float = 60_000.0   # checkpoint entry lease
     master_restart_delay_ms: float = 500.0  # pause before a master restart
@@ -129,6 +132,14 @@ class FrameworkConfig:
     #: Period for mirroring registry instruments into the ``Metrics``
     #: series via the kernel's ``on_advance`` hook (``None`` = off).
     metrics_snapshot_ms: Optional[float] = None
+
+    # -- consistency checking (see DESIGN.md §11) ----------------------------
+    #: Record a per-entry operation history (writes/takes/reads with
+    #: invocation + response windows) through recording wrappers around
+    #: every space client, for the post-run consistency checker
+    #: (:mod:`repro.verify`).  Off by default: the history lives in
+    #: memory for the whole run.
+    record_history: bool = False
 
 
 class AdaptiveClusterFramework:
@@ -203,8 +214,12 @@ class AdaptiveClusterFramework:
                 Address(self.shard_hosts[i], SPACE_PORT + offset + 100 + 2 * i)
                 for i in range(self.config.shards)
             ]
+            # Standby replicas (and their supervisors) live on the master
+            # node regardless of shard placement: a fault that takes out a
+            # shard host must not take out the replica that survives it.
+            # Port pairs stay unique because shard ports are spaced by 2.
             self.shard_standby_addresses = [
-                Address(address.host, address.port + 1)
+                Address(cluster.master.hostname, address.port + 1)
                 for address in self.shard_addresses
             ]
             self.spaces: list[JavaSpace] = [
@@ -228,6 +243,9 @@ class AdaptiveClusterFramework:
                     self.registry.expose("wal.syncs",
                                          lambda s=space: s.wal.store.syncs,
                                          shard=str(i))
+                    self.registry.expose("space.epoch",
+                                         lambda s=space: s.wal.epoch,
+                                         shard=str(i))
             self.space_address = self.shard_addresses[0]
             self.standby_address = self.shard_standby_addresses[0]
         else:
@@ -242,6 +260,8 @@ class AdaptiveClusterFramework:
                                      lambda: self.space.wal.last_lsn)
                 self.registry.expose("wal.syncs",
                                      lambda: self.space.wal.store.syncs)
+                self.registry.expose("space.epoch",
+                                     lambda: self.space.wal.epoch)
             self.shard_hosts = [cluster.master.hostname]
             self.space_address = Address(
                 cluster.master.hostname, SPACE_PORT + offset)
@@ -264,6 +284,12 @@ class AdaptiveClusterFramework:
         self._joins: list[JoinManager] = []
         self._master_proxy: Optional[Any] = None
         self.master_restarts = 0
+        #: Shared operation history for the consistency checker.
+        self.history: Optional[Any] = None
+        if self.config.record_history:
+            from repro.verify import HistoryRecorder
+
+            self.history = HistoryRecorder(runtime)
         self.master = self._build_master()
         self.worker_hosts: list[WorkerHost] = []
         self._started = False
@@ -295,6 +321,7 @@ class AdaptiveClusterFramework:
             Address(self.cluster.master.hostname,
                     LOOKUP_PORT + self.config.port_offset),
             query,
+            call_timeout_ms=self.config.rpc_timeout_ms,
         )
 
     def _build_router(self, host: str, recovery: Any = None,
@@ -347,6 +374,10 @@ class AdaptiveClusterFramework:
             )
             space = self._master_proxy
             retry_ms = config.failover_heartbeat_ms
+        if self.history is not None:
+            from repro.verify import RecordingSpace
+
+            space = RecordingSpace(space, self.history, client="master")
         return Master(
             self.runtime, self.cluster.master, space, self.app, self.metrics,
             eager_scheduling=config.eager_scheduling,
@@ -400,10 +431,24 @@ class AdaptiveClusterFramework:
                 runtime, space, network, self.shard_addresses[i],
                 txn_manager=TransactionManager(runtime, metrics=self.metrics),
             )
+            if config.hot_standby:
+                # Epoch fencing is only meaningful with a supervisor that
+                # can promote a rival: enable the fence check and grant the
+                # primary lease the supervisor's probes will keep renewing.
+                server.fencing = True
+                server.grant_lease(
+                    config.failover_heartbeat_ms * config.failover_max_misses)
+                # With a standby that may be promoted, an ack the standby
+                # never saw is a future lost write — gate on its
+                # confirmation (drop the client unanswered on timeout).
+                server.sync_replication = config.sync_replication
+                server.repl_ack_timeout_ms = config.repl_ack_timeout_ms
             server.start()
             self.space_servers.append(server)
         self.space_server = self.space_servers[0]
         offset = config.port_offset
+        if config.hot_standby:
+            self.registry.expose("space.fenced_rpcs", self.total_fenced_rpcs)
 
         # Code server for remote node configuration.
         self.code_server = CodeServer(runtime, network, master_host,
@@ -423,23 +468,33 @@ class AdaptiveClusterFramework:
             registrar = Address(master_host, LOOKUP_PORT + offset)
             if self.sharded:
                 for i, address in enumerate(self.shard_addresses):
+                    attributes: dict[str, Any] = {
+                        "type": "JavaSpaces", "app": self.app.app_id,
+                        "shard": str(i),
+                    }
+                    if config.hot_standby:
+                        # Epoch attribute: locators prefer the
+                        # highest-epoch registration post-failover.
+                        attributes["epoch"] = self.spaces[i].wal.epoch
                     join = JoinManager(
                         runtime, network, self.shard_hosts[i], registrar,
                         ServiceItem(
                             f"javaspaces:{self.app.app_id}:shard{i}", address,
-                            {"type": "JavaSpaces", "app": self.app.app_id,
-                             "shard": str(i)},
+                            attributes,
                         ),
                         lease_ms=FOREVER,
                     )
                     join.start()
                     self._joins.append(join)
             else:
+                attributes = {"type": "JavaSpaces", "app": self.app.app_id}
+                if config.hot_standby:
+                    attributes["epoch"] = self.space.wal.epoch
                 self._joins.append(JoinManager(
                     runtime, network, master_host, registrar,
                     ServiceItem(
                         f"javaspaces:{self.app.app_id}", self.space_address,
-                        {"type": "JavaSpaces", "app": self.app.app_id},
+                        attributes,
                     ),
                     lease_ms=FOREVER,
                 ))
@@ -451,20 +506,24 @@ class AdaptiveClusterFramework:
         # the promotion + re-registration when it goes quiet.
         if config.hot_standby:
             for i in range(len(self.spaces)):
-                shard_host = self.shard_hosts[i]
                 suffix = f":shard{i}" if self.sharded else ""
+                # Standby and supervisor run on the master node, not the
+                # shard host: they must survive (and observe) faults that
+                # hit the primary's machine or its links.
                 standby = HotStandby(
-                    runtime, network, shard_host,
+                    runtime, network, master_host,
                     primary_address=self.shard_addresses[i],
                     address=self.shard_standby_addresses[i],
                     name=f"space-standby:{self.app.app_id}{suffix}",
                     snapshot_every=config.wal_snapshot_every,
                     metrics=self.metrics,
+                    sync_replication=config.sync_replication,
+                    repl_ack_timeout_ms=config.repl_ack_timeout_ms,
                 )
                 standby.start()
                 self.standbys.append(standby)
                 supervisor = SpaceSupervisor(
-                    runtime, network, shard_host,
+                    runtime, network, master_host,
                     standby=standby,
                     primary_address=self.shard_addresses[i],
                     registrar=Address(master_host, LOOKUP_PORT + offset),
@@ -514,6 +573,14 @@ class AdaptiveClusterFramework:
                 max_backoff_ms=config.reconnect_max_ms,
                 call_timeout_ms=config.rpc_timeout_ms,
             )
+        space_wrapper = None
+        if self.history is not None:
+            from repro.verify import RecordingSpace
+
+            history = self.history
+            space_wrapper = (
+                lambda client, hostname:
+                RecordingSpace(client, history, client=hostname))
         for node in cluster.workers:
             node.snmp_community = config.community
             # Jitter from a per-worker named stream: deterministic under a
@@ -548,6 +615,7 @@ class AdaptiveClusterFramework:
                 recovery_rng=recovery_rng,
                 space_factory=space_factory,
             )
+            host.space_wrapper = space_wrapper
             host.start()
             self.worker_hosts.append(host)
 
@@ -606,6 +674,34 @@ class AdaptiveClusterFramework:
                 self.master = self._build_master()
                 self.metrics.event("master-restarted", app=self.app.app_id,
                                    restarts=self.master_restarts)
+
+    def total_fenced_rpcs(self) -> int:
+        """RPCs rejected by the fence across every server incarnation —
+        the original primaries plus any supervisor-promoted standby."""
+        total = sum(server.fenced_rpcs for server in self.space_servers)
+        total += sum(
+            supervisor.server.fenced_rpcs
+            for supervisor in self.supervisors
+            if supervisor.server is not None
+        )
+        return total
+
+    def current_spaces(self) -> list[JavaSpace]:
+        """The authoritative space object per shard — the original primary,
+        or the promoted standby's replica after a failover."""
+        spaces = list(self.spaces)
+        for i, supervisor in enumerate(self.supervisors):
+            if supervisor.failed_over and supervisor.server is not None:
+                spaces[i] = supervisor.server.space
+        return spaces
+
+    def final_contents(self) -> list[Entry]:
+        """Every entry still visible in the (post-failover) space, all
+        shards merged — the consistency checker's ground truth."""
+        entries: list[Entry] = []
+        for space in self.current_spaces():
+            entries.extend(space.contents(Entry()))
+        return entries
 
     # -- fault-injection hooks ---------------------------------------------------
 

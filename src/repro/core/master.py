@@ -30,6 +30,7 @@ from repro.core.metrics import Metrics
 from repro.errors import (
     ConnectionClosedError,
     ConnectionRefusedError_,
+    FencedError,
     MasterCrashedError,
 )
 from repro.node.machine import Node
@@ -183,7 +184,8 @@ class Master:
             self._check_crashed()
             try:
                 return op()
-            except (ConnectionClosedError, ConnectionRefusedError_):
+            except (ConnectionClosedError, ConnectionRefusedError_,
+                    FencedError):
                 if self.space_retry_ms is None:
                     raise
                 attempt += 1

@@ -25,6 +25,7 @@ from typing import Any, Callable, Optional
 from repro.errors import (
     ConnectionClosedError,
     ConnectionRefusedError_,
+    FencedError,
     IllegalTransitionError,
     SpaceError,
     TransactionError,
@@ -105,6 +106,9 @@ class WorkerHost:
         # Anything with the SpaceProxy surface works — the loop only calls
         # that API.
         self.space_factory = space_factory
+        # History recording (verify module): wraps the freshly-built
+        # space client so every acknowledged op lands in the run history.
+        self.space_wrapper: Optional[Callable[[Any, str], Any]] = None
         # Pipeline depth: take up to this many tasks per cycle (one
         # take_multiple under one transaction), compute them all, and
         # write the results back with a single batched write_all+commit.
@@ -337,6 +341,8 @@ class WorkerHost:
                 recovery=self.recovery, rng=self._recovery_rng,
                 metrics=self.metrics, locator=self.locator, tracer=tracer,
             )
+        if self.space_wrapper is not None:
+            proxy = self.space_wrapper(proxy, self.node.hostname)
         self._proxy = proxy
         template = TaskEntry(app_id=self.app.app_id)
         disconnects = 0                       # consecutive failed cycles
@@ -361,11 +367,15 @@ class WorkerHost:
                     self.metrics.event(
                         "task-txn-expired", worker=self.node.hostname,
                     )
-                except (ConnectionClosedError, ConnectionRefusedError_):
+                except (ConnectionClosedError, ConnectionRefusedError_,
+                        FencedError):
                     # Space unreachable: either this node died, or the link
                     # or server did.  In the latter case, with a recovery
                     # policy, back off and retry — a healed partition or a
-                    # restarted space server must not kill the worker.
+                    # restarted space server must not kill the worker.  A
+                    # FencedError means we kept talking to a deposed
+                    # primary past the proxy's own retry budget; the next
+                    # cycle re-discovers the new one through the locator.
                     if self.crashed or not self.running or self.recovery is None:
                         raise
                     disconnects += 1

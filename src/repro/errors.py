@@ -70,6 +70,18 @@ class LeaseError(SpaceError):
     """Illegal lease operation (renewal after expiry/cancel)."""
 
 
+class FencedError(SpaceError):
+    """The operation carried a stale primary epoch and was rejected.
+
+    Raised by a space server when a client (or the server itself) is
+    behind the cluster's current epoch — e.g. a proxy still talking to a
+    deposed primary, or a revived old primary that has been superseded
+    by a promoted standby.  The proxy reacts by re-discovering the
+    current primary through the lookup service and retrying; the request
+    was rejected *before* execution, so the retry is safe even for
+    non-idempotent operations."""
+
+
 class OutOfMemoryError(ReproError):
     """A node's modelled RAM cannot satisfy an allocation."""
 

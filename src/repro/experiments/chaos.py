@@ -23,12 +23,13 @@ from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from repro.node.cluster import testbed_small
 from repro.runtime import SimulatedRuntime
 from repro.sim.rng import RandomStreams
+from repro.verify import HistoryReport, check_history
 
 __all__ = ["PoisonedSquares", "ChaosResult", "chaos_experiment",
            "default_chaos_plan", "verify_chaos_determinism",
            "CoordinationChaosResult", "coordination_chaos_plan",
            "coordination_chaos_experiment",
-           "verify_coordination_determinism"]
+           "verify_coordination_determinism", "NEMESIS_FAULTS"]
 
 
 class PoisonedSquares(Application):
@@ -88,6 +89,8 @@ TRACE_EVENTS = frozenset({
     "master-kill-injected", "master-killed", "master-restarted",
     "master-checkpoint", "master-resumed", "master-space-retry",
     "txn-lease-expired", "task-txn-expired", "stale-sample",
+    # split-brain fencing (epoch fences, partition/pause/gray nemesis)
+    "primary-fenced", "standby-rejoining", "proxy-fenced",
 })
 
 
@@ -107,10 +110,19 @@ class ChaosResult:
     #: determinism comparison — that compares the recovery-event trace.
     tracer: Any = None
     prometheus: str = ""
+    #: Consistency-checker verdict over the recorded op history.
+    history_report: Optional[HistoryReport] = None
+    #: RPCs the epoch fence rejected across every server incarnation.
+    fenced_rpcs: int = 0
 
     @property
     def correct(self) -> bool:
         return self.report.solution == self.expected_solution
+
+    @property
+    def consistent(self) -> bool:
+        """True iff the history checker found no violations."""
+        return self.history_report is None or self.history_report.ok
 
     def events_named(self, name: str) -> list[tuple[float, tuple]]:
         return [(t, p) for t, n, p in self.trace if n == name]
@@ -125,8 +137,12 @@ class ChaosResult:
             f"  faults     : {self.faults_injected} injected, "
             f"{self.faults_healed} healed",
             f"  duplicates : {r.duplicate_results}; replicas: {r.replicated_tasks}",
+            f"  fenced     : {self.fenced_rpcs} stale-epoch RPCs rejected",
             f"  trace      : {len(self.trace)} recovery events",
         ]
+        if self.history_report is not None:
+            lines.append(
+                "  " + self.history_report.summary().replace("\n", "\n  "))
         for t, name, payload in self.trace:
             lines.append(f"    t={t:>9.1f}ms {name:<20} {dict(payload)}")
         return "\n".join(lines)
@@ -194,6 +210,7 @@ def chaos_experiment(
                 master_drain_batch=max(1, prefetch),
                 trace=trace,
                 shards=max(1, shards),
+                record_history=True,
             ),
         )
         framework.start()
@@ -210,6 +227,10 @@ def chaos_experiment(
         report = framework.master.run()
         injector.disarm()       # late plan entries must not hit the teardown
         framework.shutdown()
+        history_report = None
+        if framework.history is not None:
+            history_report = check_history(framework.history,
+                                           framework.final_contents())
         events = [
             (t, name, tuple(sorted(payload.items())))
             for t, name, payload in framework.metrics.events
@@ -224,6 +245,8 @@ def chaos_experiment(
             faults_healed=injector.healed,
             tracer=framework.tracer,
             prometheus=framework.telemetry.prometheus_text(),
+            history_report=history_report,
+            fenced_rpcs=framework.total_fenced_rpcs(),
         )
 
     return run_simulation(body)
@@ -256,11 +279,20 @@ class CoordinationChaosResult:
     #: Telemetry artifacts (see :class:`ChaosResult`).
     tracer: Any = None
     prometheus: str = ""
+    #: Consistency-checker verdict over the recorded op history.
+    history_report: Optional[HistoryReport] = None
+    #: RPCs the epoch fence rejected across every server incarnation.
+    fenced_rpcs: int = 0
 
     @property
     def correct(self) -> bool:
         return self.report.complete and \
             self.report.solution == self.expected_solution
+
+    @property
+    def consistent(self) -> bool:
+        """True iff the history checker found no violations."""
+        return self.history_report is None or self.history_report.ok
 
     def final_aggregations(self) -> dict[int, int]:
         """task_id → times aggregated by the *final* master incarnation.
@@ -301,29 +333,56 @@ class CoordinationChaosResult:
             f"{r.checkpoints_written}, resumed from seq {r.resumed_from_seq}",
             f"  faults      : {self.faults_injected} injected; duplicates "
             f"{r.duplicate_results}; replicas {r.replicated_tasks}",
+            f"  fenced      : {self.fenced_rpcs} stale-epoch RPCs rejected",
             f"  trace       : {len(self.trace)} recovery events",
         ]
+        if self.history_report is not None:
+            lines.append(
+                "  " + self.history_report.summary().replace("\n", "\n  "))
         for t, name, payload in self.trace:
             lines.append(f"    t={t:>9.1f}ms {name:<22} {dict(payload)}")
         return "\n".join(lines)
 
 
+#: Nemesis fault kinds accepted by :func:`coordination_chaos_plan`, with
+#: default durations.  Partition and pause outlive the primary lease
+#: (``failover_heartbeat_ms * failover_max_misses`` = 750 ms by default)
+#: so a mid-fault failover — and hence fencing — actually happens.
+NEMESIS_FAULTS = {
+    "partition": (FaultKind.PARTITION, 2_000.0),
+    "pause": (FaultKind.PAUSE, 1_000.0),
+    "gray-slow": (FaultKind.GRAY_SLOW, 3_000.0),
+}
+
+
 def coordination_chaos_plan(faults: Sequence[str],
                             first_at_ms: float = 3_000.0,
-                            spacing_ms: float = 1_500.0) -> FaultPlan:
+                            spacing_ms: float = 1_500.0,
+                            slow_factor: float = 8.0) -> FaultPlan:
     """One coordinator fault per entry, spaced so each lands mid-run.
 
-    Entries are ``"kill-primary-space"``, ``"kill-master"``, or
-    ``"kill-shard:<i>"`` (crash shard ``i``'s primary server)."""
+    Entries are ``"kill-primary-space"``, ``"kill-master"``,
+    ``"kill-shard:<i>"`` (crash shard ``i``'s primary server), or one of
+    the nemesis faults ``"partition"`` / ``"pause"`` / ``"gray-slow"``
+    with an optional target suffix: ``"partition"`` or
+    ``"partition:space"`` hit the (first) space host,
+    ``"partition:shard:<i>"`` hits shard ``i``'s host, and any other
+    suffix is a literal hostname (e.g. ``"pause:worker2"``).
+    """
     plan = FaultPlan()
     kinds = {"kill-primary-space": FaultKind.KILL_PRIMARY_SPACE,
              "kill-master": FaultKind.KILL_MASTER}
     for index, fault in enumerate(faults):
         at_ms = first_at_ms + index * spacing_ms
-        if fault.startswith("kill-shard:"):
-            shard = int(fault.split(":", 1)[1])
+        name, _, suffix = fault.partition(":")
+        if name in NEMESIS_FAULTS:
+            kind, duration_ms = NEMESIS_FAULTS[name]
+            plan.add(FaultEvent(at_ms, kind, target=suffix or "space",
+                                duration_ms=duration_ms,
+                                factor=slow_factor))
+        elif name == "kill-shard":
             plan.add(FaultEvent(at_ms, FaultKind.KILL_SHARD,
-                                target=str(shard)))
+                                target=str(int(suffix))))
         else:
             plan.add(FaultEvent(at_ms, kinds[fault]))
     return plan
@@ -377,6 +436,12 @@ def coordination_chaos_experiment(
                 master_drain_batch=max(1, prefetch),
                 trace=trace,
                 shards=max(1, shards),
+                # Sharded chaos spreads primaries off the master node:
+                # "partition:shard:i" must be able to sever a primary
+                # from its (master-hosted) supervisor, or split-brain
+                # fencing has nothing to bite on.
+                shard_placement="spread" if shards > 1 else "master",
+                record_history=True,
             ),
         )
         framework.start()
@@ -388,6 +453,10 @@ def coordination_chaos_experiment(
         report = framework.run_with_recovery()
         injector.disarm()
         framework.shutdown()
+        history_report = None
+        if framework.history is not None:
+            history_report = check_history(framework.history,
+                                           framework.final_contents())
         events = [
             (t, name, tuple(sorted(payload.items())))
             for t, name, payload in framework.metrics.events
@@ -409,6 +478,8 @@ def coordination_chaos_experiment(
             master_restarts=framework.master_restarts,
             tracer=framework.tracer,
             prometheus=framework.telemetry.prometheus_text(),
+            history_report=history_report,
+            fenced_rpcs=framework.total_fenced_rpcs(),
         )
 
     return run_simulation(body)

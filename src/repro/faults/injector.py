@@ -41,6 +41,7 @@ class FaultInjector:
         primary_killer=None,
         master_killer=None,
         shard_killer=None,
+        space_hosts: Optional[list[str]] = None,
     ) -> None:
         self.runtime = runtime
         self.network = network
@@ -55,6 +56,10 @@ class FaultInjector:
         self.master_killer = master_killer
         #: Sharded deployments: callable taking the shard index to crash.
         self.shard_killer = shard_killer
+        #: Hostname per shard (index 0 doubles as "the" space host), used
+        #: to resolve the symbolic ``space`` / ``shard:<i>`` targets of
+        #: partition/pause/gray-slow events.
+        self.space_hosts = list(space_hosts) if space_hosts else []
         self._rng = rng          # drives ChaosProfile drop/delay draws
         self.injected = 0
         self.healed = 0
@@ -72,6 +77,7 @@ class FaultInjector:
             primary_killer=framework.kill_primary_space,
             master_killer=framework.kill_master,
             shard_killer=getattr(framework, "kill_shard", None),
+            space_hosts=getattr(framework, "shard_hosts", None),
         )
 
     def arm(self) -> None:
@@ -86,9 +92,32 @@ class FaultInjector:
             )
 
     def disarm(self) -> None:
-        """Suppress any event that has not fired yet (the run is over;
-        faults must not hit a framework being shut down)."""
+        """Suppress any event that has not fired yet and heal every
+        outstanding network fault (the run is over; a framework being
+        shut down must not stay partitioned, paused or slowed — held
+        deliveries in particular would otherwise leak past the run)."""
         self._disarmed = True
+        self.network.resume_all()
+        self.network.heal_all_partitions()
+        self.network.heal_all_slow()
+        self.network.clear_chaos()
+
+    def resolve_target(self, target: Optional[str]) -> Optional[str]:
+        """Map a symbolic fault target to a hostname.
+
+        ``space`` → the (first) space host; ``shard:<i>`` → shard *i*'s
+        host; anything else is taken as a literal hostname.
+        """
+        if target is None:
+            return None
+        if target == "space":
+            return self.space_hosts[0] if self.space_hosts else None
+        if target.startswith("shard:"):
+            index = int(target.split(":", 1)[1])
+            if not self.space_hosts:
+                return None
+            return self.space_hosts[index % len(self.space_hosts)]
+        return target
 
     # -- internals ------------------------------------------------------------------
 
@@ -141,6 +170,26 @@ class FaultInjector:
             if self.shard_killer is None or event.target is None:
                 return
             self.shard_killer(int(event.target))
+        elif kind == FaultKind.PARTITION:
+            host = self.resolve_target(event.target)
+            if host is None:
+                return
+            # Asymmetric cut: the target's egress vanishes while ingress
+            # still flows — the shape that manufactures split-brain (a
+            # primary that hears requests but whose acks and heartbeat
+            # replies never arrive).  Loopback is exempt, as on a real
+            # host whose NIC dies.
+            self.network.partition(host, "*")
+        elif kind == FaultKind.PAUSE:
+            host = self.resolve_target(event.target)
+            if host is None:
+                return
+            self.network.pause(host)
+        elif kind == FaultKind.GRAY_SLOW:
+            host = self.resolve_target(event.target)
+            if host is None:
+                return
+            self.network.slow(host, event.factor)
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
         self.injected += 1
@@ -154,6 +203,18 @@ class FaultInjector:
             self.space_server.start()
         elif kind == FaultKind.CHAOS_WINDOW:
             self.network.clear_chaos()
+        elif kind == FaultKind.PARTITION:
+            host = self.resolve_target(event.target)
+            if host is not None:
+                self.network.heal_partition(host, "*")
+        elif kind == FaultKind.PAUSE:
+            host = self.resolve_target(event.target)
+            if host is not None:
+                self.network.resume(host)
+        elif kind == FaultKind.GRAY_SLOW:
+            host = self.resolve_target(event.target)
+            if host is not None:
+                self.network.heal_slow(host)
         else:
             return
         self.healed += 1

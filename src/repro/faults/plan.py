@@ -34,9 +34,13 @@ class FaultKind:
     KILL_PRIMARY_SPACE = "kill-primary-space"  # permanent; standby promotes
     KILL_MASTER = "kill-master"        # master process dies; resume from ckpt
     KILL_SHARD = "kill-shard"          # one shard's primary dies (target=index)
+    PARTITION = "partition"            # asymmetric cut: target's egress dies
+    PAUSE = "pause"                    # process stall: traffic held, not lost
+    GRAY_SLOW = "gray-slow"            # gray failure: target N-times slower
 
     ALL = (WORKER_CRASH, LINK_FLAP, SERVER_RESTART, CHAOS_WINDOW,
-           KILL_PRIMARY_SPACE, KILL_MASTER, KILL_SHARD)
+           KILL_PRIMARY_SPACE, KILL_MASTER, KILL_SHARD,
+           PARTITION, PAUSE, GRAY_SLOW)
 
 
 @dataclass(frozen=True)
@@ -44,9 +48,14 @@ class FaultEvent:
     """One scheduled failure.
 
     ``target`` is a hostname for worker/link faults, ignored for server
-    faults.  ``duration_ms`` is how long the fault persists before the
-    injector heals it (``None`` = permanent, only meaningful for crashes).
-    ``profile`` configures a :data:`~FaultKind.CHAOS_WINDOW`.
+    faults.  For :data:`~FaultKind.PARTITION` / :data:`~FaultKind.PAUSE` /
+    :data:`~FaultKind.GRAY_SLOW` it may also be the symbolic ``"space"``
+    (the primary space host) or ``"shard:<i>"`` (shard *i*'s host) — the
+    injector resolves those against the deployment.  ``duration_ms`` is
+    how long the fault persists before the injector heals it (``None`` =
+    permanent, only meaningful for crashes).  ``profile`` configures a
+    :data:`~FaultKind.CHAOS_WINDOW`; ``factor`` is the
+    :data:`~FaultKind.GRAY_SLOW` latency multiplier.
     """
 
     at_ms: float
@@ -54,11 +63,14 @@ class FaultEvent:
     target: Optional[str] = None
     duration_ms: Optional[float] = None
     profile: Optional[ChaosProfile] = None
+    factor: float = 10.0
 
     def describe(self) -> str:
         parts = [f"t={self.at_ms:.0f}ms {self.kind}"]
         if self.target:
             parts.append(self.target)
+        if self.kind == FaultKind.GRAY_SLOW:
+            parts.append(f"x{self.factor:g}")
         if self.duration_ms is not None:
             parts.append(f"for {self.duration_ms:.0f}ms")
         return " ".join(parts)
@@ -103,6 +115,14 @@ class FaultPlan:
         chaos_windows: int = 0,
         chaos_profile: Optional[ChaosProfile] = None,
         chaos_ms: tuple[float, float] = (1_000.0, 5_000.0),
+        partitions: int = 0,
+        pauses: int = 0,
+        gray_slows: int = 0,
+        partition_ms: tuple[float, float] = (1_000.0, 3_000.0),
+        pause_ms: tuple[float, float] = (500.0, 1_500.0),
+        slow_ms: tuple[float, float] = (1_000.0, 4_000.0),
+        slow_factor: float = 10.0,
+        nemesis_targets: Optional[Sequence[str]] = None,
     ) -> "FaultPlan":
         """Draw a random schedule from ``rng`` (a seeded numpy Generator).
 
@@ -142,5 +162,29 @@ class FaultPlan:
             events.append(FaultEvent(
                 when(), FaultKind.CHAOS_WINDOW,
                 duration_ms=float(rng.uniform(*chaos_ms)), profile=profile,
+            ))
+        # Nemesis faults (partition/pause/gray-slow) default to hitting
+        # the space itself — that is where split-brain lives — unless the
+        # caller names other targets.
+        targets = list(nemesis_targets) if nemesis_targets else ["space"]
+
+        def pick_target() -> str:
+            return targets[int(rng.integers(0, len(targets)))]
+
+        for _ in range(partitions):
+            events.append(FaultEvent(
+                when(), FaultKind.PARTITION, target=pick_target(),
+                duration_ms=float(rng.uniform(*partition_ms)),
+            ))
+        for _ in range(pauses):
+            events.append(FaultEvent(
+                when(), FaultKind.PAUSE, target=pick_target(),
+                duration_ms=float(rng.uniform(*pause_ms)),
+            ))
+        for _ in range(gray_slows):
+            events.append(FaultEvent(
+                when(), FaultKind.GRAY_SLOW, target=pick_target(),
+                duration_ms=float(rng.uniform(*slow_ms)),
+                factor=slow_factor,
             ))
         return cls(events)

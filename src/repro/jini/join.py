@@ -15,21 +15,32 @@ __all__ = ["JoinManager", "LookupClient"]
 
 
 class LookupClient:
-    """Stream-RPC client stub for a remote :class:`LookupService`."""
+    """Stream-RPC client stub for a remote :class:`LookupService`.
 
-    def __init__(self, network: Network, host: str, registrar: Address) -> None:
+    Every call is bounded by ``call_timeout_ms``: a partitioned or gray-slow
+    registrar must surface as :class:`ConnectionClosedError`, not hang the
+    caller forever — re-discovery is exactly the moment clients can least
+    afford to block.  On timeout the connection is dropped so a late reply
+    can never be mistaken for the answer to the next call.
+    """
+
+    def __init__(self, network: Network, host: str, registrar: Address,
+                 call_timeout_ms: Optional[float] = 5_000.0) -> None:
         self.network = network
         self.host = host
         self.registrar = registrar
+        self.call_timeout_ms = call_timeout_ms
         self._conn: Optional[StreamSocket] = None
 
     def _call(self, op: str, args: dict[str, Any]) -> Any:
         if self._conn is None or self._conn.closed:
             self._conn = self.network.connect(self.host, self.registrar)
         self._conn.send({"op": op, "args": args})
-        reply = self._conn.receive(timeout_ms=None)
+        reply = self._conn.receive(timeout_ms=self.call_timeout_ms)
         if reply is None:
-            raise ConnectionClosedError("no reply from registrar")
+            self.close()
+            raise ConnectionClosedError(
+                f"registrar rpc {op!r} timed out or connection closed")
         if not reply.get("ok"):
             raise LookupError_(reply.get("error", "lookup RPC failed"))
         return reply.get("value")
@@ -87,8 +98,10 @@ class JoinManager:
                 return
             try:
                 self.client.renew(self.registration_id, self.lease_ms)
-            except (LookupError_, ConnectionClosedError):
-                return  # registrar gone or registration expired
+            except LookupError_:
+                return  # registration expired or was cancelled
+            except ConnectionClosedError:
+                continue  # transient partition/outage: retry next half-lease
 
     def stop(self, cancel: bool = True) -> None:
         self._running = False

@@ -162,8 +162,12 @@ class StreamSocket:
             arrival = max(now + self._network.latency.base_ms, peer._last_arrival)
             peer._last_arrival = arrival
             seq = peer._alloc_seq()
-            self._network.runtime.call_later(
-                arrival - now, lambda: peer._deliver(None, seq)
+            network = self._network
+            network.runtime.call_later(
+                arrival - now,
+                lambda: network._run_or_hold(
+                    self.local.host, peer.local.host,
+                    lambda: peer._deliver(None, seq)),
             )
         self._queue.close()
 
@@ -221,11 +225,15 @@ class Network:
         self._multicast: dict[Address, set[DatagramSocket]] = {}
         self._egress_free_at: dict[str, float] = {}  # bandwidth contention
         self._isolated: set[str] = set()             # partitioned hosts
+        self._blocked: set[tuple[str, str]] = set()  # directed (src, dst) cuts
+        self._paused: set[str] = set()               # stalled hosts
+        self._held: dict[str, list] = {}             # per-host held deliveries
+        self._slow: dict[str, float] = {}            # gray-failure multipliers
         self._chaos: Optional[ChaosProfile] = None
         self._chaos_rng: Optional[np.random.Generator] = None
         self._ephemeral_port = 49152
         self.stats = {"datagrams": 0, "datagram_bytes": 0, "messages": 0, "message_bytes": 0,
-                      "dropped": 0, "resets": 0}
+                      "dropped": 0, "partition_dropped": 0, "resets": 0}
 
     # -- fault injection ----------------------------------------------------------
 
@@ -279,8 +287,91 @@ class Network:
     def is_isolated(self, host: str) -> bool:
         return host in self._isolated
 
+    def partition(self, src: str, dst: str) -> None:
+        """Cut the *directed* link ``src → dst``: traffic that way vanishes,
+        replies the other way still flow — the asymmetric partition that
+        turns naive failure detectors into split-brain generators.  Use
+        :meth:`partition_pair` for the symmetric cut.  Either side may be
+        the wildcard ``"*"`` (``partition(h, "*")`` = h's egress dies).
+        Loopback (same-host) traffic is never partitioned — a dead NIC
+        does not cut a host off from itself."""
+        self._blocked.add((src, dst))
+
+    def partition_pair(self, a: str, b: str) -> None:
+        """Cut both directions between ``a`` and ``b`` (symmetric partial
+        partition — the rest of the segment still sees both hosts)."""
+        self._blocked.add((a, b))
+        self._blocked.add((b, a))
+
+    def heal_partition(self, a: str, b: str) -> None:
+        """Restore both directions between ``a`` and ``b``."""
+        self._blocked.discard((a, b))
+        self._blocked.discard((b, a))
+
+    def heal_all_partitions(self) -> None:
+        self._blocked.clear()
+        self._isolated.clear()
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        return self._partitioned(src, dst)
+
+    def pause(self, host: str) -> None:
+        """Stall ``host``: every delivery to or from it is *held* (not
+        dropped) until :meth:`resume` releases the backlog in arrival
+        order.  Models a GC pause / SIGSTOP — heartbeats go unanswered,
+        but no state is lost and the mail all arrives late."""
+        self._paused.add(host)
+
+    def resume(self, host: str) -> None:
+        """Un-stall ``host`` and flush its held deliveries in order."""
+        self._paused.discard(host)
+        for sender_host, receiver_host, fn in self._held.pop(host, []):
+            self._run_or_hold(sender_host, receiver_host, fn)
+
+    def is_paused(self, host: str) -> bool:
+        return host in self._paused
+
+    def slow(self, host: str, factor: float) -> None:
+        """Gray failure: multiply every delay touching ``host`` by
+        ``factor``.  Nothing fails outright — the host is just N× slower
+        on the wire, the failure mode detectors are worst at."""
+        self._slow[host] = factor
+
+    def heal_slow(self, host: str) -> None:
+        self._slow.pop(host, None)
+
+    def heal_all_slow(self) -> None:
+        self._slow.clear()
+
+    def resume_all(self) -> None:
+        for host in list(self._paused):
+            self.resume(host)
+
+    def _slow_factor(self, a: str, b: str) -> float:
+        return max(self._slow.get(a, 1.0), self._slow.get(b, 1.0))
+
     def _partitioned(self, a: str, b: str) -> bool:
-        return a in self._isolated or b in self._isolated
+        if a == b:
+            return False  # loopback survives any partition
+        if a in self._isolated or b in self._isolated:
+            return True
+        blocked = self._blocked
+        return ((a, b) in blocked or (a, "*") in blocked
+                or ("*", b) in blocked)
+
+    def _run_or_hold(self, sender_host: str, receiver_host: str, fn) -> None:
+        """Deliver now, unless either endpoint is paused — then park the
+        delivery on the paused host's hold queue (receiver first, so a
+        both-paused message re-holds correctly on partial resume)."""
+        if receiver_host in self._paused:
+            self._held.setdefault(receiver_host, []).append(
+                (sender_host, receiver_host, fn))
+            return
+        if sender_host in self._paused:
+            self._held.setdefault(sender_host, []).append(
+                (sender_host, receiver_host, fn))
+            return
+        fn()
 
     def _egress_delay(self, host: str, size_bytes: int) -> float:
         """Extra delay from the sender's serial egress link (if modelled).
@@ -324,11 +415,13 @@ class Network:
             for member in members:
                 if self._partitioned(source.host, member.address.host):
                     self.stats["dropped"] += 1
+                    self.stats["partition_dropped"] += 1
                     continue
                 self._schedule_datagram(data, source, member)
             return
         if self._partitioned(source.host, destination.host):
             self.stats["dropped"] += 1
+            self.stats["partition_dropped"] += 1
             return
         if self.latency.drops(self._rng):
             self.stats["dropped"] += 1
@@ -345,7 +438,12 @@ class Network:
         delay = self.latency.delay_ms(len(data), self._rng)
         delay += self._egress_delay(source.host, len(data))
         delay += self._chaos_delay_ms()
-        self.runtime.call_later(delay, lambda: target._deliver(data, source))
+        delay *= self._slow_factor(source.host, target.address.host)
+        self.runtime.call_later(
+            delay,
+            lambda: self._run_or_hold(source.host, target.address.host,
+                                      lambda: target._deliver(data, source)),
+        )
 
     # -- multicast ----------------------------------------------------------------
 
@@ -391,6 +489,7 @@ class Network:
         self.stats["message_bytes"] += len(data)
         if self._partitioned(sender.local.host, receiver.local.host):
             self.stats["dropped"] += 1
+            self.stats["partition_dropped"] += 1
             return  # vanishes on the wire; the receiver just waits
         if self._chaos is not None and self._chaos_drops(self._chaos.stream_drop):
             # A reliable stream that loses a segment for good is a dead
@@ -407,8 +506,13 @@ class Network:
         delay = self.latency.delay_ms(len(data), self._rng)
         delay += self._egress_delay(sender.local.host, len(data))
         delay += self._chaos_delay_ms()
+        delay *= self._slow_factor(sender.local.host, receiver.local.host)
         # Reliable ordered delivery: never deliver before an earlier message.
         arrival = max(now + delay, receiver._last_arrival)
         receiver._last_arrival = arrival
         seq = receiver._alloc_seq()
-        self.runtime.call_later(arrival - now, lambda: receiver._deliver(data, seq))
+        self.runtime.call_later(
+            arrival - now,
+            lambda: self._run_or_hold(sender.local.host, receiver.local.host,
+                                      lambda: receiver._deliver(data, seq)),
+        )

@@ -79,6 +79,21 @@ def cluster_table(framework: Any, report: Any = None) -> str:
         f"reads={totals['reads']} queue≈{max(queued, 0)} "
         f"wakeups={totals['wakeups']} bytes={totals['bytes_written']:,}")
 
+    supervisors = getattr(framework, "supervisors", None) or []
+    if supervisors:
+        # Failover/fencing health: one summary line for the supervisor
+        # fleet — current epoch per shard, promotions performed, and how
+        # many stale-epoch RPCs the fence turned away.
+        epochs = ",".join(str(s.epoch) for s in supervisors)
+        failovers = sum(s.failovers for s in supervisors)
+        fenced = (framework.total_fenced_rpcs()
+                  if hasattr(framework, "total_fenced_rpcs") else 0)
+        stalls = sum(getattr(server, "repl_stalls", 0)
+                     for server in getattr(framework, "space_servers", []))
+        lines.append(
+            f"failover: epoch={epochs} failovers={failovers} "
+            f"fenced_rpcs={fenced} repl_stalls={stalls}")
+
     if report is not None:
         lines.append(
             f"job:   parallel={report.parallel_ms:,.0f} ms "

@@ -161,13 +161,18 @@ class DurableSpace(JavaSpace):
     # -- replication (standby side) -------------------------------------------
 
     def bootstrap(self, snapshot: Optional[tuple[int, bytes]],
-                  records: list[CommitRecord]) -> None:
+                  records: list[CommitRecord],
+                  epoch: Optional[int] = None) -> None:
         """Adopt a primary's snapshot + log tail (idempotent: anything at
         or below our current LSN is skipped, so a reconnect after a feed
-        drop never regresses state)."""
+        drop never regresses state).  ``epoch`` carries the primary's
+        current epoch even when no commit has happened under it yet, so
+        chained failovers keep strictly increasing epochs."""
         with self._lock:
             self._applying = True
             try:
+                if epoch is not None:
+                    self.wal.set_epoch(epoch)
                 if snapshot is not None and snapshot[0] > self.wal.last_lsn:
                     self.wal.install_snapshot(snapshot[0], snapshot[1])
                     self._install_state(snapshot[1])
@@ -214,6 +219,8 @@ class HotStandby:
         retry_ms: float = 200.0,
         max_retries: int = 50,
         metrics: Any = None,
+        sync_replication: bool = False,
+        repl_ack_timeout_ms: float = 500.0,
     ) -> None:
         self.runtime = runtime
         self.network = network
@@ -225,6 +232,10 @@ class HotStandby:
         self.retry_ms = retry_ms
         self.max_retries = max_retries
         self.metrics = metrics
+        #: Carried onto the server this standby becomes when promoted, so
+        #: commit-gating survives a failover chain.
+        self.sync_replication = sync_replication
+        self.repl_ack_timeout_ms = repl_ack_timeout_ms
         self.caught_up = False
         self.promoted = False
         self.server: Optional[SpaceServer] = None
@@ -248,19 +259,30 @@ class HotStandby:
             self.server.stop(drain_ms=0.0)
 
     def promote(self, txn_manager: Optional[TransactionManager] = None) -> SpaceServer:
-        """Stop tailing and serve the replica at ``self.address``."""
+        """Stop tailing and serve the replica at ``self.address``.
+
+        The epoch is bumped *before* the first request is served, so
+        every commit the new primary accepts is stamped with the new
+        epoch — the deposed primary (and any proxy still bound to it)
+        is fenced from that instant on.
+        """
         self.promoted = True
         conn, self._conn = self._conn, None
         if conn is not None:
             conn.close()
+        self.space.wal.bump_epoch()
         self.server = SpaceServer(
             self.runtime, self.space, self.network, self.address,
             txn_manager=txn_manager,
         )
+        self.server.fencing = True
+        self.server.sync_replication = self.sync_replication
+        self.server.repl_ack_timeout_ms = self.repl_ack_timeout_ms
         self.server.start()
         if self.metrics is not None:
             self.metrics.event("standby-promoted", host=self.host,
-                               lsn=self.space.wal.last_lsn)
+                               lsn=self.space.wal.last_lsn,
+                               epoch=self.space.wal.epoch)
         return self.server
 
     # -- the tail loop ---------------------------------------------------------
@@ -277,8 +299,16 @@ class HotStandby:
                 if reply is None or not reply.get("ok"):
                     raise ConnectionClosedError("replication bootstrap refused")
                 value = reply["value"]
-                self.space.bootstrap(value["snapshot"], value["records"])
+                self.space.bootstrap(value["snapshot"], value["records"],
+                                     epoch=value.get("epoch"))
                 failures = 0
+                # Confirm what we durably hold — after the bootstrap and
+                # after every applied batch.  The ack travels standby →
+                # primary on the feed connection, the direction an egress
+                # partition of the primary leaves open, which is what lets
+                # a cut-off primary *notice* replication has stalled and
+                # stop acknowledging clients (see SpaceServer.sync_replication).
+                conn.send({"repl_ack": self.space.wal.last_lsn})
                 if not self.caught_up:
                     self.caught_up = True
                     if self.metrics is not None:
@@ -294,11 +324,13 @@ class HotStandby:
                     batch = message.get("repl_batch")
                     if batch is not None:
                         for record in batch:
-                            self.space.apply_commit(record)
+                            self._apply_contiguous(conn, record)
+                        conn.send({"repl_ack": self.space.wal.last_lsn})
                         continue
                     record = message.get("repl")
                     if record is not None:
-                        self.space.apply_commit(record)
+                        self._apply_contiguous(conn, record)
+                        conn.send({"repl_ack": self.space.wal.last_lsn})
             except (ConnectionClosedError, ConnectionRefusedError_, NetworkError):
                 if not self._running or self.promoted:
                     return
@@ -309,3 +341,20 @@ class HotStandby:
                     return
                 self.runtime.sleep(self.retry_ms)
         self._conn = None
+
+    def _apply_contiguous(self, conn: StreamSocket, record: Any) -> None:
+        """Apply one streamed record, refusing to ack across a hole.
+
+        LSNs are dense, so a record more than one ahead means an earlier
+        feed message was silently dropped (a partition eats batches
+        without closing the stream).  Acking ``last_lsn`` past such a
+        hole would tell the primary the missing commits are safe when
+        they are gone — so tear the feed down and re-bootstrap from our
+        true LSN instead; the bootstrap reply fills the gap exactly.
+        """
+        if record.lsn > self.space.wal.last_lsn + 1:
+            have = self.space.wal.last_lsn
+            conn.close()
+            raise ConnectionClosedError(
+                f"replication gap: have lsn {have}, got {record.lsn}")
+        self.space.apply_commit(record)

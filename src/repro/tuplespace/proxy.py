@@ -17,6 +17,7 @@ from typing import Any, Callable, Optional
 from repro.errors import (
     ConnectionClosedError,
     ConnectionRefusedError_,
+    FencedError,
     NetworkError,
     SpaceError,
     TransactionAbortedError,
@@ -79,7 +80,14 @@ _BLOCKING_OPS = frozenset({"read", "exists", "take", "take_multiple"})
 _REMOTE_ERROR_TYPES: dict[str, type] = {
     "TransactionAbortedError": TransactionAbortedError,
     "TransactionError": TransactionError,
+    "FencedError": FencedError,
 }
+
+#: Operations exempt from epoch/lease fencing: probes must reach a fenced
+#: server (that is how supervisors and demoted standbys talk to it), the
+#: replication feed is how a fenced server *re-syncs*, and ``fence`` is
+#: the demotion order itself.
+_FENCE_EXEMPT_OPS = frozenset({"ping", "replicate", "fence"})
 
 #: Sentinel returned by a handler that already sent its own reply and
 #: turned the connection into a one-way stream (replication feed).
@@ -113,6 +121,53 @@ class SpaceServer:
         self._connections: set[StreamSocket] = set()
         self._event_channels: dict[Address, StreamSocket] = {}
         self.restarts = 0
+        #: Epoch fencing (off by default; failover-managed servers enable
+        #: it).  When on, a request whose stamped epoch is *behind* this
+        #: server's WAL epoch is rejected with :class:`FencedError`, and a
+        #: request from a *newer* epoch proves this server was superseded:
+        #: it demotes itself on the spot.
+        self.fencing = False
+        #: Set once the server learns a higher epoch exists; every
+        #: non-exempt op is refused from then on.
+        self.superseded = False
+        #: Requests rejected by the fence (stale client or deposed self).
+        self.fenced_rpcs = 0
+        #: Primary lease: when set, the server self-fences ``lease_ms``
+        #: after the last supervisor renewal — a paused or partitioned
+        #: primary stops acknowledging writes *before* its standby can be
+        #: promoted, closing the split-brain window that heartbeat-driven
+        #: failover otherwise leaves open.
+        self.lease_ms: Optional[float] = None
+        self._lease_expires: Optional[float] = None
+        #: Synchronous replication: when on and a standby feed is attached,
+        #: a mutation is acknowledged only after the standby has confirmed
+        #: the WAL record.  This closes the *lost-ack* half of split brain:
+        #: without it an egress-partitioned primary keeps acking loopback
+        #: clients while nothing reaches the standby that is about to be
+        #: promoted.  Enabled together with fencing by failover-managed
+        #: deployments; standalone servers keep the async fast path.
+        self.sync_replication = False
+        #: How long a mutation may wait for the standby's ack before the
+        #: server gives up and *drops the client connection unanswered*
+        #: (the client sees a connection error: correctly indeterminate).
+        self.repl_ack_timeout_ms = 500.0
+        #: Replication LSN each attached feed has confirmed, keyed by the
+        #: feed's connection; mutations gate on the minimum.
+        self._feed_acks: dict[Any, int] = {}
+        self._repl_cond = runtime.condition()
+        #: Acks that timed out waiting for the standby (dropped replies).
+        self.repl_stalls = 0
+
+    @property
+    def epoch(self) -> int:
+        """The epoch of the space served (0 for non-durable spaces)."""
+        wal = getattr(self.space, "wal", None)
+        return wal.epoch if wal is not None else 0
+
+    def grant_lease(self, lease_ms: float) -> None:
+        """Arm the primary lease (renewed by supervisor probe pings)."""
+        self.lease_ms = lease_ms
+        self._lease_expires = self.runtime.now() + lease_ms
 
     def start(self) -> None:
         """Start (or, after :meth:`stop`/:meth:`crash`, restart) serving."""
@@ -120,6 +175,8 @@ class SpaceServer:
             return
         if self._listener is not None:
             self.restarts += 1
+        if self.lease_ms is not None:
+            self._lease_expires = self.runtime.now() + self.lease_ms
         self._listener = self.network.listen(self.address)
         self._running = True
         self.runtime.spawn(self._accept_loop, name=f"space-server:{self.address}")
@@ -182,15 +239,40 @@ class SpaceServer:
     def _serve(self, conn: StreamSocket) -> None:
         """Handle one client connection; abort its transactions on drop."""
         transactions: dict[int, Transaction] = {}
+        wal = getattr(self.space, "wal", None)
         try:
             while True:
                 request = conn.receive(timeout_ms=None)
                 if request is None:
                     continue
+                if "repl_ack" in request:
+                    # Standby confirming replication up to an LSN.  Acks
+                    # ride the feed connection *backwards* (standby to
+                    # primary), which is exactly the direction an egress
+                    # partition of the primary leaves open — so a cut-off
+                    # primary notices its acks stopped instead of serving
+                    # on in blissful ignorance.
+                    self._note_repl_ack(conn, int(request["repl_ack"]))
+                    continue
                 try:
+                    before_lsn = wal.last_lsn if wal is not None else 0
                     value = self._dispatch(request, transactions, conn)
                     if value is _STREAMING:
                         continue  # handler replied itself; feed is one-way now
+                    if (self.sync_replication and wal is not None
+                            and wal.last_lsn > before_lsn
+                            and not self._await_repl_ack(wal.last_lsn)):
+                        # The standby never confirmed this mutation within
+                        # the timeout.  Acking anyway would be the lost-ack
+                        # bug: a promotion could discard a commit the
+                        # client was told succeeded.  Dropping the
+                        # connection *without a reply* instead makes the
+                        # outcome honestly indeterminate on the client.
+                        self.repl_stalls += 1
+                        conn.close()
+                        raise ConnectionClosedError(
+                            f"replication ack for lsn {wal.last_lsn} "
+                            f"timed out; dropping client unanswered")
                     conn.send({"ok": True, "value": value})
                 except ConnectionClosedError:
                     raise
@@ -200,10 +282,38 @@ class SpaceServer:
             pass
         finally:
             self._connections.discard(conn)
+            if conn in self._feed_acks:
+                with self._repl_cond:
+                    self._feed_acks.pop(conn, None)
+                    self._repl_cond.notify_all()
             for txn in transactions.values():
                 if txn.state == "active":
                     txn.abort()
             conn.close()
+
+    # -- replication acknowledgements -------------------------------------------
+
+    def _note_repl_ack(self, conn: StreamSocket, lsn: int) -> None:
+        with self._repl_cond:
+            if lsn > self._feed_acks.get(conn, -1):
+                self._feed_acks[conn] = lsn
+            self._repl_cond.notify_all()
+
+    def _await_repl_ack(self, lsn: int) -> bool:
+        """Block until every attached feed has confirmed ``lsn``.
+
+        True when confirmed (or no feed is attached — with no standby to
+        promote there is nothing a lost ack could diverge from, and
+        gating would deadlock a freshly promoted primary whose deposed
+        predecessor has not rejoined yet); False on timeout.
+        """
+        with self._repl_cond:
+            return self.runtime.wait_for(
+                self._repl_cond,
+                lambda: (not self._feed_acks
+                         or min(self._feed_acks.values()) >= lsn),
+                timeout_ms=self.repl_ack_timeout_ms,
+            )
 
     def _dispatch(
         self,
@@ -213,6 +323,8 @@ class SpaceServer:
     ) -> Any:
         op = request.get("op")
         args = request.get("args", {})
+        if self.fencing and op not in _FENCE_EXEMPT_OPS:
+            self._check_fence(op, request.get("epoch"))
         txn = None
         txn_id = args.get("txn_id")
         if txn_id is not None:
@@ -223,6 +335,42 @@ class SpaceServer:
         if handler is None:
             raise SpaceError(f"unknown operation: {op!r}")
         return handler(self, args, txn, transactions, conn)
+
+    def _check_fence(self, op: str, client_epoch: Optional[int]) -> None:
+        """Reject the request if either side of it is behind the cluster.
+
+        The check runs *before* the handler, so a fenced request has no
+        side effects — which is what makes the client's retry after
+        re-discovery safe even for writes and takes.
+        """
+        if self.superseded:
+            self.fenced_rpcs += 1
+            raise FencedError(
+                f"server at {self.address} was superseded "
+                f"(epoch {self.epoch}); rediscover the primary")
+        my_epoch = self.epoch
+        if client_epoch is not None:
+            if client_epoch < my_epoch:
+                self.fenced_rpcs += 1
+                raise FencedError(
+                    f"stale client epoch {client_epoch} < {my_epoch}")
+            if client_epoch > my_epoch:
+                # A client that has already seen a newer primary is proof
+                # this server was deposed while it wasn't looking.
+                self.superseded = True
+                self.fenced_rpcs += 1
+                raise FencedError(
+                    f"server epoch {my_epoch} superseded by client "
+                    f"epoch {client_epoch}")
+        if (self._lease_expires is not None
+                and self.runtime.now() > self._lease_expires):
+            # No supervisor renewal for a full lease: this server cannot
+            # know whether a standby has been promoted, so it must refuse
+            # acknowledgements until a renewal (or a fence) arrives.
+            self.fenced_rpcs += 1
+            raise FencedError(
+                f"primary lease expired at {self._lease_expires:.0f} ms; "
+                f"refusing {op!r} until the supervisor renews")
 
     # -- per-op handlers, bound through the _DISPATCH table ---------------------
 
@@ -283,7 +431,58 @@ class SpaceServer:
         return self._register_notify(args, conn)
 
     def _op_ping(self, args, txn, transactions, conn) -> Any:
-        return "pong"
+        # Supervisor probes double as lease renewals; an ordinary client
+        # ping never does, so a mere worker cannot keep a deposed primary
+        # alive.  Renewal is refused once the server is superseded, and —
+        # crucially — once the lease has *already expired*: a stale ping
+        # released by a healing pause must not resurrect a self-fenced
+        # primary whose standby may have been promoted in the meantime.
+        # Only an explicit ``grant_lease`` (the supervisor re-arming its
+        # watch) un-fences.
+        if args.get("renew_lease") and self.lease_ms is not None:
+            now = self.runtime.now()
+            if not self.superseded and (self._lease_expires is None
+                                        or now <= self._lease_expires):
+                # The renewal extends the lease only to the *supervisor's*
+                # bound (probe-send time + lease_ms), not to arrival time
+                # + lease_ms: a renewal that crawled through a slow or
+                # one-way-partitioned link must not grant more lease than
+                # the supervisor will wait out before promoting, or the
+                # two primaries overlap.  Legacy renewals without a bound
+                # keep the arrival-clock rule.
+                bound = args.get("valid_until")
+                granted = now + self.lease_ms if bound is None else float(bound)
+                if self._lease_expires is None or granted > self._lease_expires:
+                    self._lease_expires = granted
+        # The reply reports the fence state: a probe that finds the lease
+        # expired tells the supervisor this primary is self-fenced and will
+        # stay so (renewal was just refused above) — reachable-but-fenced
+        # must trigger promotion, or the space stays read-only forever.
+        return {
+            "pong": True,
+            "epoch": self.epoch,
+            "superseded": self.superseded,
+            "lease_expired": (
+                self._lease_expires is not None
+                and self.runtime.now() > self._lease_expires),
+        }
+
+    def _op_fence(self, args, txn, transactions, conn) -> Any:
+        """Demotion order from a supervisor: a newer primary exists.
+
+        Idempotent — repeated fences (the supervisor retries until the
+        partition heals) all land on the same superseded flag.  The reply
+        acknowledges with this server's final epoch so the supervisor
+        knows the order arrived.
+        """
+        new_epoch = args.get("epoch", 0)
+        if new_epoch > self.epoch and not self.superseded:
+            self.superseded = True
+            # Free the listen address for the machine's rejoin as a
+            # standby (the ack is already on the wire when this fires);
+            # stragglers get connection-refused and re-discover.
+            self.runtime.call_later(0.0, lambda: self.stop(drain_ms=1_000.0))
+        return {"epoch": self.epoch, "superseded": self.superseded}
 
     def _op_batch(self, args, txn, transactions, conn) -> Any:
         """Execute a pipeline of sub-operations from one network message.
@@ -369,6 +568,10 @@ class SpaceServer:
             conn.send({"ok": True, "value": {
                 "snapshot": snapshot,
                 "records": wal.records_since(base_lsn),
+                # The standby adopts the primary's epoch even when no
+                # commit has happened under it yet, so chained failovers
+                # keep strictly increasing epochs.
+                "epoch": wal.epoch,
             }})
 
             # Commit records are buffered and shipped as one
@@ -397,6 +600,13 @@ class SpaceServer:
                     self.runtime.call_later(0.0, flush)
 
             wal.subscribe(feed)
+            # Track this feed for synchronous-replication gating.  It
+            # starts unconfirmed (-1): until the standby acks the
+            # bootstrap, mutations must not trust the snapshot we just
+            # put on the wire — it may never arrive.
+            with self._repl_cond:
+                self._feed_acks[conn] = -1
+                self._repl_cond.notify_all()
         return _STREAMING
 
     def _register_notify(self, args: dict[str, Any], conn: StreamSocket) -> int:
@@ -436,6 +646,7 @@ _DISPATCH: dict[str, Callable[..., Any]] = {
     "txn_abort": SpaceServer._op_txn_abort,
     "notify": SpaceServer._op_notify,
     "ping": SpaceServer._op_ping,
+    "fence": SpaceServer._op_fence,
     "replicate": SpaceServer._op_replicate,
     "batch": SpaceServer._op_batch,
 }
@@ -636,6 +847,12 @@ class SpaceProxy:
         self._dial_failures = 0
         self.reconnects = 0
         self.retries = 0
+        #: Last primary epoch learned from the locator; stamped on every
+        #: request so a deposed primary rejects us (and we rediscover)
+        #: instead of silently accepting a write the cluster moved past.
+        self.epoch: Optional[int] = None
+        #: Calls rejected with :class:`FencedError` and re-routed.
+        self.fenced = 0
 
     # -- plumbing ------------------------------------------------------------------
 
@@ -687,6 +904,12 @@ class SpaceProxy:
             if self._metrics is not None:
                 self._metrics.event("proxy-rediscovered", host=self.host,
                                     address=str(fresh))
+        # Locators that track the primary epoch (JiniSpaceLocator) expose
+        # it after each lookup; adopt it monotonically.
+        learned = getattr(self._locator, "epoch", None)
+        if learned is not None and (self.epoch is None
+                                    or learned > self.epoch):
+            self.epoch = learned
 
     def _drop_connection(self) -> None:
         """Discard the current connection so a late reply from a dead RPC
@@ -697,7 +920,10 @@ class SpaceProxy:
 
     def _call_once(self, op: str, args: dict[str, Any]) -> Any:
         conn = self._connection()
-        conn.send({"op": op, "args": args})
+        request: dict[str, Any] = {"op": op, "args": args}
+        if self.epoch is not None:
+            request["epoch"] = self.epoch
+        conn.send(request)
         timeout_ms = self.recovery.call_timeout_ms if self.recovery else None
         if timeout_ms is not None and op in _BLOCKING_OPS:
             # The RPC budget covers transport + dispatch; the op's own wait
@@ -743,6 +969,24 @@ class SpaceProxy:
         while True:
             try:
                 return attempt_fn()
+            except FencedError:
+                # The server rejected the request *before* executing it,
+                # so re-issuing is safe regardless of idempotency.  Drop
+                # the connection and retry — the reconnect path
+                # re-discovers the current primary (and its epoch).
+                self._drop_connection()
+                if self._failed or self.recovery is None:
+                    raise
+                attempt += 1
+                if attempt > self.recovery.max_retries:
+                    raise
+                self.fenced += 1
+                if self._metrics is not None:
+                    self._metrics.event("proxy-fenced", host=self.host,
+                                        op=label, attempt=attempt)
+                self.network.runtime.sleep(
+                    self.recovery.backoff_ms(attempt, self._rng)
+                )
             except (ConnectionClosedError, ConnectionRefusedError_):
                 self._drop_connection()
                 if self._failed or not retriable:
@@ -766,8 +1010,12 @@ class SpaceProxy:
 
     def _batch_once(self, ops: list[tuple[str, dict[str, Any]]]) -> list[dict]:
         conn = self._connection()
-        conn.send({"op": "batch",
-                   "args": {"ops": [{"op": o, "args": a} for o, a in ops]}})
+        request: dict[str, Any] = {
+            "op": "batch",
+            "args": {"ops": [{"op": o, "args": a} for o, a in ops]}}
+        if self.epoch is not None:
+            request["epoch"] = self.epoch
+        conn.send(request)
         timeout_ms = self.recovery.call_timeout_ms if self.recovery else None
         if timeout_ms is not None:
             # Sub-ops execute sequentially server-side, so the reply
@@ -786,6 +1034,9 @@ class SpaceProxy:
             raise ConnectionClosedError("space rpc 'batch' timed out")
         if reply.get("ok"):
             return reply["value"]["replies"]
+        exc_cls = _REMOTE_ERROR_TYPES.get(reply.get("type"))
+        if exc_cls is not None:
+            raise exc_cls(f"remote batch failed: {reply.get('error')}")
         raise SpaceError(
             f"remote batch failed: {reply.get('type')}: {reply.get('error')}")
 
@@ -888,7 +1139,8 @@ class SpaceProxy:
         return RemoteTransaction(self, txn_id)
 
     def ping(self) -> bool:
-        return self._call("ping", {}) == "pong"
+        reply = self._call("ping", {})
+        return bool(reply) and (reply == "pong" or bool(reply.get("pong")))
 
     # -- notify ---------------------------------------------------------------------
 

@@ -79,6 +79,11 @@ class CommitRecord:
 
     lsn: int
     ops: tuple[tuple, ...]
+    #: Primary epoch under which the batch committed.  Monotonically
+    #: non-decreasing along the log; a promoted standby bumps it before
+    #: serving, which fences the deposed primary (see ``failover.py``).
+    #: Defaults to 0 so logs written before fencing existed still load.
+    epoch: int = 0
 
 
 class WalStore:
@@ -106,6 +111,10 @@ class WalStore:
         self.fsync_policy = fsync_policy
         self.group_size = group_size
         self.snapshot: Optional[tuple[int, bytes]] = None  # (lsn, state)
+        #: Highest primary epoch this store has durably observed.  It is
+        #: replayed on recovery so a restarted primary knows whether it
+        #: has been superseded while down.
+        self.epoch = 0
         self.records: list[CommitRecord] = []
         #: Records in ``records[:_synced]`` are behind a durability
         #: barrier; the tail is pending (buffered or OS-cached only).
@@ -115,7 +124,18 @@ class WalStore:
 
     # -- appending ----------------------------------------------------------
 
+    def set_epoch(self, epoch: int) -> None:
+        """Adopt ``epoch`` if it is newer; epochs never move backwards."""
+        if epoch > self.epoch:
+            self.epoch = epoch
+            self._persist_epoch()
+
+    def _persist_epoch(self) -> None:
+        """Make the epoch durable (overridden by :class:`FileWalStore`)."""
+
     def append(self, record: CommitRecord) -> None:
+        if record.epoch > self.epoch:
+            self.set_epoch(record.epoch)
         self.records.append(record)
         if self.fsync_policy == "group":
             if self.pending() >= self.group_size:
@@ -196,10 +216,23 @@ class FileWalStore(WalStore):
         path = os.fspath(path)
         self._snap_path = path + ".snap"
         self._log_path = path + ".log"
+        self._epoch_path = path + ".epoch"
         self._load()
         self._log_fh = open(self._log_path, "ab")
 
+    def _persist_epoch(self) -> None:
+        # The epoch is a promise never to accept older writes, so it must
+        # be durable *before* any commit made under it — atomic replace
+        # keeps a crash from leaving a torn value.
+        self._write_atomic(
+            self._epoch_path,
+            lambda fh: fh.write(str(self.epoch).encode("ascii")),
+        )
+
     def _load(self) -> None:
+        if os.path.exists(self._epoch_path):
+            with open(self._epoch_path, "rb") as fh:
+                self.epoch = int(fh.read().decode("ascii") or "0")
         if os.path.exists(self._snap_path):
             with open(self._snap_path, "rb") as fh:
                 self.snapshot = pickle.load(fh)
@@ -216,6 +249,11 @@ class FileWalStore(WalStore):
         if self.snapshot is not None:
             lsn = self.snapshot[0]
             self.records = [r for r in self.records if r.lsn > lsn]
+        # Records written before the epoch sidecar existed (or by older
+        # versions) may still carry a higher epoch than the sidecar.
+        for record in self.records:
+            if getattr(record, "epoch", 0) > self.epoch:
+                self.epoch = record.epoch
         self._synced = len(self.records)
 
     def _persist(self, records: list[CommitRecord]) -> None:
@@ -303,7 +341,8 @@ class WriteAheadLog:
     # -- writing ------------------------------------------------------------
 
     def append(self, ops: tuple[tuple, ...]) -> CommitRecord:
-        record = CommitRecord(self.store.last_lsn() + 1, tuple(ops))
+        record = CommitRecord(self.store.last_lsn() + 1, tuple(ops),
+                              self.store.epoch)
         self.store.append(record)
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
@@ -356,6 +395,27 @@ class WriteAheadLog:
     @property
     def last_lsn(self) -> int:
         return self.store.last_lsn()
+
+    # -- epoch fencing ------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The primary epoch this log last committed (or adopted) under."""
+        return self.store.epoch
+
+    def set_epoch(self, epoch: int) -> None:
+        """Adopt a newer epoch (monotonic; older values are ignored)."""
+        self.store.set_epoch(epoch)
+
+    def bump_epoch(self) -> int:
+        """Durably advance to the next epoch and return it.
+
+        Called by a standby at promotion time, *before* it starts
+        serving — every commit it accepts is stamped with the new epoch,
+        and the deposed primary's lower epoch can never pass the fence
+        again."""
+        self.store.set_epoch(self.store.epoch + 1)
+        return self.store.epoch
 
     def records_since(self, lsn: int) -> list[CommitRecord]:
         """Every stored record with an LSN strictly greater than ``lsn``."""

@@ -1,0 +1,32 @@
+"""Consistency verification for chaos runs (DESIGN.md §11).
+
+The tuple space is the cluster's single source of truth, so the only
+evidence a chaos campaign needs is the *operation history* every client
+observed against it: each ``write``/``take``/``read`` with its
+invocation and response times and a resolution status.  The wrappers in
+:mod:`repro.verify.history` record that history transparently (master
+and workers see the same duck-typed space API); the checker in
+:mod:`repro.verify.checker` replays it after the run and flags anything
+a correct space could not have produced — a take of a never-written or
+already-taken entry, a committed write that vanished, a result that
+materialized twice.
+"""
+
+from repro.verify.checker import HistoryReport, check_history
+from repro.verify.history import (
+    HistoryRecorder,
+    Op,
+    RecordingBatch,
+    RecordingSpace,
+    RecordingTransaction,
+)
+
+__all__ = [
+    "HistoryRecorder",
+    "Op",
+    "RecordingSpace",
+    "RecordingTransaction",
+    "RecordingBatch",
+    "HistoryReport",
+    "check_history",
+]

@@ -103,3 +103,62 @@ def test_both_faults_mid_batch_and_deterministic_replay():
     assert result.exactly_once, result.format_summary()
     assert verify_coordination_determinism(
         seed=2, faults=("kill-primary-space", "kill-master"), prefetch=4)
+
+
+# ---------------------------------------------------------------------------
+# Nemesis faults (partition / pause / gray-slow).
+#
+# Unlike the kill-* faults above, these never announce themselves to the
+# victim: a partitioned or paused primary keeps believing it is primary.
+# Correctness rests entirely on lease fencing (the supervisor waits out
+# the last renewal it put on the wire; the primary self-fences when no
+# renewal arrives) — and the per-op history checker audits every run.
+# ---------------------------------------------------------------------------
+
+def test_partition_campaign_stays_consistent():
+    # Unsharded: the supervisor is co-located with the primary, so the
+    # egress cut cannot sever supervision (loopback is exempt) — workers
+    # simply ride out the cut and the history stays clean.
+    result = coordination_chaos_experiment(seed=7, faults=("partition",))
+    assert result.faults_injected == 1
+    assert result.correct, result.format_summary()
+    assert result.consistent, result.history_report.summary()
+    names = {n for _, n, _ in result.trace}
+    assert "fault-healed" in names, result.format_summary()
+
+
+def test_sharded_partition_campaign_promotes_one_shard():
+    result = coordination_chaos_experiment(
+        seed=7, shards=4, faults=("partition:shard:1",))
+    assert result.faults_injected == 1
+    assert result.correct, result.format_summary()
+    assert result.consistent, result.history_report.summary()
+    names = {n for _, n, _ in result.trace}
+    assert {"failover-complete", "standby-rejoining"} <= names, \
+        result.format_summary()
+
+
+def test_pause_campaign_fences_the_revived_primary():
+    result = coordination_chaos_experiment(seed=7, faults=("pause",))
+    assert result.correct, result.format_summary()
+    assert result.consistent, result.history_report.summary()
+    # The paused primary wakes after promotion: its stale RPCs must have
+    # been turned away by the fence, and it must have rejoined as a
+    # standby that caught back up.
+    assert result.fenced_rpcs >= 1, result.format_summary()
+    names = {n for _, n, _ in result.trace}
+    assert {"failover-complete", "primary-fenced",
+            "standby-rejoining"} <= names, result.format_summary()
+
+
+def test_gray_slow_campaign_completes_consistently():
+    result = coordination_chaos_experiment(seed=7, faults=("gray-slow",))
+    assert result.faults_injected == 1
+    assert result.correct, result.format_summary()
+    assert result.consistent, result.history_report.summary()
+
+
+@pytest.mark.parametrize("faults", [("partition",), ("pause",)])
+def test_nemesis_campaigns_replay_deterministically(faults):
+    # Byte-identical trace/solution/aggregations across the stall or cut.
+    assert verify_coordination_determinism(seed=7, faults=faults)

@@ -113,3 +113,83 @@ def test_disarm_suppresses_unfired_events(rt):
     rt.kernel.run_until_idle()
     assert not host.crashed
     assert injector.injected == 0
+
+
+# -- nemesis fault kinds: partition / pause / gray-slow ---------------------
+
+
+def _net(rt):
+    return Network(rt, latency=LatencyModel(base_ms=1.0, jitter_ms=0.0,
+                                            per_kb_ms=0.0))
+
+
+def test_nemesis_faults_inject_and_heal_on_schedule(rt):
+    net = _net(rt)
+    plan = FaultPlan([
+        FaultEvent(100.0, FaultKind.PARTITION, target="space",
+                   duration_ms=300.0),
+        FaultEvent(150.0, FaultKind.PAUSE, target="shard:1",
+                   duration_ms=300.0),
+        FaultEvent(200.0, FaultKind.GRAY_SLOW, target="w9",
+                   duration_ms=300.0, factor=8.0),
+    ])
+    injector = FaultInjector(rt, net, plan, Metrics(rt),
+                             space_hosts=["h0", "h1"])
+    observed = {}
+
+    def observer():
+        rt.sleep(250.0)  # all three active
+        observed["egress-cut"] = net.is_partitioned("h0", "elsewhere")
+        observed["ingress-open"] = not net.is_partitioned("elsewhere", "h0")
+        observed["paused"] = net.is_paused("h1")
+        observed["slowed"] = net._slow_factor("w9", "x")
+        rt.sleep(350.0)  # all healed
+        observed["healed"] = (not net.is_partitioned("h0", "elsewhere")
+                              and not net.is_paused("h1")
+                              and net._slow_factor("w9", "x") == 1.0)
+
+    injector.arm()
+    rt.kernel.spawn(observer, name="observer")
+    rt.kernel.run_until_idle()
+
+    assert observed == {"egress-cut": True, "ingress-open": True,
+                        "paused": True, "slowed": 8.0, "healed": True}
+    assert injector.injected == 3
+    assert injector.healed == 3
+
+
+def test_resolve_target_symbolic_names(rt):
+    injector = FaultInjector(rt, _net(rt), FaultPlan(), Metrics(rt),
+                             space_hosts=["h0", "h1", "h2"])
+    assert injector.resolve_target("space") == "h0"
+    assert injector.resolve_target("shard:2") == "h2"
+    assert injector.resolve_target("worker7") == "worker7"
+    assert injector.resolve_target(None) is None
+
+
+def test_disarm_heals_outstanding_directed_partitions(rt):
+    net = _net(rt)
+    plan = FaultPlan([
+        FaultEvent(100.0, FaultKind.PARTITION, target="space",
+                   duration_ms=60_000.0),   # would outlive the run
+        FaultEvent(100.0, FaultKind.PAUSE, target="shard:1",
+                   duration_ms=60_000.0),
+        FaultEvent(100.0, FaultKind.GRAY_SLOW, target="w9",
+                   duration_ms=60_000.0, factor=4.0),
+    ])
+    injector = FaultInjector(rt, net, plan, Metrics(rt),
+                             space_hosts=["h0", "h1"])
+
+    def proc():
+        rt.sleep(200.0)
+        assert net.is_partitioned("h0", "elsewhere")
+        assert net.is_paused("h1")
+        injector.disarm()
+        assert not net.is_partitioned("h0", "elsewhere")
+        assert not net.is_paused("h1")
+        assert net._slow_factor("w9", "x") == 1.0
+
+    injector.arm()
+    rt.kernel.spawn(proc, name="proc")
+    rt.kernel.run_until_idle()
+    assert injector.injected == 3

@@ -110,3 +110,138 @@ def test_multicast_respects_partitions(rt, net):
     lost, received = run_in_sim(rt, proc)
     assert lost is None
     assert received[0] == "announce"
+
+
+# -- directed partitions, pauses, gray failures (the nemesis kit) -----------
+
+
+def test_directed_partition_is_asymmetric(rt, net):
+    a = net.bind_datagram(Address("a", 1))
+    b = net.bind_datagram(Address("b", 1))
+
+    def proc():
+        net.partition("a", "b")
+        a.send_to(Address("b", 1), "gone")
+        lost = b.receive(timeout_ms=20.0)
+        b.send_to(Address("a", 1), "back")        # reverse path still open
+        reply = a.receive(timeout_ms=20.0)
+        net.heal_partition("a", "b")
+        a.send_to(Address("b", 1), "again")
+        healed = b.receive(timeout_ms=20.0)
+        return lost, reply[0], healed[0]
+
+    assert run_in_sim(rt, proc) == (None, "back", "again")
+    # Partition drops are tallied apart from lossy-link chaos drops.
+    assert net.stats["partition_dropped"] == 1
+    assert net.stats["dropped"] == 1
+
+
+def test_wildcard_egress_cut_spares_ingress_and_loopback(rt, net):
+    a = net.bind_datagram(Address("a", 1))
+    a2 = net.bind_datagram(Address("a", 2))
+    b = net.bind_datagram(Address("b", 1))
+
+    def proc():
+        net.partition("a", "*")                   # a's NIC stops sending
+        a.send_to(Address("b", 1), "x")
+        lost = b.receive(timeout_ms=20.0)
+        a.send_to(Address("a", 2), "self")        # loopback is exempt
+        local = a2.receive(timeout_ms=20.0)
+        b.send_to(Address("a", 1), "in")          # ingress still flows
+        inbound = a.receive(timeout_ms=20.0)
+        return lost, local[0], inbound[0]
+
+    assert run_in_sim(rt, proc) == (None, "self", "in")
+    assert net.is_partitioned("a", "b")
+    assert not net.is_partitioned("b", "a")
+    assert not net.is_partitioned("a", "a")
+
+
+def test_partition_pair_cuts_both_directions(rt, net):
+    a = net.bind_datagram(Address("a", 1))
+    b = net.bind_datagram(Address("b", 1))
+    c = net.bind_datagram(Address("c", 1))
+
+    def proc():
+        net.partition_pair("a", "b")
+        a.send_to(Address("b", 1), "x")
+        b.send_to(Address("a", 1), "y")
+        first = a.receive(timeout_ms=20.0)
+        second = b.receive(timeout_ms=20.0)
+        a.send_to(Address("c", 1), "bystander")   # rest of the segment fine
+        third = c.receive(timeout_ms=20.0)
+        net.heal_all_partitions()
+        a.send_to(Address("b", 1), "ok")
+        fourth = b.receive(timeout_ms=20.0)
+        return first, second, third[0], fourth[0]
+
+    assert run_in_sim(rt, proc) == (None, None, "bystander", "ok")
+
+
+def test_partitioned_stream_send_counts_partition_drop(rt, net):
+    listener = net.listen(Address("server", 1))
+
+    def proc():
+        conn = net.connect("client", Address("server", 1))
+        server = listener.accept(timeout_ms=50.0)
+        net.partition("client", "server")
+        conn.send("lost")
+        lost = server.receive(timeout_ms=20.0)
+        return lost
+
+    assert run_in_sim(rt, proc) is None
+    assert net.stats["partition_dropped"] == 1
+
+
+def test_pause_holds_traffic_and_resume_delivers_in_order(rt, net):
+    a = net.bind_datagram(Address("a", 1))
+    b = net.bind_datagram(Address("b", 1))
+
+    def proc():
+        net.pause("b")
+        a.send_to(Address("b", 1), "one")
+        a.send_to(Address("b", 1), "two")
+        held = b.receive(timeout_ms=50.0)         # stalled, nothing arrives
+        net.resume("b")
+        first = b.receive(timeout_ms=50.0)
+        second = b.receive(timeout_ms=50.0)
+        return held, first[0], second[0]
+
+    # Unlike a partition, a pause loses nothing: the mail arrives late.
+    assert run_in_sim(rt, proc) == (None, "one", "two")
+    assert net.stats["dropped"] == 0
+
+
+def test_paused_host_cannot_send_either(rt, net):
+    a = net.bind_datagram(Address("a", 1))
+    b = net.bind_datagram(Address("b", 1))
+
+    def proc():
+        net.pause("a")
+        a.send_to(Address("b", 1), "stalled")
+        held = b.receive(timeout_ms=50.0)
+        net.resume("a")
+        late = b.receive(timeout_ms=50.0)
+        return held, late[0]
+
+    assert run_in_sim(rt, proc) == (None, "stalled")
+
+
+def test_gray_slow_multiplies_latency(rt, net):
+    a = net.bind_datagram(Address("a", 1))
+    b = net.bind_datagram(Address("b", 1))
+
+    def proc():
+        net.slow("b", 8.0)
+        start = rt.now()
+        a.send_to(Address("b", 1), "x")
+        assert b.receive(timeout_ms=100.0) is not None
+        slow_ms = rt.now() - start
+        net.heal_slow("b")
+        start = rt.now()
+        a.send_to(Address("b", 1), "y")
+        assert b.receive(timeout_ms=100.0) is not None
+        return slow_ms, rt.now() - start
+
+    slow_ms, fast_ms = run_in_sim(rt, proc)
+    assert slow_ms == pytest.approx(fast_ms * 8.0)

@@ -38,3 +38,28 @@ def test_exp3_custom_app_and_workers(capsys):
     assert main(["exp3", "--app", "web-prefetch", "--workers", "2"]) == 0
     out = capsys.readouterr().out
     assert "Dynamic worker behaviour — web-prefetch (2 workers)" in out
+
+
+def test_chaos_fault_spec_parses_comma_lists():
+    from repro.cli import _fault_spec
+    assert _fault_spec("partition") == ["partition"]
+    assert _fault_spec("partition:space, kill-shard:1") == [
+        "partition:space", "kill-shard:1"]
+    assert _fault_spec("pause:shard:2,gray-slow") == [
+        "pause:shard:2", "gray-slow"]
+
+
+def test_chaos_fault_spec_rejects_malformed_values():
+    import argparse
+    from repro.cli import _fault_spec
+    for bogus in ("bogus", "partition:shard:x", "", ",", "kill-shard:x"):
+        with pytest.raises(argparse.ArgumentTypeError):
+            _fault_spec(bogus)
+
+
+def test_chaos_parser_accepts_repeated_and_comma_faults():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["chaos", "--fault", "partition:space,kill-shard:1",
+         "--fault", "pause"])
+    assert args.faults == ["partition:space", "kill-shard:1", "pause"]

@@ -1,0 +1,178 @@
+"""Consistency-checker unit tests: each conservation law, both ways."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.tuplespace.entry import Entry
+from repro.verify import check_history
+from repro.verify.history import (
+    ABORTED,
+    COMMITTED,
+    INDETERMINATE,
+    PENDING,
+    REJECTED,
+    Op,
+)
+
+
+class TaskEntry(Entry):
+    def __init__(self, task_id=None):
+        self.task_id = task_id
+
+
+def _op(op, key_id, status, *, cls="TaskEntry", invoked=0.0, responded=1.0,
+        count=1, keyed=True):
+    return Op(op=op, entry_class=cls,
+              key=(cls, key_id) if keyed else None,
+              client="c", invoked_ms=invoked, responded_ms=responded,
+              status=status, count=count)
+
+
+def _history(*ops):
+    return SimpleNamespace(ops=list(ops))
+
+
+def test_clean_write_take_pair_passes():
+    report = check_history(_history(
+        _op("write", 1, COMMITTED, invoked=0.0),
+        _op("take", 1, COMMITTED, invoked=5.0, responded=6.0),
+    ), final_entries=[])
+    assert report.ok
+    assert report.ops == 2 and report.keys == 1
+    assert "no consistency violations" in report.summary()
+
+
+def test_phantom_take_is_a_violation():
+    report = check_history(_history(
+        _op("take", 1, COMMITTED),
+    ), final_entries=[])
+    assert not report.ok
+    assert "never written or was already taken" in report.violations[0]
+
+
+def test_double_take_of_single_write_is_a_violation():
+    report = check_history(_history(
+        _op("write", 1, COMMITTED),
+        _op("take", 1, COMMITTED),
+        _op("take", 1, COMMITTED),
+    ), final_entries=[])
+    assert not report.ok
+
+
+def test_indeterminate_write_excuses_the_extra_take():
+    report = check_history(_history(
+        _op("write", 1, COMMITTED),
+        _op("write", 1, INDETERMINATE),
+        _op("take", 1, COMMITTED),
+        _op("take", 1, COMMITTED),
+    ), final_entries=[])
+    assert report.ok
+
+
+def test_take_before_any_write_violates_causality():
+    report = check_history(_history(
+        _op("write", 1, COMMITTED, invoked=10.0, responded=11.0),
+        _op("take", 1, COMMITTED, invoked=1.0, responded=2.0),
+    ), final_entries=[TaskEntry(1)])
+    assert not report.ok
+    assert "before any write" in report.violations[0]
+
+
+def test_lost_committed_write_is_a_violation():
+    report = check_history(_history(
+        _op("write", 1, COMMITTED),
+    ), final_entries=[])
+    assert not report.ok
+    assert "a committed write was lost" in report.violations[0]
+
+
+def test_write_surviving_in_final_contents_is_accounted():
+    report = check_history(_history(
+        _op("write", 1, COMMITTED),
+    ), final_entries=[TaskEntry(1)])
+    assert report.ok
+
+
+def test_keyed_indeterminate_take_excuses_a_missing_write():
+    report = check_history(_history(
+        _op("write", 1, COMMITTED),
+        _op("take", 1, INDETERMINATE),
+    ), final_entries=[])
+    assert report.ok
+
+
+def test_unkeyed_indeterminate_take_grants_per_class_slack():
+    report = check_history(_history(
+        _op("write", 1, COMMITTED),
+        _op("take", None, INDETERMINATE, keyed=False, count=1),
+    ), final_entries=[])
+    assert report.ok
+    # ...but the slack is per class and per count: two missing writes
+    # against one lost take reply is still a violation.
+    report = check_history(_history(
+        _op("write", 1, COMMITTED),
+        _op("write", 2, COMMITTED),
+        _op("take", None, INDETERMINATE, keyed=False, count=1),
+    ), final_entries=[])
+    assert not report.ok
+
+
+def test_unknown_cardinality_take_disables_the_class_lost_write_check():
+    report = check_history(_history(
+        _op("write", 1, COMMITTED),
+        _op("write", 2, COMMITTED),
+        _op("take", None, INDETERMINATE, keyed=False, count=None),
+    ), final_entries=[])
+    assert report.ok
+
+
+def test_pending_ops_fold_into_indeterminate():
+    # A client cut down at shutdown leaves PENDING records: a pending
+    # take may have consumed the entry (excusing its absence), and a
+    # pending write may never have happened (so its absence is fine).
+    report = check_history(_history(
+        _op("write", 1, COMMITTED),
+        _op("take", 1, PENDING, responded=None),
+    ), final_entries=[])
+    assert report.ok
+    report = check_history(_history(
+        _op("write", 1, PENDING, responded=None),
+    ), final_entries=[])
+    assert report.ok
+
+
+def test_aborted_and_rejected_ops_do_not_count():
+    report = check_history(_history(
+        _op("write", 1, ABORTED),
+        _op("write", 1, REJECTED),
+    ), final_entries=[])
+    assert report.ok  # neither took effect; nothing to conserve
+    report = check_history(_history(
+        _op("write", 1, ABORTED),
+        _op("take", 1, COMMITTED),
+    ), final_entries=[])
+    assert not report.ok  # an aborted write cannot feed a committed take
+
+
+def test_untracked_classes_skip_the_lost_write_check():
+    report = check_history(_history(
+        _op("write", 1, COMMITTED, cls="Heartbeat"),
+    ), final_entries=[], tracked_classes=("TaskEntry",))
+    assert report.ok
+
+
+def test_reads_never_participate():
+    report = check_history(_history(
+        _op("read", 1, COMMITTED),
+    ), final_entries=[])
+    assert report.ok
+
+
+def test_violation_reporting_is_capped():
+    ops = [_op("take", i, COMMITTED) for i in range(40)]
+    report = check_history(_history(*ops), final_entries=[])
+    assert not report.ok
+    assert len(report.violations) == 20
+    assert report.suppressed == 20
+    assert "and 20 more" in report.summary()

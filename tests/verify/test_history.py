@@ -1,0 +1,122 @@
+"""RecordingSpace / RecordingTransaction history capture semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConnectionClosedError, FencedError
+from repro.tuplespace.entry import Entry
+from repro.tuplespace.space import JavaSpace
+from repro.verify import HistoryRecorder, RecordingSpace, check_history
+from repro.verify.history import (
+    ABORTED,
+    COMMITTED,
+    INDETERMINATE,
+    PENDING,
+    REJECTED,
+    RecordingTransaction,
+)
+from tests.conftest import run_in_sim
+
+
+class TaskEntry(Entry):
+    def __init__(self, task_id=None, payload=None):
+        self.task_id = task_id
+        self.payload = payload
+
+
+def test_in_process_write_take_recorded_committed(rt):
+    history = HistoryRecorder(rt)
+    space = RecordingSpace(JavaSpace(rt), history, client="w1")
+
+    def proc():
+        space.write(TaskEntry(1, "a"))
+        got = space.take(TaskEntry(1), timeout_ms=0.0)
+        assert got.payload == "a"
+        missing = space.take(TaskEntry(9), timeout_ms=0.0)
+        assert missing is None
+
+    run_in_sim(rt, proc)
+    assert [(op.op, op.status) for op in history.ops] == [
+        ("write", COMMITTED), ("take", COMMITTED)]
+    assert history.ops[0].key == ("TaskEntry", 1)
+    assert history.ops[0].client == "w1"
+    assert check_history(history, final_entries=[]).ok
+
+
+class _FakeTxn:
+    """Duck-typed RemoteTransaction: records calls, optionally fails."""
+
+    def __init__(self, commit_error=None):
+        self.txn_id = 7
+        self.completed = False
+        self._commit_error = commit_error
+
+    def commit(self):
+        if self._commit_error is not None:
+            raise self._commit_error
+        self.completed = True
+
+    def abort(self):
+        self.completed = True
+
+
+def _recorded_write(rt, txn):
+    history = HistoryRecorder(rt)
+    op = history.record("write", TaskEntry(1), "w", 0.0, PENDING)
+    txn._buffer(op)
+    return history, op
+
+
+def test_transaction_commit_resolves_buffered_ops(rt):
+    txn = RecordingTransaction(_FakeTxn(), HistoryRecorder(rt), "w")
+    history, op = _recorded_write(rt, txn)
+    txn.commit()
+    assert op.status == COMMITTED
+    assert op.responded_ms is not None
+
+
+def test_transaction_abort_resolves_aborted(rt):
+    txn = RecordingTransaction(_FakeTxn(), HistoryRecorder(rt), "w")
+    history, op = _recorded_write(rt, txn)
+    txn.abort()
+    assert op.status == ABORTED
+
+
+def test_fenced_commit_resolves_rejected(rt):
+    txn = RecordingTransaction(_FakeTxn(FencedError("stale")),
+                               HistoryRecorder(rt), "w")
+    history, op = _recorded_write(rt, txn)
+    with pytest.raises(FencedError):
+        txn.commit()
+    assert op.status == REJECTED
+
+
+def test_lost_commit_resolves_indeterminate_and_sticks(rt):
+    txn = RecordingTransaction(_FakeTxn(ConnectionClosedError("gone")),
+                               HistoryRecorder(rt), "w")
+    history, op = _recorded_write(rt, txn)
+    with pytest.raises(ConnectionClosedError):
+        txn.commit()
+    assert op.status == INDETERMINATE
+    # First resolution wins: the cleanup abort that follows a failed
+    # commit must not downgrade "maybe happened" to "didn't happen".
+    txn.abort()
+    assert op.status == INDETERMINATE
+
+
+def test_completed_setter_resolves_aborted(rt):
+    # Worker error paths assign .completed directly after a failed abort.
+    txn = RecordingTransaction(_FakeTxn(), HistoryRecorder(rt), "w")
+    history, op = _recorded_write(rt, txn)
+    txn.completed = True
+    assert op.status == ABORTED
+
+
+def test_client_killed_mid_flight_leaves_pending(rt):
+    txn = RecordingTransaction(_FakeTxn(), HistoryRecorder(rt), "w")
+    history, op = _recorded_write(rt, txn)
+    # Nobody ever resolves the transaction (the worker died): the op
+    # stays PENDING, which the checker folds into indeterminate.
+    assert op.status == PENDING
+    assert check_history(history, final_entries=[]).ok
