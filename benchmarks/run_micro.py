@@ -61,6 +61,16 @@ CHECK_FLOOR = 0.8
 #: figures, so the ratio is noise-free).
 SHARD_SPEEDUP_FLOOR = 4.0
 
+#: --check fails when Jain's fairness index of DRR grants across equal
+#: tenants falls below this (1.0 = perfectly fair; an absolute floor,
+#: the workload is deterministic).
+JAIN_FAIRNESS_FLOOR = 0.95
+
+#: --check fails when the victim's p99 completion-gap under an aggressor
+#: grows beyond this multiple of the committed value (lower is better,
+#: so the throughput floor cannot gate it; virtual-time, noise-free).
+CONTENTION_P99_CEIL = 1.25
+
 
 def _time(fn: Callable[[], int], rounds: int) -> float:
     """Best-of-``rounds`` ops/second for ``fn`` (returns its op count)."""
@@ -313,6 +323,65 @@ def e2e_sharded_rate(shards: int, smoke: bool = False) -> float:
     return row.tasks_per_s
 
 
+def fairness_jain_index(tenants: int = 8, takes_per_tenant: int = 30) -> float:
+    """Jain's fairness index of DRR take grants across equal tenants.
+
+    ``tenants`` equally weighted tenants stay backlogged while
+    ``tenants * takes_per_tenant`` wildcard takes drain the space;
+    J = (Σx)² / (n·Σx²) over the per-tenant grant counts.  1.0 means
+    the dispatcher split the takes perfectly evenly.
+    """
+    from repro.core.entries import TaskEntry as CoreTaskEntry
+
+    runtime = SimulatedRuntime()
+    space = JavaSpace(runtime)
+    names = [f"t{i:02d}" for i in range(tenants)]
+    takes = tenants * takes_per_tenant
+
+    def body():
+        space.configure_fair_share({name: 1.0 for name in names})
+        task_id = 0
+        for name in names:
+            for _ in range(2 * takes_per_tenant):  # never drains early
+                space.write(CoreTaskEntry(app_id="bench", task_id=task_id,
+                                          tenant=name, priority=0))
+                task_id += 1
+        for _ in range(takes):
+            assert space.take(CoreTaskEntry(), timeout_ms=0.0) is not None
+
+    proc = runtime.kernel.spawn(body, name="bench")
+    runtime.kernel.run_until_idle()
+    assert proc.finished and proc.error is None
+    grants = [space.fair_stats.get(f"grants:{name}", 0) for name in names]
+    runtime.shutdown()
+    total = sum(grants)
+    squares = sum(g * g for g in grants)
+    return (total * total) / (len(grants) * squares) if squares else 0.0
+
+
+def contention_overload(smoke: bool = False) -> dict[str, float]:
+    """Victim-tenant service under an aggressor flooding 10x its quota.
+
+    Runs the multi-tenant contention campaign (admission control +
+    weighted fair share + preemption) and reports the victim's
+    virtual-time throughput and its p99 completion-gap — the stall a
+    victim task sees while the flood is being shed.  Both figures are
+    deterministic (simulated clock), so the gates are noise-free.
+    """
+    from repro.experiments.chaos import contention_chaos_experiment
+
+    result = contention_chaos_experiment(
+        seed=42, tenants=4 if smoke else 8,
+        victim_tasks=8 if smoke else 24,
+    )
+    assert result.correct and result.consistent, \
+        "contention benchmark run failed its own acceptance checks"
+    return {
+        "contention_victim_tasks_per_s": result.victim_throughput_per_s,
+        "contention_victim_p99_gap_ms": result.victim_p99_gap_ms,
+    }
+
+
 def durable_commit_rate(fsync_policy: str, n: int = 400,
                         group_size: int = 64) -> int:
     """Commit records through a file-backed WAL under one fsync policy.
@@ -367,7 +436,10 @@ def run(rounds: int, smoke: bool) -> dict[str, float]:
         # --rounds (re-running replays the identical simulation).
         "e2e_sharded_1shard_tasks_per_s": e2e_sharded_rate(1, smoke),
         "e2e_sharded_tasks_per_s": e2e_sharded_rate(16, smoke),
+        "contention_jain_index": fairness_jain_index(
+            tenants=4 if smoke else 8),
     }
+    results.update(contention_overload(smoke))
     return results
 
 
@@ -401,6 +473,18 @@ def check_against(committed: dict[str, Any],
             f"e2e_sharded_tasks_per_s: {many:.1f} is only "
             f"{many / base:.2f}x the 1-shard {base:.1f} "
             f"(floor {SHARD_SPEEDUP_FLOOR}x)")
+    jain = current.get("contention_jain_index")
+    if jain is not None and jain < JAIN_FAIRNESS_FLOOR:
+        failures.append(
+            f"contention_jain_index: {jain:.3f} below the absolute "
+            f"fairness floor {JAIN_FAIRNESS_FLOOR}")
+    p99_ref = committed.get("contention_victim_p99_gap_ms")
+    p99 = current.get("contention_victim_p99_gap_ms")
+    if p99_ref and p99 is not None and p99 > p99_ref * CONTENTION_P99_CEIL:
+        failures.append(
+            f"contention_victim_p99_gap_ms: {p99:.1f} is "
+            f"{p99 / p99_ref:.2f}x of committed {p99_ref:.1f} "
+            f"(ceiling {CONTENTION_P99_CEIL}x)")
     return failures
 
 

@@ -106,6 +106,24 @@ def _one_fault(value: str) -> str:
         f"an optional :space, :shard:<i>, or :<hostname> target)")
 
 
+def _tenant_count(value: str) -> int:
+    """argparse type for ``--tenants``: an integer count of at least 2.
+
+    The contention campaign needs the victim plus at least one other
+    tenant, so 0 and 1 are rejected up front rather than deep inside
+    the experiment body.
+    """
+    try:
+        tenants = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{value!r} is not an integer tenant count") from None
+    if tenants < 2:
+        raise argparse.ArgumentTypeError(
+            f"--tenants needs at least 2 (victim + one other), got {tenants}")
+    return tenants
+
+
 def _fault_spec(value: str) -> list[str]:
     """argparse type for ``--fault``: a comma-separated fault list.
 
@@ -177,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1,
                    help="partition the space over N shards "
                         "(kill-shard:<i> needs i < N)")
+    p.add_argument("--tenants", type=_tenant_count, default=None,
+                   metavar="N",
+                   help="run the multi-tenant contention campaign instead: "
+                        "N tenants (victim + aggressor + bystanders) share "
+                        "the space under admission control, weighted "
+                        "fair-share, and priority preemption")
+    p.add_argument("--isolation", action="store_true",
+                   help="with --tenants: also run the aggressor-free "
+                        "baseline and require the victim to keep >= 0.8x "
+                        "of its isolated throughput")
     p.add_argument("--verify-determinism", action="store_true",
                    help="run twice and require identical recovery traces")
     p.add_argument("--prefetch", type=int, default=1,
@@ -318,6 +346,12 @@ def _write_telemetry(result, trace_out, metrics_out) -> None:
 def _chaos(args) -> int:
     from repro.experiments.chaos import chaos_experiment, verify_chaos_determinism
 
+    if args.tenants is not None:
+        if args.faults:
+            print("FAIL: --tenants and --fault are separate campaigns; "
+                  "pick one")
+            return 2
+        return _contention_chaos(args)
     if args.faults:
         return _coordination_chaos(args)
     result = chaos_experiment(seed=args.seed, workers=args.workers,
@@ -371,6 +405,48 @@ def _coordination_chaos(args) -> int:
             seed=args.seed, workers=args.workers, tasks=args.tasks,
             faults=args.faults, prefetch=args.prefetch, trace=args.trace,
             shards=args.shards,
+        )
+        print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
+        if not ok:
+            return 1
+    return 0
+
+
+def _contention_chaos(args) -> int:
+    from repro.experiments.chaos import (
+        contention_chaos_experiment,
+        contention_isolation,
+        verify_contention_determinism,
+    )
+
+    result = contention_chaos_experiment(
+        seed=args.seed, workers=args.workers, tenants=args.tenants,
+        prefetch=args.prefetch, trace=args.trace, shards=args.shards,
+    )
+    print(result.format_summary())
+    _write_telemetry(result, args.trace_out if args.trace else None,
+                     args.metrics_out)
+    if not result.correct:
+        print("FAIL: a non-aggressor tenant lost tasks or got a wrong sum")
+        return 1
+    if not result.consistent:
+        print("FAIL: consistency checker found history violations")
+        return 1
+    if args.isolation:
+        baseline, contended, ratio = contention_isolation(
+            seed=args.seed, workers=args.workers, tenants=args.tenants,
+            prefetch=args.prefetch, shards=args.shards,
+        )
+        print(f"isolation: victim {contended.victim_throughput_per_s:.2f}/s "
+              f"contended vs {baseline.victim_throughput_per_s:.2f}/s alone "
+              f"(ratio {ratio:.3f})")
+        if ratio < 0.8:
+            print("FAIL: aggressor degraded the victim below 0.8x baseline")
+            return 1
+    if args.verify_determinism:
+        ok = verify_contention_determinism(
+            seed=args.seed, workers=args.workers, tenants=args.tenants,
+            prefetch=args.prefetch, trace=args.trace, shards=args.shards,
         )
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:

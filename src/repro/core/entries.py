@@ -28,6 +28,13 @@ class TaskEntry(Entry):
     end-to-end.  The master mints it unconditionally — even with tracing
     disabled — so entry bytes (and hence modelled transfer latencies)
     are identical whether or not spans are being recorded.
+
+    ``tenant``/``priority`` identify the submitting job for the
+    multi-tenant job service: admission control meters TaskEntry writes
+    per tenant, the space's deficit-round-robin dispatcher shares takes
+    across tenants by weight, and overload shedding drops the lowest
+    ``priority`` first.  ``None`` (the default everywhere else in the
+    system) keeps single-tenant deployments byte-identical to before.
     """
 
     def __init__(
@@ -37,12 +44,16 @@ class TaskEntry(Entry):
         payload: Any = None,
         attempts: Optional[int] = None,
         trace: Optional[str] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
     ) -> None:
         self.app_id = app_id
         self.task_id = task_id
         self.payload = payload
         self.attempts = attempts
         self.trace = trace
+        self.tenant = tenant
+        self.priority = priority
 
 
 class ResultEntry(Entry):
@@ -56,6 +67,8 @@ class ResultEntry(Entry):
         worker: Optional[str] = None,
         compute_ms: Optional[float] = None,
         trace: Optional[str] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
     ) -> None:
         self.app_id = app_id
         self.task_id = task_id
@@ -63,6 +76,8 @@ class ResultEntry(Entry):
         self.worker = worker
         self.compute_ms = compute_ms
         self.trace = trace
+        self.tenant = tenant
+        self.priority = priority
 
 
 class MasterCheckpointEntry(Entry):
@@ -116,6 +131,7 @@ class DeadLetterEntry(Entry):
         worker: Optional[str] = None,
         attempts: Optional[int] = None,
         trace: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         self.app_id = app_id
         self.task_id = task_id
@@ -124,3 +140,4 @@ class DeadLetterEntry(Entry):
         self.worker = worker
         self.attempts = attempts
         self.trace = trace
+        self.tenant = tenant

@@ -141,6 +141,39 @@ class FrameworkConfig:
     #: memory for the whole run.
     record_history: bool = False
 
+    # -- multi-tenancy (see DESIGN.md §12 "Multi-tenant job service") --------
+    #: This deployment's own master's tenant identity (stamped on every
+    #: TaskEntry it seeds) and scheduling priority.  Extra tenants join
+    #: via :meth:`AdaptiveClusterFramework.attach_tenant_master`.
+    tenant: Optional[str] = None
+    priority: Optional[int] = None
+    #: tenant → fair-share weight for the space's deficit-round-robin
+    #: task dispatch.  ``None`` keeps plain FIFO takes.
+    tenant_shares: Optional[dict[str, float]] = None
+    #: Weight for tenants not named in ``tenant_shares``.
+    tenant_default_share: float = 1.0
+    #: Enable server-side admission control (quotas, rate limits,
+    #: watermark shedding) on every space server.  The deployment's own
+    #: master then reaches the space over RPC even in the classic
+    #: single-space shape, so its writes are metered like everyone
+    #: else's.
+    admission: bool = False
+    admission_max_in_flight: Optional[int] = None   # per-tenant backlog cap
+    admission_write_rate_per_s: Optional[float] = None  # token-bucket refill
+    admission_write_burst: float = 16.0             # token-bucket capacity
+    admission_soft_watermark: Optional[int] = None  # shed low priority above
+    admission_hard_watermark: Optional[int] = None  # shed everything above
+    admission_shed_below_priority: int = 1          # soft-shed cutoff
+    admission_retry_after_ms: float = 100.0         # rejection retry hint
+    admission_quotas: Optional[dict[str, int]] = None   # per-tenant overrides
+    admission_rates: Optional[dict[str, float]] = None
+    #: Priority preemption: a governor that Pauses workers hoarding
+    #: prefetched low-priority carries while urgent backlog waits (see
+    #: :mod:`repro.core.tenancy`).
+    preemption: bool = False
+    preemption_poll_ms: float = 500.0
+    preemption_priority_cutoff: int = 1
+
 
 class AdaptiveClusterFramework:
     """One deployment of the framework on a cluster, for one application."""
@@ -184,6 +217,15 @@ class AdaptiveClusterFramework:
                 and not cluster.space_hosts):
             raise ConfigurationError(
                 "shard_placement='dedicated' needs cluster.add_space_hosts()")
+        if (self.config.admission_soft_watermark is not None
+                and self.config.admission_hard_watermark is not None
+                and self.config.admission_soft_watermark
+                > self.config.admission_hard_watermark):
+            raise ConfigurationError(
+                f"admission_soft_watermark "
+                f"({self.config.admission_soft_watermark}) must not exceed "
+                f"admission_hard_watermark "
+                f"({self.config.admission_hard_watermark})")
         #: True when the space is partitioned behind a ShardRouter.  The
         #: classic single in-process space (shards=1, placement "master")
         #: keeps the exact legacy wiring; "spread"/"dedicated" force the
@@ -284,6 +326,12 @@ class AdaptiveClusterFramework:
         self._joins: list[JoinManager] = []
         self._master_proxy: Optional[Any] = None
         self.master_restarts = 0
+        #: Extra tenants sharing this deployment (see
+        #: :meth:`attach_tenant_master`) and their space clients.
+        self.tenant_masters: list[Master] = []
+        self._tenant_proxies: list[Any] = []
+        #: Priority-preemption governor (``config.preemption``).
+        self.governor: Optional[Any] = None
         #: Shared operation history for the consistency checker.
         self.history: Optional[Any] = None
         if self.config.record_history:
@@ -374,6 +422,23 @@ class AdaptiveClusterFramework:
             )
             space = self._master_proxy
             retry_ms = config.failover_heartbeat_ms
+        elif config.admission:
+            # Admission control is enforced server-side; an in-process
+            # master would bypass it entirely.  Route the master through
+            # a (loopback) proxy so its seeding writes are metered like
+            # every other tenant's.
+            if self._master_proxy is not None:
+                self._master_proxy.close()
+            self._master_proxy = SpaceProxy(
+                self.cluster.network, self.cluster.master.hostname,
+                self.space_address, metrics=self.metrics, tracer=self.tracer,
+            )
+            space = self._master_proxy
+        if config.admission and retry_ms is None:
+            # AdmissionError is a pre-dispatch rejection, so the master's
+            # guard may re-issue the op verbatim after the server's
+            # retry-after hint; this floor keeps the guard's loop alive.
+            retry_ms = config.admission_retry_after_ms
         if self.history is not None:
             from repro.verify import RecordingSpace
 
@@ -392,7 +457,73 @@ class AdaptiveClusterFramework:
             seed_batch=config.master_seed_batch,
             drain_batch=config.master_drain_batch,
             tracer=self.tracer,
+            tenant=config.tenant,
+            priority=config.priority,
         )
+
+    def attach_tenant_master(
+        self,
+        app: Application,
+        tenant: str,
+        priority: Optional[int] = None,
+    ) -> Master:
+        """A further tenant's :class:`Master` sharing this deployment.
+
+        Tenants share the space, the worker pool and the ``app_id`` —
+        workers load one class set and take with a tenant-wildcard
+        template, so *which* tenant's task a worker gets is the space's
+        deficit-round-robin dispatcher's call, weighted by
+        ``config.tenant_shares``.  The caller must namespace task IDs so
+        they never collide across tenants (task identity is
+        ``(app_id, task_id)``).  Run the returned master from its own
+        runtime process; its report is independent of every other
+        tenant's.
+        """
+        if app.app_id != self.app.app_id:
+            raise ConfigurationError(
+                f"tenant app_id {app.app_id!r} != deployment app_id "
+                f"{self.app.app_id!r}: workers serve exactly one class set")
+        config = self.config
+        host = self.cluster.master.hostname
+        space: Any
+        if self.sharded:
+            space = self._build_router(host)
+        else:
+            space = SpaceProxy(
+                self.cluster.network, host, self.space_address,
+                metrics=self.metrics, tracer=self.tracer,
+                locator=(self._space_locator(host)
+                         if config.hot_standby else None),
+            )
+        self._tenant_proxies.append(space)
+        if self.history is not None:
+            from repro.verify import RecordingSpace
+
+            space = RecordingSpace(space, self.history,
+                                   client=f"master:{tenant}")
+        if self.sharded or config.hot_standby:
+            retry_ms: Optional[float] = config.failover_heartbeat_ms
+        elif config.admission:
+            retry_ms = config.admission_retry_after_ms
+        else:
+            retry_ms = None
+        master = Master(
+            self.runtime, self.cluster.master, space, app, self.metrics,
+            eager_scheduling=config.eager_scheduling,
+            straggler_timeout_ms=config.straggler_timeout_ms,
+            model_time=self._model_time,
+            dead_letter_poll_ms=config.dead_letter_poll_ms,
+            give_up_after_ms=config.give_up_after_ms,
+            space_retry_ms=retry_ms,
+            space_max_retries=max(20, 8 * config.failover_max_misses),
+            seed_batch=config.master_seed_batch,
+            drain_batch=config.master_drain_batch,
+            tracer=self.tracer,
+            tenant=tenant,
+            priority=priority,
+        )
+        self.tenant_masters.append(master)
+        return master
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -449,6 +580,64 @@ class AdaptiveClusterFramework:
         offset = config.port_offset
         if config.hot_standby:
             self.registry.expose("space.fenced_rpcs", self.total_fenced_rpcs)
+
+        # Multi-tenancy: weighted fair-share dispatch inside every space,
+        # admission control in front of every server, and per-tenant
+        # read-through telemetry for tenants the config names.
+        if config.tenant_shares is not None:
+            for i, space in enumerate(self.spaces):
+                space.configure_fair_share(
+                    config.tenant_shares,
+                    default_share=config.tenant_default_share)
+                labels = {"shard": str(i)} if self.sharded else {}
+                self.registry.expose_dict("space.fair", space.fair_stats,
+                                          **labels)
+        if config.admission:
+            from repro.tuplespace.proxy import AdmissionConfig
+
+            admission_config = AdmissionConfig(
+                max_in_flight=config.admission_max_in_flight,
+                write_rate_per_s=config.admission_write_rate_per_s,
+                write_burst=config.admission_write_burst,
+                queue_soft_watermark=config.admission_soft_watermark,
+                queue_hard_watermark=config.admission_hard_watermark,
+                shed_below_priority=config.admission_shed_below_priority,
+                retry_after_ms=config.admission_retry_after_ms,
+                quotas=config.admission_quotas,
+                rates=config.admission_rates,
+            )
+            for i, server in enumerate(self.space_servers):
+                server.enable_admission(admission_config)
+                labels = {"shard": str(i)} if self.sharded else {}
+                self.registry.expose_dict("admission",
+                                          server.admission.stats, **labels)
+        for tenant in self._named_tenants():
+            self.registry.expose(
+                "tenant.admitted",
+                lambda t=tenant: self.tenant_admission(t).get("admitted", 0),
+                tenant=tenant)
+            self.registry.expose(
+                "tenant.rejected",
+                lambda t=tenant: self.tenant_admission(t).get("rejected", 0),
+                tenant=tenant)
+            self.registry.expose(
+                "tenant.shed",
+                lambda t=tenant: self.tenant_admission(t).get("shed", 0),
+                tenant=tenant)
+            self.registry.expose(
+                "tenant.grants",
+                lambda t=tenant: self.tenant_grants().get(t, 0),
+                tenant=tenant)
+        if config.preemption:
+            from repro.core.tenancy import PreemptionGovernor
+
+            self.governor = PreemptionGovernor(
+                runtime, self, self.metrics,
+                poll_ms=config.preemption_poll_ms,
+                priority_cutoff=config.preemption_priority_cutoff,
+            )
+            self.governor.start()
+            self.registry.expose_dict("preemption", self.governor.stats)
 
         # Code server for remote node configuration.
         self.code_server = CodeServer(runtime, network, master_host,
@@ -675,6 +864,39 @@ class AdaptiveClusterFramework:
                 self.metrics.event("master-restarted", app=self.app.app_id,
                                    restarts=self.master_restarts)
 
+    def _named_tenants(self) -> list[str]:
+        """Tenants the config names anywhere — they get labeled metrics."""
+        named: set[str] = set()
+        config = self.config
+        if config.tenant is not None:
+            named.add(config.tenant)
+        for mapping in (config.tenant_shares, config.admission_quotas,
+                        config.admission_rates):
+            if mapping:
+                named.update(mapping)
+        return sorted(named)
+
+    def tenant_admission(self, tenant: str) -> dict[str, int]:
+        """One tenant's admission counters, summed over every server."""
+        totals = {"admitted": 0, "rejected": 0, "shed": 0}
+        for server in self.space_servers:
+            if server.admission is None:
+                continue
+            for key, value in server.admission.tenant_stats.get(
+                    tenant, {}).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def tenant_grants(self) -> dict[str, int]:
+        """Fair-share take grants per tenant, summed over every shard."""
+        grants: dict[str, int] = {}
+        for space in self.current_spaces():
+            for key, value in getattr(space, "fair_stats", {}).items():
+                if key.startswith("grants:"):
+                    tenant = key[len("grants:"):]
+                    grants[tenant] = grants.get(tenant, 0) + value
+        return grants
+
     def total_fenced_rpcs(self) -> int:
         """RPCs rejected by the fence across every server incarnation —
         the original primaries plus any supervisor-promoted standby."""
@@ -734,6 +956,12 @@ class AdaptiveClusterFramework:
         # not completion) would otherwise keep scheduling its dead-letter
         # poll forever and the simulation would never go idle.
         self.master.cancel()
+        for master in self.tenant_masters:
+            master.cancel()
+        if self.governor is not None:
+            self.governor.stop()
+        for proxy in self._tenant_proxies:
+            proxy.close()
         for host in self.worker_hosts:
             host.stop()
         if self.netmgmt is not None:

@@ -28,6 +28,7 @@ from repro.core.entries import (
 )
 from repro.core.metrics import Metrics
 from repro.errors import (
+    AdmissionError,
     ConnectionClosedError,
     ConnectionRefusedError_,
     FencedError,
@@ -99,6 +100,8 @@ class Master:
         seed_batch: int = 1,
         drain_batch: int = 1,
         tracer: Any = None,
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
     ) -> None:
         self.runtime = runtime
         self.node = node
@@ -145,6 +148,13 @@ class Master:
                 f"seed_batch/drain_batch must be >= 1: {seed_batch}/{drain_batch}")
         self.seed_batch = seed_batch
         self.drain_batch = drain_batch
+        #: Multi-tenant identity: stamped on every TaskEntry this master
+        #: seeds (so admission control can meter it, fair-share dispatch
+        #: can weight it, and shedding can rank it) and used to scope the
+        #: result/dead-letter templates when several masters share one
+        #: ``app_id``.  ``None`` keeps the single-tenant wire format.
+        self.tenant = tenant
+        self.priority = priority
         self.replicated_tasks = 0
         self.duplicate_results = 0
         self.checkpoints_written = 0
@@ -194,12 +204,45 @@ class Master:
                 self.metrics.event("master-space-retry", app=self.app.app_id,
                                    attempt=attempt)
                 self.runtime.sleep(self.space_retry_ms)
+            except AdmissionError as exc:
+                # Over-quota or shed: the op had no side effects, so
+                # re-issuing it verbatim is safe.  The proxy already
+                # backed off through its own retry budget; this outer
+                # loop is the master's last-resort patience, honouring
+                # the server's retry-after hint.
+                if self.space_retry_ms is None:
+                    raise
+                attempt += 1
+                if attempt > self.space_max_retries:
+                    raise
+                self.metrics.event("master-admission-retry",
+                                   app=self.app.app_id, attempt=attempt,
+                                   tenant=exc.tenant, reason=exc.reason)
+                self.runtime.sleep(max(exc.retry_after_ms, self.space_retry_ms))
 
     def _write(self, entry, lease_ms: float = FOREVER):
         return self._guard(lambda: self.space.write(entry, lease_ms=lease_ms))
 
     def _write_all(self, entries):
-        return self._guard(lambda: self.space.write_all(entries))
+        # Bulk seeds retry per-remainder: a sharded scatter's partial
+        # admission rejection names the entries that landed, and
+        # re-issuing those would seed duplicate tasks.
+        remaining = list(entries)
+
+        def op():
+            if not remaining:
+                return 0
+            try:
+                return self.space.write_all(remaining)
+            except AdmissionError as exc:
+                admitted = {id(e) for e in
+                            getattr(exc, "admitted_entries", ())}
+                if admitted:
+                    remaining[:] = [e for e in remaining
+                                    if id(e) not in admitted]
+                raise
+
+        return self._guard(op)
 
     def _take(self, template, timeout_ms):
         return self._guard(lambda: self.space.take(template, timeout_ms=timeout_ms))
@@ -217,6 +260,12 @@ class Master:
 
     def _trace_id(self, task_id: int) -> str:
         return f"{self.app.app_id}/{task_id}"
+
+    def _task_entry(self, task_id: int, payload: Any) -> TaskEntry:
+        """A seedable TaskEntry carrying this master's tenant identity."""
+        return TaskEntry(self.app.app_id, task_id, payload,
+                         trace=self._trace_id(task_id),
+                         tenant=self.tenant, priority=self.priority)
 
     def _open_task_span(self, task_id: int) -> None:
         """Open the task's root span (span_id == trace_id, so workers can
@@ -276,8 +325,7 @@ class Master:
                     self.node.cpu.execute(cost)
                 for t in group:
                     self._open_task_span(t.task_id)
-                self._write_all([TaskEntry(app.app_id, t.task_id, t.payload,
-                                           trace=self._trace_id(t.task_id))
+                self._write_all([self._task_entry(t.task_id, t.payload)
                                  for t in group])
                 max_overhead = max(max_overhead, self.runtime.now() - t0)
         else:
@@ -287,8 +335,7 @@ class Master:
                 if self.model_time and cost > 0:
                     self.node.cpu.execute(cost)
                 self._open_task_span(task.task_id)
-                self._write(TaskEntry(app.app_id, task.task_id, task.payload,
-                                      trace=self._trace_id(task.task_id)))
+                self._write(self._task_entry(task.task_id, task.payload))
                 max_overhead = max(max_overhead, self.runtime.now() - t0)
         planning_ms = self.runtime.now() - started
         self.metrics.scalar(f"master/{app.app_id}/planning_ms", planning_ms)
@@ -303,7 +350,10 @@ class Master:
             agg_span = tracer.start(
                 "aggregation", trace_id=f"job/{app.app_id}",
                 parent_id=self._job_span.span_id, proc="master")
-        template = ResultEntry(app_id=app.app_id)
+        # With several masters sharing one app_id, the tenant field keeps
+        # each master draining only its own results (None = wildcard, so
+        # single-tenant behaviour is unchanged).
+        template = ResultEntry(app_id=app.app_id, tenant=self.tenant)
         task_by_id = {task.task_id: task for task in tasks}
         replicas: dict[int, int] = {}
         last_progress = self.runtime.now()
@@ -372,7 +422,10 @@ class Master:
                 dead.pop(entry.task_id, None)
                 if entry.worker:
                     by_worker[entry.worker] = by_worker.get(entry.worker, 0) + 1
-                if self.checkpoint_ms is not None:
+                if self.checkpoint_ms is not None or self.tenant is not None:
+                    # Checkpointed masters need these for exactly-once
+                    # audits across restarts; tenant-labelled masters for
+                    # the contention campaign's stall percentiles.
                     self.metrics.event("result-aggregated", app=app.app_id,
                                        task_id=entry.task_id, worker=entry.worker)
                 share = (charged * agg_cost.get(entry.task_id, 0.0) / batch_cost
@@ -490,8 +543,7 @@ class Master:
             if self._read_if_exists(
                     DeadLetterEntry(app_id=self.app.app_id, task_id=tid)) is not None:
                 continue
-            reseed.append(TaskEntry(self.app.app_id, tid, task.payload,
-                                    trace=self._trace_id(tid)))
+            reseed.append(self._task_entry(tid, task.payload))
             reseeded += 1
             if self.seed_batch > 1 and len(reseed) >= self.seed_batch:
                 self._write_all(reseed)
@@ -621,7 +673,7 @@ class Master:
         A dead letter for a task that some replica already completed is
         dropped — the result won the race.  Returns True if anything new
         was recorded (progress, for the give-up clock)."""
-        template = DeadLetterEntry(app_id=self.app.app_id)
+        template = DeadLetterEntry(app_id=self.app.app_id, tenant=self.tenant)
         progressed = False
         while True:
             entry = self._take_if_exists(template)
@@ -665,8 +717,7 @@ class Master:
             self.replicated_tasks += 1
             self.metrics.event("task-replicated", app=self.app.app_id,
                                task_id=task_id)
-            self._write(TaskEntry(self.app.app_id, task_id, task.payload,
-                                  trace=self._trace_id(task_id)))
+            self._write(self._task_entry(task_id, task.payload))
 
     def _drain_leftovers(self, template: ResultEntry,
                          task_by_id: dict[int, Task]) -> None:

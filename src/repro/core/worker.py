@@ -119,6 +119,11 @@ class WorkerHost:
         # Steady-state pipeline carry: the (txn, tasks) a write-back RPC
         # prefetched for the next cycle.  Released on pause/stop.
         self._pending: Optional[tuple[Any, list[TaskEntry]]] = None
+        # The batch currently being computed.  The carry above spans
+        # zero simulated time (popped at loop top, repopulated by the
+        # same flush that retires the batch), so the preemption governor
+        # reads this to see what a busy pipeline is actually holding.
+        self._active_batch: Optional[list[TaskEntry]] = None
         self.crashed = False
         self.network: Network = node.network
         self.engine = RemoteNodeConfigurationEngine(
@@ -487,8 +492,11 @@ class WorkerHost:
                         worker=self.node.hostname,
                         compute_ms=compute_ms,
                         trace=task.trace,
+                        tenant=task.tenant,
+                        priority=task.priority,
                     ),
                     txn=txn,
+                    requeue=True,
                 )
                 if txn is not None:
                     txn.commit()
@@ -541,6 +549,7 @@ class WorkerHost:
                     )
             if not tasks:
                 return
+            self._active_batch = tasks
             if self.first_take_ms is None:
                 self.first_take_ms = self.runtime.now()
             out: list[Any] = []
@@ -583,11 +592,13 @@ class WorkerHost:
                         worker=self.node.hostname,
                         compute_ms=compute_ms,
                         trace=task.trace,
+                        tenant=task.tenant,
+                        priority=task.priority,
                     )
                 )
                 results += 1
             batch = proxy.batch()
-            batch.write_all(out, txn=txn)
+            batch.write_all(out, txn=txn, requeue=True)
             if txn is not None:
                 batch.commit(txn)
             if self.transactional:
@@ -600,6 +611,7 @@ class WorkerHost:
                 self.last_result_ms = self.runtime.now()
                 self.tasks_done += results
         finally:
+            self._active_batch = None
             # A still-unresolved batch_ref id means the txn never came
             # into being server-side — nothing to abort.
             if (txn is not None and not txn.completed
@@ -624,7 +636,7 @@ class WorkerHost:
                 app_id=self.app.app_id, task_id=task.task_id,
                 payload=task.payload, error=repr(exc),
                 worker=self.node.hostname, attempts=attempts,
-                trace=task.trace,
+                trace=task.trace, tenant=task.tenant,
             )
         self.metrics.event(
             "task-requeued", worker=self.node.hostname,
@@ -632,7 +644,7 @@ class WorkerHost:
         )
         return TaskEntry(
             self.app.app_id, task.task_id, task.payload, attempts=attempts,
-            trace=task.trace,
+            trace=task.trace, tenant=task.tenant, priority=task.priority,
         )
 
     def _quarantine(self, proxy: SpaceProxy, txn: Optional[RemoteTransaction],
@@ -644,7 +656,7 @@ class WorkerHost:
         atomic: the original entry disappears exactly when its replacement
         (or dead letter) becomes visible."""
         replacement = self._replacement_for(task, exc)
-        proxy.write(replacement, txn=txn)
+        proxy.write(replacement, txn=txn, requeue=True)
         if txn is not None:
             txn.commit()
 
@@ -671,7 +683,9 @@ class WorkerHost:
                 self._abort_quietly(txn)
         elif tasks and self._proxy is not None:
             try:
-                self._proxy.write_all(tasks)
+                # requeue=True: these tasks were already admitted once;
+                # shedding the give-back would lose them (exactly-once).
+                self._proxy.write_all(tasks, requeue=True)
             except (ConnectionClosedError, ConnectionRefusedError_,
                     SpaceError):
                 pass  # space gone; nothing more this worker can do

@@ -82,6 +82,37 @@ class FencedError(SpaceError):
     non-idempotent operations."""
 
 
+class AdmissionError(SpaceError):
+    """The operation was refused by the space's admission controller.
+
+    Raised by a space server when a tenant is over quota (too many tasks
+    in flight, write rate above its token bucket) or when the server
+    sheds load under a queue-depth watermark.  Like :class:`FencedError`
+    the check runs *before* dispatch, so a rejected operation has **no
+    side effects** and a retry is safe even for non-idempotent
+    operations.  ``retry_after_ms`` is the server's hint for when the
+    client should try again (token-bucket refill time, or the shedding
+    backoff); proxies honour it with capped-exponential backoff.
+
+    ``admitted_entries`` is a *client-side* annotation, never marshalled:
+    a sharded router's scatter ``write_all`` splits one bulk write over
+    several servers, each of which is individually pre-dispatch-atomic —
+    but one shard can admit its group while another rejects.  The router
+    then attaches the entries that **did** land before re-raising, so
+    recorders can log them as committed (not rejected) and retriers can
+    drop them from the re-issued remainder instead of duplicating them.
+    A server-raised (or wire-reconstructed) ``AdmissionError`` always has
+    an empty tuple: the lone server rejected before executing anything."""
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0,
+                 tenant: str | None = None, reason: str = "quota") -> None:
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)
+        self.tenant = tenant
+        self.reason = reason
+        self.admitted_entries: tuple = ()
+
+
 class OutOfMemoryError(ReproError):
     """A node's modelled RAM cannot satisfy an allocation."""
 

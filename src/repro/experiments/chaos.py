@@ -25,11 +25,15 @@ from repro.runtime import SimulatedRuntime
 from repro.sim.rng import RandomStreams
 from repro.verify import HistoryReport, check_history
 
-__all__ = ["PoisonedSquares", "ChaosResult", "chaos_experiment",
-           "default_chaos_plan", "verify_chaos_determinism",
+__all__ = ["PoisonedSquares", "TenantSquares", "ChaosResult",
+           "chaos_experiment", "default_chaos_plan",
+           "verify_chaos_determinism",
            "CoordinationChaosResult", "coordination_chaos_plan",
            "coordination_chaos_experiment",
-           "verify_coordination_determinism", "NEMESIS_FAULTS"]
+           "verify_coordination_determinism", "NEMESIS_FAULTS",
+           "ContentionResult", "contention_chaos_experiment",
+           "contention_isolation", "verify_contention_determinism",
+           "TENANT_STRIDE"]
 
 
 class PoisonedSquares(Application):
@@ -91,6 +95,8 @@ TRACE_EVENTS = frozenset({
     "txn-lease-expired", "task-txn-expired", "stale-sample",
     # split-brain fencing (epoch fences, partition/pause/gray nemesis)
     "primary-fenced", "standby-rejoining", "proxy-fenced",
+    # multi-tenancy (admission control, fair share, preemption)
+    "admission-rejected", "master-admission-retry", "tenant-preempted",
 })
 
 
@@ -492,3 +498,351 @@ def verify_coordination_determinism(seed: int = 42, **kwargs: Any) -> bool:
     return first.trace == second.trace and \
         first.report.solution == second.report.solution and \
         first.aggregations == second.aggregations
+
+
+# -- multi-tenant contention: admission, fair share, preemption ----------------
+
+
+#: Task-id namespace width per tenant.  Task identity is
+#: ``(app_id, task_id)`` and every tenant shares the app_id, so tenant
+#: ``i`` plans ids ``[i * TENANT_STRIDE, i * TENANT_STRIDE + n)`` —
+#: a collision would corrupt both the master's result dedup and the
+#: history checker's entry keys.
+TENANT_STRIDE = 1_000_000
+
+VICTIM = "victim"
+AGGRESSOR = "aggressor"
+
+
+class TenantSquares(PoisonedSquares):
+    """One tenant's slice of the shared sum-of-squares job family.
+
+    Same ``app_id`` as every other tenant (workers load exactly one
+    class set), disjoint task-id range (``base`` must be a multiple of
+    :data:`TENANT_STRIDE`)."""
+
+    def __init__(self, base: int, n: int, task_cost: float = 400.0,
+                 poison: Sequence[int] = ()) -> None:
+        super().__init__(n=n, poison=poison, task_cost=task_cost)
+        self.base = base
+
+    def plan(self) -> list[Task]:
+        return [Task(task_id=self.base + i, payload=self.base + i)
+                for i in range(self.n)]
+
+    def expected_solution(self) -> int:
+        return sum((self.base + i) ** 2 for i in range(self.n)
+                   if (self.base + i) not in self.poison)
+
+
+@dataclass
+class ContentionResult:
+    """Acceptance data for the multi-tenant contention campaign."""
+
+    seed: int
+    tenants: int
+    aggressor: bool
+    #: tenant → its master's report (absent if the run raised).
+    reports: dict[str, MasterReport] = field(default_factory=dict)
+    #: tenant → expected solution over its task slice.
+    expected: dict[str, int] = field(default_factory=dict)
+    #: tenant → "ExcType: message" for masters that failed — the
+    #: aggressor legitimately dies here when admission starves it out.
+    errors: dict[str, str] = field(default_factory=dict)
+    trace: list[tuple[float, str, tuple]] = field(default_factory=list)
+    #: tenant → fair-share take grants (space DRR dispatcher).
+    grants: dict[str, int] = field(default_factory=dict)
+    #: Admission totals over every server: checked/admitted/rejected/shed.
+    admission_totals: dict[str, int] = field(default_factory=dict)
+    #: The aggressor's own admitted/rejected/shed counters.
+    aggressor_admission: dict[str, int] = field(default_factory=dict)
+    preemptions: int = 0
+    tasks_released: int = 0
+    faults_injected: int = 0
+    #: Simulated timestamps of the victim's result aggregations — the
+    #: overload microbench derives stall percentiles from the gaps.
+    victim_completions_ms: list[float] = field(default_factory=list)
+    tracer: Any = None
+    prometheus: str = ""
+    history_report: Optional[HistoryReport] = None
+
+    @property
+    def victim_report(self) -> Optional[MasterReport]:
+        return self.reports.get(VICTIM)
+
+    @property
+    def victim_throughput_per_s(self) -> float:
+        """Victim tasks completed per wall-clock second of its run."""
+        report = self.victim_report
+        if report is None or report.parallel_ms <= 0:
+            return 0.0
+        return report.task_count / (report.parallel_ms / 1000.0)
+
+    @property
+    def victim_p99_gap_ms(self) -> float:
+        """p99 of the gaps between consecutive victim completions.
+
+        The stall measure for the overload benchmark: an aggressor that
+        starves the victim shows up as long silent stretches between its
+        results even when the final throughput number survives."""
+        times = sorted(self.victim_completions_ms)
+        if len(times) < 2:
+            return 0.0
+        gaps = sorted(b - a for a, b in zip(times, times[1:]))
+        return gaps[min(len(gaps) - 1, int(0.99 * len(gaps)))]
+
+    @property
+    def correct(self) -> bool:
+        """Every non-aggressor tenant finished completely and correctly.
+
+        The aggressor is exempt: being rejected, shed or starved out is
+        the admission controller doing its job, not a failure."""
+        for name, want in self.expected.items():
+            if name == AGGRESSOR:
+                continue
+            report = self.reports.get(name)
+            if report is None or not report.complete \
+                    or report.solution != want:
+                return False
+        return True
+
+    @property
+    def consistent(self) -> bool:
+        """True iff the history checker found no violations — including
+        check 4: no admission-rejected write left a side effect."""
+        return self.history_report is None or self.history_report.ok
+
+    def _grants_summary(self) -> str:
+        """Per-tenant grants, folding a large bystander fleet into one
+        aggregate so the 128-tenant summary stays one line."""
+        grants = dict(sorted(self.grants.items()))
+        if len(grants) <= 8:
+            return str(grants)
+        named = {k: v for k, v in grants.items() if k in (VICTIM, AGGRESSOR)}
+        rest = [v for k, v in grants.items() if k not in named]
+        return (f"{named} + {len(rest)} bystanders "
+                f"({sum(rest)} grants)")
+
+    def format_summary(self) -> str:
+        lines = [
+            f"Contention run — seed {self.seed}, {self.tenants} tenants, "
+            f"aggressor {'on' if self.aggressor else 'off'}",
+            f"  victims    : {'all correct' if self.correct else 'WRONG'}; "
+            f"victim throughput {self.victim_throughput_per_s:.2f} tasks/s",
+            f"  admission  : {self.admission_totals}",
+            f"  aggressor  : {self.aggressor_admission} "
+            f"{('-- ' + self.errors[AGGRESSOR]) if AGGRESSOR in self.errors else ''}",
+            f"  fair share : grants {self._grants_summary()}",
+            f"  preemption : {self.preemptions} preemptions, "
+            f"{self.tasks_released} tasks released",
+            f"  trace      : {len(self.trace)} events",
+        ]
+        if self.history_report is not None:
+            lines.append(
+                "  " + self.history_report.summary().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def contention_chaos_experiment(
+    seed: int = 42,
+    workers: int = 4,
+    tenants: int = 8,
+    victim_tasks: int = 24,
+    victim_task_cost: float = 400.0,
+    bystander_tasks: int = 2,
+    bystander_task_cost: float = 100.0,
+    aggressor: bool = True,
+    aggressor_quota: int = 4,
+    aggressor_rate_per_s: float = 10.0,
+    give_up_after_ms: float = 60_000.0,
+    prefetch: int = 2,
+    trace: bool = False,
+    shards: int = 1,
+    preemption_poll_ms: float = 500.0,
+    fault_plan: Optional[FaultPlan] = None,
+) -> ContentionResult:
+    """``tenants`` masters share one deployment; one floods 10x its quota.
+
+    The tenant roster: one high-priority *victim* (the deployment's own
+    master, ``victim_tasks`` real tasks), one low-priority *aggressor*
+    flooding ``10 * aggressor_quota`` tasks against a quota of
+    ``aggressor_quota`` in flight plus a token-bucket rate limit, and
+    ``tenants - 2`` bystanders with ``bystander_tasks`` each.  Admission
+    control (quota + rate + watermark shed), weighted fair-share
+    dispatch (the victim's share outweighs the rest combined) and
+    priority preemption together must keep every non-aggressor tenant
+    complete and correct — the isolation *ratio* against a no-aggressor
+    baseline is computed by :func:`contention_isolation`.
+
+    Fully replayable from ``seed``: tenant spawn order, DRR tenant
+    order and admission decisions are all deterministic under the
+    simulated clock.
+    """
+    if tenants < 2:
+        raise ValueError(f"tenants must be >= 2 (victim + aggressor slot), "
+                         f"got {tenants}")
+
+    def body(runtime: SimulatedRuntime) -> ContentionResult:
+        streams = RandomStreams(seed)
+        cluster = testbed_small(runtime, workers=workers, streams=streams)
+        victim_app = TenantSquares(base=0, n=victim_tasks,
+                                   task_cost=victim_task_cost)
+        framework = AdaptiveClusterFramework(
+            runtime, cluster, victim_app,
+            FrameworkConfig(
+                monitoring=False,
+                compute_real=True,
+                transactional_takes=True,
+                rpc_timeout_ms=1_000.0,
+                dead_letter_poll_ms=500.0,
+                give_up_after_ms=give_up_after_ms,
+                worker_prefetch=max(1, prefetch),
+                master_seed_batch=max(1, prefetch),
+                master_drain_batch=max(1, prefetch),
+                trace=trace,
+                shards=max(1, shards),
+                record_history=True,
+                # -- the multi-tenant job service under test --------------
+                tenant=VICTIM,
+                priority=2,
+                # The victim's share outweighs every other tenant
+                # combined — paying tenants buy isolation by weight.
+                tenant_shares={VICTIM: float(max(4, tenants)),
+                               AGGRESSOR: 0.5},
+                admission=True,
+                # Sized so the opening burst (victim + bystander seeds)
+                # crosses it — the aggressor (priority 0 < cutoff 1)
+                # gets watermark-shed as well as quota-rejected.
+                admission_soft_watermark=(victim_tasks // max(1, shards)
+                                          + 8),
+                admission_quotas={AGGRESSOR: aggressor_quota},
+                admission_rates={AGGRESSOR: aggressor_rate_per_s},
+                preemption=True,
+                preemption_poll_ms=preemption_poll_ms,
+                preemption_priority_cutoff=1,
+            ),
+        )
+        framework.start()
+        framework.start_all_workers()
+        injector = None
+        if fault_plan is not None:
+            # Nemesis faults (worker crash / pause) compose with the
+            # tenancy layer: preemption's release-and-requeue must stay
+            # exactly-once even while victims of the plan lose leases.
+            injector = FaultInjector.for_framework(
+                framework, fault_plan, rng=streams.stream("chaos-net"))
+            injector.arm()
+
+        masters = {VICTIM: framework.master}
+        expected = {VICTIM: victim_app.expected_solution()}
+        for i in range(2, tenants):
+            name = f"b{i:03d}"
+            app = TenantSquares(base=i * TENANT_STRIDE, n=bystander_tasks,
+                                task_cost=bystander_task_cost)
+            masters[name] = framework.attach_tenant_master(
+                app, name, priority=1)
+            expected[name] = app.expected_solution()
+        if aggressor:
+            flood = TenantSquares(base=TENANT_STRIDE,
+                                  n=10 * aggressor_quota,
+                                  task_cost=bystander_task_cost)
+            masters[AGGRESSOR] = framework.attach_tenant_master(
+                flood, AGGRESSOR, priority=0)
+            expected[AGGRESSOR] = flood.expected_solution()
+
+        reports: dict[str, MasterReport] = {}
+        errors: dict[str, str] = {}
+
+        def runner(name: str, master: Any):
+            def run() -> None:
+                try:
+                    reports[name] = master.run()
+                except Exception as exc:
+                    # Legitimate for the aggressor: retries exhausted
+                    # against a quota that never frees fast enough.
+                    errors[name] = f"{type(exc).__name__}: {exc}"
+            return run
+
+        procs = [runtime.spawn(runner(name, master), name=f"tenant:{name}")
+                 for name, master in sorted(masters.items())]
+        for proc in procs:
+            proc.join()
+        if injector is not None:
+            injector.disarm()
+        # A master can observe a result one scheduling beat before the
+        # writing worker's own flush reply resolves its history records;
+        # drain those in-flight replies before snapshotting the history,
+        # or the checker sees takes of writes that "never happened".
+        runtime.sleep(2 * framework.config.worker_poll_ms + 200.0)
+        framework.shutdown()
+
+        history_report = None
+        if framework.history is not None:
+            history_report = check_history(framework.history,
+                                           framework.final_contents())
+        events = [
+            (t, name, tuple(sorted(payload.items())))
+            for t, name, payload in framework.metrics.events
+            if name in TRACE_EVENTS
+        ]
+        admission_totals: dict[str, int] = {}
+        for server in framework.space_servers:
+            if server.admission is None:
+                continue
+            for key, value in server.admission.stats.items():
+                admission_totals[key] = admission_totals.get(key, 0) + value
+        victim_completions = [
+            t for t, name, payload in framework.metrics.events
+            if name == "result-aggregated"
+            and payload.get("task_id", TENANT_STRIDE) < TENANT_STRIDE
+        ]
+        governor = framework.governor
+        return ContentionResult(
+            seed=seed,
+            tenants=tenants,
+            aggressor=aggressor,
+            reports=reports,
+            expected=expected,
+            errors=errors,
+            trace=events,
+            grants=framework.tenant_grants(),
+            admission_totals=admission_totals,
+            aggressor_admission=framework.tenant_admission(AGGRESSOR),
+            preemptions=governor.stats["preemptions"] if governor else 0,
+            tasks_released=governor.stats["tasks_released"] if governor else 0,
+            faults_injected=injector.injected if injector else 0,
+            victim_completions_ms=victim_completions,
+            tracer=framework.tracer,
+            prometheus=framework.telemetry.prometheus_text(),
+            history_report=history_report,
+        )
+
+    return run_simulation(body)
+
+
+def contention_isolation(
+    seed: int = 42, **kwargs: Any,
+) -> tuple[ContentionResult, ContentionResult, float]:
+    """The headline robustness number: victim throughput with the
+    aggressor flooding vs. the identical campaign without it.
+
+    Returns ``(baseline, contended, ratio)``; the acceptance bar is
+    ``ratio >= 0.8`` — admission control, weighted fair share and
+    preemption together must hide the aggressor from the victim."""
+    baseline = contention_chaos_experiment(seed=seed, aggressor=False,
+                                           **kwargs)
+    contended = contention_chaos_experiment(seed=seed, aggressor=True,
+                                            **kwargs)
+    base = baseline.victim_throughput_per_s
+    ratio = (contended.victim_throughput_per_s / base) if base > 0 else 0.0
+    return baseline, contended, ratio
+
+
+def verify_contention_determinism(seed: int = 42, **kwargs: Any) -> bool:
+    """Run the contention campaign twice; True iff byte-identical."""
+    first = contention_chaos_experiment(seed=seed, **kwargs)
+    second = contention_chaos_experiment(seed=seed, **kwargs)
+    return first.trace == second.trace and \
+        first.grants == second.grants and \
+        {n: r.solution for n, r in first.reports.items()} == \
+        {n: r.solution for n, r in second.reports.items()}

@@ -94,6 +94,34 @@ def cluster_table(framework: Any, report: Any = None) -> str:
             f"failover: epoch={epochs} failovers={failovers} "
             f"fenced_rpcs={fenced} repl_stalls={stalls}")
 
+    admissions = [server.admission
+                  for server in getattr(framework, "space_servers", [])
+                  if getattr(server, "admission", None) is not None]
+    if admissions:
+        # Multi-tenant job service: admission verdict totals over every
+        # server, then the DRR dispatcher's per-tenant take grants.
+        totals_a: dict[str, int] = {}
+        for admission in admissions:
+            for key, value in admission.stats.items():
+                totals_a[key] = totals_a.get(key, 0) + value
+        lines.append(
+            f"admission: checked={totals_a.get('checked', 0)} "
+            f"admitted={totals_a.get('admitted', 0)} "
+            f"rejected={totals_a.get('rejected', 0)} "
+            f"shed={totals_a.get('shed', 0)}")
+        grants = (framework.tenant_grants()
+                  if hasattr(framework, "tenant_grants") else {})
+        if grants:
+            lines.append("tenants: " + " ".join(
+                f"{tenant}={count}"
+                for tenant, count in sorted(grants.items())))
+    governor = getattr(framework, "governor", None)
+    if governor is not None:
+        lines.append(
+            f"preemption: preemptions={governor.stats['preemptions']} "
+            f"released={governor.stats['tasks_released']} "
+            f"polls={governor.stats['polls']}")
+
     if report is not None:
         lines.append(
             f"job:   parallel={report.parallel_ms:,.0f} ms "

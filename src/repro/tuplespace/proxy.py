@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import (
+    AdmissionError,
     ConnectionClosedError,
     ConnectionRefusedError_,
     FencedError,
@@ -33,7 +34,7 @@ from repro.tuplespace.space import JavaSpace
 from repro.tuplespace.transaction import Transaction, TransactionManager
 
 __all__ = ["SpaceServer", "SpaceProxy", "ProxyBatch", "RemoteTransaction",
-           "RecoveryPolicy"]
+           "RecoveryPolicy", "AdmissionConfig", "AdmissionController"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,225 @@ class RecoveryPolicy:
         return delay
 
 
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Per-tenant admission policy enforced by a :class:`SpaceServer`.
+
+    All limits apply to *tenant-tagged* task writes only (an entry whose
+    class is in ``class_names`` and whose ``tenant`` field is set), so
+    single-tenant deployments — and every other entry class: results,
+    checkpoints, dead letters — are never throttled.  Rates are metered
+    on the simulation clock, so admission decisions replay exactly.
+    """
+
+    #: Per-tenant cap on queued (unclaimed) tasks in the space.
+    max_in_flight: Optional[int] = None
+    #: Per-tenant token-bucket refill rate, task writes per second.
+    write_rate_per_s: Optional[float] = None
+    #: Token-bucket capacity (burst size), in task writes.
+    write_burst: float = 16.0
+    #: Total task backlog at which the server starts shedding: writes
+    #: with ``priority < shed_below_priority`` are rejected.
+    queue_soft_watermark: Optional[int] = None
+    #: Total task backlog at which *every* tenant-tagged task write is
+    #: rejected regardless of priority.
+    queue_hard_watermark: Optional[int] = None
+    #: Priority cutoff for soft-watermark shedding (entries without a
+    #: priority count as 0 — the lowest, shed first).
+    shed_below_priority: int = 1
+    #: Retry-after hint for quota/watermark rejections (token-bucket
+    #: rejections compute the exact refill time instead).
+    retry_after_ms: float = 100.0
+    #: Per-tenant overrides of ``max_in_flight`` / ``write_rate_per_s``.
+    quotas: Optional[dict[str, int]] = None
+    rates: Optional[dict[str, float]] = None
+    #: Entry classes under admission control.
+    class_names: tuple[str, ...] = ("TaskEntry",)
+
+
+class AdmissionController:
+    """Enforces an :class:`AdmissionConfig` ahead of dispatch.
+
+    :meth:`check` runs like ``_check_fence`` — *before* the operation's
+    handler — so a rejected write provably has no side effects and the
+    client may retry it blindly after the ``retry_after_ms`` hint.  Only
+    reads of space state (``count``) happen here.
+    """
+
+    def __init__(self, runtime: Runtime, space: JavaSpace,
+                 config: AdmissionConfig) -> None:
+        self.runtime = runtime
+        self.space = space
+        self.config = config
+        #: tenant → (tokens, last_refill_ms) for the write-rate bucket.
+        self._buckets: dict[str, tuple[float, float]] = {}
+        self.stats = {"checked": 0, "admitted": 0, "rejected": 0, "shed": 0}
+        #: tenant → {"admitted": n, "rejected": n, "shed": n}.
+        self.tenant_stats: dict[str, dict[str, int]] = {}
+        self._templates: dict[type, Entry] = {}
+
+    # -- templates for backlog counting ----------------------------------------
+
+    def _class_template(self, cls: type) -> Entry:
+        """A field-less template matching every entry of ``cls``."""
+        template = self._templates.get(cls)
+        if template is None:
+            template = cls.__new__(cls)
+            self._templates[cls] = template
+        return template
+
+    @staticmethod
+    def _tenant_template(cls: type, tenant: str) -> Entry:
+        template = cls.__new__(cls)
+        template.tenant = tenant
+        return template
+
+    def _tenant_counts(self, tenant: str) -> dict[str, int]:
+        counts = self.tenant_stats.get(tenant)
+        if counts is None:
+            counts = self.tenant_stats[tenant] = {
+                "admitted": 0, "rejected": 0, "shed": 0}
+        return counts
+
+    def _quota_for(self, tenant: str) -> Optional[int]:
+        quotas = self.config.quotas
+        if quotas is not None and tenant in quotas:
+            return quotas[tenant]
+        return self.config.max_in_flight
+
+    def _rate_for(self, tenant: str) -> Optional[float]:
+        rates = self.config.rates
+        if rates is not None and tenant in rates:
+            return rates[tenant]
+        return self.config.write_rate_per_s
+
+    # -- the admission decision -------------------------------------------------
+
+    def check(self, op: str, args: dict[str, Any]) -> None:
+        """Raise :class:`~repro.errors.AdmissionError` to refuse ``op``.
+
+        Applies to ``write``/``write_all`` of controlled, tenant-tagged
+        entries; everything else passes untouched.  A ``requeue``-flagged
+        request (a worker re-queuing tasks it already holds: preemption
+        release, poison-task retry) bypasses quotas — those tasks were
+        admitted once, and shedding them would break exactly-once.
+        The whole operation is judged before any of it executes, so a
+        mixed ``write_all`` is all-or-nothing.
+        """
+        if op == "write":
+            entries = [args["entry"]]
+        elif op == "write_all":
+            entries = args["entries"]
+        else:
+            return
+        if args.get("requeue"):
+            return
+        config = self.config
+        controlled: dict[str, list[Entry]] = {}
+        for entry in entries:
+            if type(entry).__name__ not in config.class_names:
+                continue
+            tenant = getattr(entry, "tenant", None)
+            if tenant is None:
+                continue
+            controlled.setdefault(tenant, []).append(entry)
+        if not controlled:
+            return
+        self.stats["checked"] += 1
+        now = self.runtime.now()
+        # Watermark shedding first: overload protection outranks per-
+        # tenant bookkeeping, and a shed write must not drain the bucket.
+        self._check_watermarks(controlled)
+        for tenant, batch in sorted(controlled.items()):
+            self._check_quota(tenant, batch)
+        for tenant, batch in sorted(controlled.items()):
+            self._check_rate(tenant, batch, now)
+        self.stats["admitted"] += 1
+        for tenant, batch in controlled.items():
+            self._tenant_counts(tenant)["admitted"] += len(batch)
+
+    def _reject(self, tenant: Optional[str], reason: str, message: str,
+                retry_after_ms: float) -> None:
+        self.stats["rejected"] += 1
+        if reason == "shed":
+            self.stats["shed"] += 1
+        if tenant is not None:
+            counts = self._tenant_counts(tenant)
+            counts["rejected"] += 1
+            if reason == "shed":
+                counts["shed"] += 1
+        raise AdmissionError(message, retry_after_ms=retry_after_ms,
+                             tenant=tenant, reason=reason)
+
+    def _check_watermarks(self, controlled: dict[str, list[Entry]]) -> None:
+        config = self.config
+        if config.queue_soft_watermark is None and \
+                config.queue_hard_watermark is None:
+            return
+        backlog = sum(
+            self.space.count(self._class_template(cls))
+            for cls in {type(e) for batch in controlled.values()
+                        for e in batch}
+        )
+        hard = config.queue_hard_watermark
+        if hard is not None and backlog >= hard:
+            tenant = sorted(controlled)[0] if len(controlled) == 1 else None
+            self._reject(
+                tenant, "shed",
+                f"queue depth {backlog} >= hard watermark {hard}; "
+                f"shedding all task admissions",
+                config.retry_after_ms)
+        soft = config.queue_soft_watermark
+        if soft is None or backlog < soft:
+            return
+        cutoff = config.shed_below_priority
+        for tenant, batch in sorted(controlled.items()):
+            for entry in batch:
+                priority = getattr(entry, "priority", None) or 0
+                if priority < cutoff:
+                    self._reject(
+                        tenant, "shed",
+                        f"queue depth {backlog} >= soft watermark {soft}; "
+                        f"shedding priority {priority} < {cutoff} "
+                        f"for tenant {tenant!r}",
+                        config.retry_after_ms)
+
+    def _check_quota(self, tenant: str, batch: list[Entry]) -> None:
+        quota = self._quota_for(tenant)
+        if quota is None:
+            return
+        in_flight = sum(
+            self.space.count(self._tenant_template(cls, tenant))
+            for cls in {type(e) for e in batch}
+        )
+        if in_flight + len(batch) > quota:
+            self._reject(
+                tenant, "in-flight",
+                f"tenant {tenant!r} has {in_flight} tasks in flight; "
+                f"+{len(batch)} would exceed quota {quota}",
+                self.config.retry_after_ms)
+
+    def _check_rate(self, tenant: str, batch: list[Entry],
+                    now: float) -> None:
+        rate = self._rate_for(tenant)
+        if rate is None:
+            return
+        burst = max(self.config.write_burst, 1.0)
+        tokens, last = self._buckets.get(tenant, (burst, now))
+        tokens = min(burst, tokens + rate * (now - last) / 1000.0)
+        cost = float(len(batch))
+        if tokens < cost:
+            # Hint exactly when the bucket will have refilled.
+            retry_after = (cost - tokens) / rate * 1000.0
+            self._buckets[tenant] = (tokens, now)
+            self._reject(
+                tenant, "rate",
+                f"tenant {tenant!r} exceeds write rate {rate}/s "
+                f"(need {cost:.0f} tokens, have {tokens:.2f})",
+                retry_after)
+        self._buckets[tenant] = (tokens - cost, now)
+
+
 #: Operations safe to re-issue blindly after a reconnect: they either do
 #: not mutate the space or (``txn_create``) create fresh state.  A retried
 #: ``take``/``write`` could consume or duplicate an entry whose first
@@ -81,7 +301,41 @@ _REMOTE_ERROR_TYPES: dict[str, type] = {
     "TransactionAbortedError": TransactionAbortedError,
     "TransactionError": TransactionError,
     "FencedError": FencedError,
+    "AdmissionError": AdmissionError,
 }
+
+
+def _error_reply(exc: Exception) -> dict[str, Any]:
+    """Marshal a handler exception into a reply dict.
+
+    :class:`AdmissionError` carries structured fields (the retry-after
+    hint, tenant, reason) that the client-side reconstruction needs —
+    a string round trip would lose them.
+    """
+    reply: dict[str, Any] = {"ok": False, "error": str(exc),
+                             "type": type(exc).__name__}
+    if isinstance(exc, AdmissionError):
+        reply["retry_after_ms"] = exc.retry_after_ms
+        reply["tenant"] = exc.tenant
+        reply["reason"] = exc.reason
+    return reply
+
+
+def _raise_remote(reply: dict[str, Any], label: str) -> None:
+    """Re-raise a marshalled server error as its client-side type."""
+    exc_cls = _REMOTE_ERROR_TYPES.get(reply.get("type"))
+    message = f"remote {label} failed: {reply.get('error')}"
+    if exc_cls is AdmissionError:
+        raise AdmissionError(
+            message,
+            retry_after_ms=reply.get("retry_after_ms", 0.0),
+            tenant=reply.get("tenant"),
+            reason=reply.get("reason", "quota"),
+        )
+    if exc_cls is not None:
+        raise exc_cls(message)
+    raise SpaceError(
+        f"remote {label} failed: {reply.get('type')}: {reply.get('error')}")
 
 #: Operations exempt from epoch/lease fencing: probes must reach a fenced
 #: server (that is how supervisors and demoted standbys talk to it), the
@@ -157,6 +411,15 @@ class SpaceServer:
         self._repl_cond = runtime.condition()
         #: Acks that timed out waiting for the standby (dropped replies).
         self.repl_stalls = 0
+        #: Multi-tenant admission control (off by default).  When set,
+        #: tenant-tagged task writes are checked *before* dispatch — like
+        #: the fence — so a rejected write has no side effects.
+        self.admission: Optional[AdmissionController] = None
+
+    def enable_admission(self, config: AdmissionConfig) -> AdmissionController:
+        """Arm per-tenant admission control for this server's space."""
+        self.admission = AdmissionController(self.runtime, self.space, config)
+        return self.admission
 
     @property
     def epoch(self) -> int:
@@ -277,7 +540,7 @@ class SpaceServer:
                 except ConnectionClosedError:
                     raise
                 except Exception as exc:  # marshalled back to the client
-                    conn.send({"ok": False, "error": str(exc), "type": type(exc).__name__})
+                    conn.send(_error_reply(exc))
         except ConnectionClosedError:
             pass
         finally:
@@ -325,6 +588,8 @@ class SpaceServer:
         args = request.get("args", {})
         if self.fencing and op not in _FENCE_EXEMPT_OPS:
             self._check_fence(op, request.get("epoch"))
+        if self.admission is not None:
+            self.admission.check(op, args)
         txn = None
         txn_id = args.get("txn_id")
         if txn_id is not None:
@@ -502,6 +767,14 @@ class SpaceServer:
         trip even though the client never saw the id.
         """
         replies: list[dict[str, Any]] = []
+        # Admission runs over the *whole* pipeline before any sub-op
+        # executes: a rejected batch therefore has zero side effects (no
+        # executed prefix), the same pre-dispatch guarantee lone ops get
+        # — which is what makes the proxy's blind retry-after-backoff
+        # safe even for non-idempotent passengers.
+        if self.admission is not None:
+            for sub in args["ops"]:
+                self.admission.check(sub.get("op"), sub.get("args", {}))
         for sub in args["ops"]:
             op = sub.get("op")
             handler = _DISPATCH.get(op)
@@ -541,8 +814,7 @@ class SpaceServer:
             except ConnectionClosedError:
                 raise
             except Exception as exc:
-                replies.append({"ok": False, "error": str(exc),
-                                "type": type(exc).__name__})
+                replies.append(_error_reply(exc))
                 break
             replies.append({"ok": True, "value": value})
         return {"replies": replies}
@@ -715,16 +987,21 @@ class ProxyBatch:
     # -- the batchable operation set ----------------------------------------
 
     def write(self, entry: Entry, txn: Optional["RemoteTransaction"] = None,
-              lease_ms: float = FOREVER) -> int:
-        return self._add("write", {"entry": entry, "lease_ms": lease_ms,
-                                   "txn_id": txn.txn_id if txn else None})
+              lease_ms: float = FOREVER, requeue: bool = False) -> int:
+        args = {"entry": entry, "lease_ms": lease_ms,
+                "txn_id": txn.txn_id if txn else None}
+        if requeue:
+            args["requeue"] = True
+        return self._add("write", args)
 
     def write_all(self, entries: list[Entry],
                   txn: Optional["RemoteTransaction"] = None,
-                  lease_ms: float = FOREVER) -> int:
-        return self._add("write_all",
-                         {"entries": entries, "lease_ms": lease_ms,
-                          "txn_id": txn.txn_id if txn else None})
+                  lease_ms: float = FOREVER, requeue: bool = False) -> int:
+        args = {"entries": entries, "lease_ms": lease_ms,
+                "txn_id": txn.txn_id if txn else None}
+        if requeue:
+            args["requeue"] = True
+        return self._add("write_all", args)
 
     def read(self, template: Entry, txn: Optional["RemoteTransaction"] = None,
              timeout_ms: Optional[float] = 0.0) -> int:
@@ -790,11 +1067,7 @@ class ProxyBatch:
                     f"batched {op} skipped: an earlier operation failed")
             reply = replies[i]
             if not reply.get("ok"):
-                exc_cls = _REMOTE_ERROR_TYPES.get(reply.get("type"))
-                if exc_cls is not None:
-                    raise exc_cls(f"remote {op} failed: {reply.get('error')}")
-                raise SpaceError(f"remote {op} failed: "
-                                 f"{reply.get('type')}: {reply.get('error')}")
+                _raise_remote(reply, op)
             results.append(reply.get("value"))
         return results
 
@@ -853,6 +1126,8 @@ class SpaceProxy:
         self.epoch: Optional[int] = None
         #: Calls rejected with :class:`FencedError` and re-routed.
         self.fenced = 0
+        #: Calls rejected with :class:`AdmissionError` and backed off.
+        self.admission_rejected = 0
 
     # -- plumbing ------------------------------------------------------------------
 
@@ -937,10 +1212,7 @@ class SpaceProxy:
             raise ConnectionClosedError(f"space rpc {op!r} timed out")
         if reply.get("ok"):
             return reply.get("value")
-        exc_cls = _REMOTE_ERROR_TYPES.get(reply.get("type"))
-        if exc_cls is not None:
-            raise exc_cls(f"remote {op} failed: {reply.get('error')}")
-        raise SpaceError(f"remote {op} failed: {reply.get('type')}: {reply.get('error')}")
+        _raise_remote(reply, op)
 
     def _call(self, op: str, args: dict[str, Any]) -> Any:
         retriable = self.recovery is not None and op in _IDEMPOTENT_OPS
@@ -969,6 +1241,27 @@ class SpaceProxy:
         while True:
             try:
                 return attempt_fn()
+            except AdmissionError as exc:
+                # Rejected *before* execution (like a fence), so the
+                # re-issue is safe regardless of idempotency.  Honour the
+                # server's retry-after hint, floored by the capped-exp
+                # backoff schedule; the connection itself is healthy and
+                # is kept.
+                if self._failed or self.recovery is None:
+                    raise
+                attempt += 1
+                if attempt > self.recovery.max_retries:
+                    raise
+                self.admission_rejected += 1
+                if self._metrics is not None:
+                    self._metrics.event(
+                        "admission-rejected", host=self.host, op=label,
+                        attempt=attempt, tenant=exc.tenant,
+                        reason=exc.reason)
+                self.network.runtime.sleep(max(
+                    exc.retry_after_ms,
+                    self.recovery.backoff_ms(attempt, self._rng),
+                ))
             except FencedError:
                 # The server rejected the request *before* executing it,
                 # so re-issuing is safe regardless of idempotency.  Drop
@@ -1034,11 +1327,7 @@ class SpaceProxy:
             raise ConnectionClosedError("space rpc 'batch' timed out")
         if reply.get("ok"):
             return reply["value"]["replies"]
-        exc_cls = _REMOTE_ERROR_TYPES.get(reply.get("type"))
-        if exc_cls is not None:
-            raise exc_cls(f"remote batch failed: {reply.get('error')}")
-        raise SpaceError(
-            f"remote batch failed: {reply.get('type')}: {reply.get('error')}")
+        _raise_remote(reply, "batch")
 
     def _call_batch(self, ops: list[tuple[str, dict[str, Any]]]) -> list[dict]:
         # A batch is transparently retriable only if *every* sub-op is —
@@ -1068,11 +1357,15 @@ class SpaceProxy:
     # -- JavaSpace API ----------------------------------------------------------------
 
     def write(self, entry: Entry, txn: Optional[RemoteTransaction] = None,
-              lease_ms: float = FOREVER) -> dict[str, Any]:
-        return self._call(
-            "write",
-            {"entry": entry, "lease_ms": lease_ms, "txn_id": txn.txn_id if txn else None},
-        )
+              lease_ms: float = FOREVER,
+              requeue: bool = False) -> dict[str, Any]:
+        args = {"entry": entry, "lease_ms": lease_ms,
+                "txn_id": txn.txn_id if txn else None}
+        if requeue:
+            # Worker re-queue of already-admitted tasks: exempt from
+            # admission control (shedding it would break exactly-once).
+            args["requeue"] = True
+        return self._call("write", args)
 
     def read(self, template: Entry, txn: Optional[RemoteTransaction] = None,
              timeout_ms: Optional[float] = None) -> Optional[Entry]:
@@ -1110,12 +1403,12 @@ class SpaceProxy:
 
     def write_all(self, entries: list[Entry],
                   txn: Optional[RemoteTransaction] = None,
-                  lease_ms: float = FOREVER) -> int:
-        reply = self._call(
-            "write_all",
-            {"entries": entries, "lease_ms": lease_ms,
-             "txn_id": txn.txn_id if txn else None},
-        )
+                  lease_ms: float = FOREVER, requeue: bool = False) -> int:
+        args = {"entries": entries, "lease_ms": lease_ms,
+                "txn_id": txn.txn_id if txn else None}
+        if requeue:
+            args["requeue"] = True
+        reply = self._call("write_all", args)
         return reply["count"]
 
     def take_multiple(self, template: Entry, max_entries: int,

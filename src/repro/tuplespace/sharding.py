@@ -43,7 +43,7 @@ from bisect import bisect_right
 from hashlib import blake2b
 from typing import Any, Callable, Optional
 
-from repro.errors import SpaceError
+from repro.errors import AdmissionError, SpaceError
 from repro.net.address import Address
 from repro.net.network import Network
 from repro.tuplespace.entry import Entry
@@ -210,14 +210,15 @@ class ShardedBatch:
     # -- the batchable operation set ----------------------------------------
 
     def write(self, entry: Entry, txn: Any = None,
-              lease_ms: float = FOREVER) -> int:
+              lease_ms: float = FOREVER, requeue: bool = False) -> int:
         return self._add({"kind": "write", "entry": entry, "txn": txn,
-                          "lease_ms": lease_ms})
+                          "lease_ms": lease_ms, "requeue": requeue})
 
     def write_all(self, entries: list[Entry], txn: Any = None,
-                  lease_ms: float = FOREVER) -> int:
+                  lease_ms: float = FOREVER, requeue: bool = False) -> int:
         return self._add({"kind": "write_all", "entries": list(entries),
-                          "txn": txn, "lease_ms": lease_ms})
+                          "txn": txn, "lease_ms": lease_ms,
+                          "requeue": requeue})
 
     def read(self, template: Entry, txn: Any = None,
              timeout_ms: Optional[float] = 0.0) -> int:
@@ -376,7 +377,8 @@ class ShardedBatch:
             return None
         if kind == "write_all":
             return {"count": router.write_all(op["entries"], txn=txn,
-                                              lease_ms=op["lease_ms"])}
+                                              lease_ms=op["lease_ms"],
+                                              requeue=op.get("requeue", False))}
         if kind == "read":
             return router.read(op["template"], txn=txn,
                                timeout_ms=op["timeout_ms"])
@@ -398,10 +400,12 @@ class ShardedBatch:
         elif txn is not None:
             remote = txn
         if kind == "write":
-            return pb.write(op["entry"], txn=remote, lease_ms=op["lease_ms"])
+            return pb.write(op["entry"], txn=remote, lease_ms=op["lease_ms"],
+                            requeue=op.get("requeue", False))
         if kind == "write_all":
             return pb.write_all(op["entries"], txn=remote,
-                                lease_ms=op["lease_ms"])
+                                lease_ms=op["lease_ms"],
+                                requeue=op.get("requeue", False))
         if kind == "read":
             return pb.read(op["template"], txn=remote,
                            timeout_ms=op["timeout_ms"])
@@ -569,13 +573,13 @@ class ShardRouter:
     # -- JavaSpace API ---------------------------------------------------------
 
     def write(self, entry: Entry, txn: Any = None,
-              lease_ms: float = FOREVER) -> dict[str, Any]:
+              lease_ms: float = FOREVER, requeue: bool = False) -> dict[str, Any]:
         shard = self._entry_shard(entry)
         return self._proxies[shard].write(entry, txn=self._txn_for(txn, shard),
-                                          lease_ms=lease_ms)
+                                          lease_ms=lease_ms, requeue=requeue)
 
     def write_all(self, entries: list[Entry], txn: Any = None,
-                  lease_ms: float = FOREVER) -> int:
+                  lease_ms: float = FOREVER, requeue: bool = False) -> int:
         if not entries:
             return 0
         groups: dict[int, list[Entry]] = {}
@@ -589,17 +593,35 @@ class ShardRouter:
             for shard in sorted(groups):
                 total += self._proxies[shard].write_all(
                     groups[shard], txn=self._txn_for(txn, shard),
-                    lease_ms=lease_ms)
+                    lease_ms=lease_ms, requeue=requeue)
             return total
         # Untransacted bulk write: one write_all per touched shard, all in
         # flight at once (seeding a large job shouldn't pay one round trip
-        # per shard in series).
+        # per shard in series).  Each shard's admission check is
+        # pre-dispatch-atomic for *its* group, but the scatter as a whole
+        # is not: when one shard rejects after others admitted, the
+        # surfaced AdmissionError names the entries that landed — blind
+        # retry of the full list would duplicate them (and the history
+        # would wrongly swear they never existed).
         shards = sorted(groups)
-        counts = self._fan_out_over(
+        outcomes = self._fan_out_outcomes(
             shards,
             lambda proxy, shard: proxy.write_all(groups[shard],
-                                                 lease_ms=lease_ms))
-        return sum(counts)
+                                                 lease_ms=lease_ms,
+                                                 requeue=requeue))
+        failures = [value for (status, value) in outcomes if status == "err"]
+        if not failures:
+            return sum(value for _, value in outcomes)
+        for exc in failures:
+            if not isinstance(exc, AdmissionError):
+                raise exc  # an indeterminate outcome trumps clean rejections
+        exc = failures[0]
+        exc.admitted_entries = tuple(
+            entry
+            for shard, (status, _value) in zip(shards, outcomes)
+            if status == "ok"
+            for entry in groups[shard])
+        raise exc
 
     def read(self, template: Entry, txn: Any = None,
              timeout_ms: Optional[float] = None) -> Optional[Entry]:
@@ -696,10 +718,26 @@ class ShardRouter:
                       op: Callable[[SpaceProxy, int], Any]) -> list[Any]:
         """As :meth:`_fan_out`, over an explicit subset of shard indices;
         results align with the given order."""
+        outcomes = self._fan_out_outcomes(shards, op)
+        for status, value in outcomes:
+            if status == "err":
+                raise value
+        return [value for _, value in outcomes]
+
+    def _fan_out_outcomes(
+        self, shards: Any,
+        op: Callable[[SpaceProxy, int], Any]) -> list[tuple[str, Any]]:
+        """Concurrent per-shard calls, returning every shard's outcome as
+        ``("ok", value)`` or ``("err", exception)`` instead of raising —
+        callers that need partial-failure semantics (scatter write_all
+        under admission control) inspect the full list."""
         shards = list(shards)
         proxies = self._proxies
         if len(shards) == 1:
-            return [op(proxies[shards[0]], shards[0])]
+            try:
+                return [("ok", op(proxies[shards[0]], shards[0]))]
+            except Exception as exc:  # aligned with the fan-out contract
+                return [("err", exc)]
         results: list[Any] = [None] * len(shards)
         remaining = [len(shards)]
         cond = self.runtime.condition()
@@ -720,10 +758,7 @@ class ShardRouter:
         with cond:
             while remaining[0] > 0:
                 cond.wait()
-        for status, value in results:
-            if status == "err":
-                raise value
-        return [value for _, value in results]
+        return results
 
     def _route_for_acquire(self, template: Entry, txn: Any) -> Optional[int]:
         """Shard for a read/take/contents — the template's shard, else the

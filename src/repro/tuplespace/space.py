@@ -193,6 +193,16 @@ class JavaSpace:
         self._stat_wakeups = 0
         self._stat_listener_errors = 0
         self.stats = _SpaceStats(self)
+        # Weighted fair-share dispatch (deficit round-robin across tenants).
+        # ``None`` keeps the single-tenant fast path: _find never inspects
+        # tenant fields and never forces matching snapshots.
+        self._fair_shares: Optional[dict[str, float]] = None
+        self._fair_default_share = 1.0
+        self._fair_class_names: frozenset[str] = frozenset()
+        self._drr_deficit: dict[str, float] = {}
+        #: Observational counters (``grants:<tenant>`` per DRR selection);
+        #: not part of STAT_KEYS so existing telemetry goldens hold.
+        self.fair_stats: dict[str, int] = {}
 
     # ------------------------------------------------------------------ write --
 
@@ -201,8 +211,14 @@ class JavaSpace:
         entry: Entry,
         txn: Optional[Transaction] = None,
         lease_ms: float = FOREVER,
+        requeue: bool = False,
     ) -> Lease:
         """Store ``entry``; returns its lease.
+
+        ``requeue`` is accepted for client-API parity with
+        :class:`~repro.tuplespace.proxy.SpaceProxy` and ignored here:
+        admission control is a *server* concern, and the in-process
+        space has no admission controller in front of it.
 
         Under a transaction the entry stays invisible to other transactions
         until commit.
@@ -293,6 +309,7 @@ class JavaSpace:
         entries: list[Entry],
         txn: Optional[Transaction] = None,
         lease_ms: float = FOREVER,
+        requeue: bool = False,
     ) -> list[Lease]:
         """Write a batch of entries in one monitor pass.
 
@@ -664,6 +681,101 @@ class JavaSpace:
                 return []
         return None if ids is None else sorted(ids)  # FIFO within matches
 
+    # ----------------------------------------------------- fair-share dispatch --
+
+    def configure_fair_share(
+        self,
+        shares: dict[str, float],
+        default_share: float = 1.0,
+        class_names: tuple[str, ...] = ("TaskEntry",),
+    ) -> None:
+        """Enable weighted fair-share ``take`` dispatch across tenants.
+
+        Competing takes whose template is one of ``class_names`` and does
+        not pin a ``tenant`` are served by deficit round-robin: each
+        selection visits the tenants that currently have a matching entry
+        in sorted-name order, replenishing each visited tenant's deficit
+        by ``share`` normalized to the largest present share, and serves
+        the first tenant whose deficit covers one task.  Long-run grants
+        converge to the configured weights; FIFO order is preserved
+        within a tenant.  Entries without a tenant participate as the
+        pseudo-tenant ``""`` at ``default_share``.
+        """
+        for tenant, share in shares.items():
+            if share <= 0:
+                raise SpaceError(f"tenant share must be > 0: {tenant}={share}")
+        if default_share <= 0:
+            raise SpaceError(f"default_share must be > 0: {default_share}")
+        with self._lock:
+            self._fair_shares = dict(shares)
+            self._fair_default_share = float(default_share)
+            self._fair_class_names = frozenset(class_names)
+
+    def _share_of(self, tenant: str) -> float:
+        shares = self._fair_shares or {}
+        return shares.get(tenant, self._fair_default_share)
+
+    def _find_fair(
+        self,
+        template_cls: type,
+        items: list[tuple[str, Any]],
+        txn: Optional[Transaction],
+    ) -> Optional[_Stored]:
+        """First matching entry per DRR tenant selection (take path only).
+
+        One pass collects the FIFO-first candidate of every tenant with a
+        visible match; the deficit counters then pick the tenant.  The
+        pass forces matching snapshots (it must read ``tenant``), which
+        is why fair share is opt-in per space.
+        """
+        candidates: dict[str, _Stored] = {}
+        for cls, bucket in self._buckets.items():
+            if not bucket or not issubclass(cls, template_cls):
+                continue
+            for stored in bucket.values():
+                if not self._visible(stored, txn):
+                    continue
+                if stored.read_lockers and not self._takeable(stored, txn):
+                    continue
+                if items and not matches_fields(items, stored.entry):
+                    continue
+                tenant = getattr(stored.entry, "tenant", None) or ""
+                if tenant not in candidates:
+                    candidates[tenant] = stored
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            (tenant, stored), = candidates.items()
+            self._drr_deficit.pop(tenant, None)  # classic DRR: reset solo queue
+            key = f"grants:{tenant or '-'}"
+            self.fair_stats[key] = self.fair_stats.get(key, 0) + 1
+            return stored
+        chosen = self._drr_select(sorted(candidates))
+        return candidates[chosen]
+
+    def _drr_select(self, present: list[str]) -> str:
+        """Deficit-round-robin tenant pick among the tenants ``present``.
+
+        Deficits of tenants that dropped out (drained queue) reset to
+        zero, the classic DRR rule that stops an idle tenant hoarding
+        unbounded credit.
+        """
+        deficit = self._drr_deficit
+        for tenant in list(deficit):
+            if tenant not in present:
+                del deficit[tenant]
+        quantum = 1.0 / max(self._share_of(t) for t in present)
+        while True:
+            for tenant in present:
+                if deficit.get(tenant, 0.0) >= 1.0:
+                    deficit[tenant] -= 1.0
+                    key = f"grants:{tenant or '-'}"
+                    self.fair_stats[key] = self.fair_stats.get(key, 0) + 1
+                    return tenant
+            for tenant in present:
+                deficit[tenant] = (deficit.get(tenant, 0.0)
+                                   + self._share_of(tenant) * quantum)
+
     def _find(
         self,
         template_cls: type,
@@ -671,6 +783,10 @@ class JavaSpace:
         txn: Optional[Transaction],
         take: bool,
     ) -> Optional[_Stored]:
+        if (take and self._fair_shares is not None
+                and template_cls.__name__ in self._fair_class_names
+                and not any(name == "tenant" for name, _ in items)):
+            return self._find_fair(template_cls, items, txn)
         for cls, bucket in self._buckets.items():
             if not bucket or not issubclass(cls, template_cls):
                 continue

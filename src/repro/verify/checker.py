@@ -18,6 +18,15 @@ The space is a multiset of entries, so linearizability collapses to
    cannot name).  A violation means an acknowledged write vanished —
    the signature of a fenced-too-late primary acking writes the new
    primary never saw.
+4. **Rejected writes have no side effects.**  ``rejected`` records
+   (:class:`~repro.errors.FencedError` /
+   :class:`~repro.errors.AdmissionError`, both raised *before*
+   dispatch) promise the entry never entered the space.  For a key
+   that has rejected writes, the final contents must therefore be
+   fully explained by its committed/indeterminate writes; a surplus
+   entry means a "rejected" write actually landed — an admission
+   controller or fence that refused the client *after* mutating
+   state, which would make the client's blind retry a duplicate.
 
 ``indeterminate`` records only ever *relax* these checks (they widen
 the write allowance and the take slack); they can never create a
@@ -36,6 +45,7 @@ from repro.verify.history import (
     COMMITTED,
     INDETERMINATE,
     PENDING,
+    REJECTED,
     HistoryRecorder,
     Op,
     entry_key,
@@ -55,6 +65,7 @@ _MAX_REPORTED = 20
 class _KeyTally:
     writes_committed: int = 0
     writes_indeterminate: int = 0
+    writes_rejected: int = 0
     takes_committed: int = 0
     takes_indeterminate: int = 0
     first_write_invoked: Optional[float] = None
@@ -133,6 +144,8 @@ def check_history(
                     tally.first_write_invoked = op.invoked_ms
             elif status == INDETERMINATE:
                 tally.writes_indeterminate += 1
+            elif status == REJECTED:
+                tally.writes_rejected += 1
         elif op.op == "take":
             if status == COMMITTED:
                 tally.takes_committed += 1
@@ -198,6 +211,26 @@ def check_history(
                     f"({cls!r}, {raw_key!r}): {count} committed write(s) "
                     f"neither taken nor present in the final contents -- "
                     f"a committed write was lost")
+
+        # -- check 4: rejected writes have no side effects --------------------
+        # A rejection (fence or admission control) happens before dispatch,
+        # so the entry must not be in the space.  Surplus final entries on
+        # a key with rejected writes mean a "rejected" write landed — and
+        # the client's safe-because-no-side-effects retry duplicated it.
+        for key, tally in sorted(tallies.items(), key=lambda kv: repr(kv[0])):
+            if tally.writes_rejected == 0:
+                continue
+            explained = (tally.writes_committed + tally.writes_indeterminate
+                         - tally.takes_committed)
+            surplus = remaining.get(key, 0) - max(explained, 0)
+            if surplus > 0:
+                violations.append(
+                    f"{key}: {surplus} final entr{'y' if surplus == 1 else 'ies'} "
+                    f"beyond what {tally.writes_committed} committed "
+                    f"(+{tally.writes_indeterminate} indeterminate) writes "
+                    f"explain, with {tally.writes_rejected} rejected "
+                    f"write(s) on the key -- a rejected operation had "
+                    f"side effects")
 
     report.violations = violations[:_MAX_REPORTED]
     report.suppressed = max(0, len(violations) - _MAX_REPORTED)

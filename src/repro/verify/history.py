@@ -17,8 +17,10 @@ response times and a *resolution status*:
     executed *at most once* — it may or may not have taken effect.
 ``rejected``
     Definitely did not take effect: every attempt died with
-    :class:`~repro.errors.FencedError`, which the server raises *before*
-    executing anything.
+    :class:`~repro.errors.FencedError` or
+    :class:`~repro.errors.AdmissionError`, both of which the server
+    raises *before* executing anything (for a batch, before executing
+    *any* sub-op).
 ``aborted``
     Definitely rolled back: the enclosing transaction aborted (or
     expired server-side), so takes were undone and writes never became
@@ -44,7 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.errors import FencedError, NetworkError, SpaceError
+from repro.errors import AdmissionError, FencedError, NetworkError, SpaceError
 from repro.runtime.base import Runtime
 from repro.tuplespace.entry import Entry
 from repro.tuplespace.lease import FOREVER
@@ -255,12 +257,12 @@ class RecordingSpace:
     # -- mutating operations -------------------------------------------------
 
     def write(self, entry: Entry, txn: Any = None,
-              lease_ms: float = FOREVER) -> Any:
+              lease_ms: float = FOREVER, requeue: bool = False) -> Any:
         invoked = self._history.now()
         try:
             result = self._space.write(entry, txn=_unwrap(txn),
-                                       lease_ms=lease_ms)
-        except FencedError:
+                                       lease_ms=lease_ms, requeue=requeue)
+        except (FencedError, AdmissionError):
             self._history.record("write", entry, self._client, invoked,
                                  REJECTED)
             raise
@@ -272,15 +274,21 @@ class RecordingSpace:
         return result
 
     def write_all(self, entries: list[Entry], txn: Any = None,
-                  lease_ms: float = FOREVER) -> int:
+                  lease_ms: float = FOREVER, requeue: bool = False) -> int:
         invoked = self._history.now()
         try:
             result = self._space.write_all(entries, txn=_unwrap(txn),
-                                           lease_ms=lease_ms)
-        except FencedError:
+                                           lease_ms=lease_ms, requeue=requeue)
+        except (FencedError, AdmissionError) as exc:
+            # A sharded scatter can admit some groups before another
+            # shard rejects; those entries *are* in the space and the
+            # router names them on the exception.  Everything else was
+            # definitely refused pre-dispatch.
+            admitted = {id(e) for e in getattr(exc, "admitted_entries", ())}
             for entry in entries:
-                self._history.record("write", entry, self._client, invoked,
-                                     REJECTED)
+                self._history.record(
+                    "write", entry, self._client, invoked,
+                    COMMITTED if id(entry) in admitted else REJECTED)
             raise
         except NetworkError:
             for entry in entries:
@@ -401,15 +409,16 @@ class RecordingBatch:
     # -- the batchable operation set ----------------------------------------
 
     def write(self, entry: Entry, txn: Any = None,
-              lease_ms: float = FOREVER) -> int:
-        index = self._inner.write(entry, txn=_unwrap(txn), lease_ms=lease_ms)
+              lease_ms: float = FOREVER, requeue: bool = False) -> int:
+        index = self._inner.write(entry, txn=_unwrap(txn), lease_ms=lease_ms,
+                                  requeue=requeue)
         self._describe(kind="write", index=index, entries=[entry], txn=txn)
         return index
 
     def write_all(self, entries: list[Entry], txn: Any = None,
-                  lease_ms: float = FOREVER) -> int:
+                  lease_ms: float = FOREVER, requeue: bool = False) -> int:
         index = self._inner.write_all(entries, txn=_unwrap(txn),
-                                      lease_ms=lease_ms)
+                                      lease_ms=lease_ms, requeue=requeue)
         self._describe(kind="write", index=index, entries=list(entries),
                        txn=txn)
         return index
@@ -465,8 +474,15 @@ class RecordingBatch:
         descriptors, self._descriptors = self._descriptors, []
         try:
             values = self._inner.flush()
-        except FencedError:
-            self._fail(descriptors, REJECTED)
+        except (FencedError, AdmissionError) as exc:
+            # Both are pre-execution rejections; for a batch the server
+            # admission-checks every sub-op before running any, so the
+            # whole pipeline definitely did not execute.  (A sharded
+            # scatter write inside a batch may still have landed on the
+            # shards that admitted it — those entries ride the error.)
+            self._fail(descriptors, REJECTED,
+                       admitted={id(e) for e in
+                                 getattr(exc, "admitted_entries", ())})
             raise
         except NetworkError:
             self._fail(descriptors, INDETERMINATE)
@@ -504,7 +520,8 @@ class RecordingBatch:
             elif kind == "abort" and isinstance(txn, RecordingTransaction):
                 txn._resolve(ABORTED)
 
-    def _fail(self, descriptors: list[dict[str, Any]], status: str) -> None:
+    def _fail(self, descriptors: list[dict[str, Any]], status: str,
+              admitted: Optional[set[int]] = None) -> None:
         """Record a failed flush.
 
         ``rejected`` flushes executed nothing; ``indeterminate`` flushes
@@ -512,7 +529,9 @@ class RecordingBatch:
         (buffered into their open transaction when one is recording, so
         a later commit — in a retried batch — resolves them precisely);
         takes yielded no entries we can name, so an indeterminate flush
-        records unkeyed per-class slack.
+        records unkeyed per-class slack.  ``admitted`` (entry ids) marks
+        writes a partially-rejected scatter did land — committed, not
+        ``status``.
         """
         space = self._space
         history = space._history
@@ -525,8 +544,10 @@ class RecordingBatch:
                     space._settle("write", d["entries"], txn, d["invoked_ms"])
                 else:
                     for entry in d["entries"]:
-                        history.record("write", entry, space._client,
-                                       d["invoked_ms"], status)
+                        history.record(
+                            "write", entry, space._client, d["invoked_ms"],
+                            COMMITTED if admitted and id(entry) in admitted
+                            else status)
             elif kind == "take" and status == INDETERMINATE:
                 history.record_unkeyed(
                     "take", d["template"], space._client, d["invoked_ms"],

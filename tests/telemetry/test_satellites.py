@@ -38,6 +38,41 @@ def test_cluster_table_without_report():
     assert "space:" in table
 
 
+def test_cluster_table_shows_tenancy_lines():
+    from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
+    from repro.experiments.chaos import TenantSquares
+    from repro.experiments.harness import run_simulation
+    from repro.node.cluster import testbed_small
+    from repro.sim.rng import RandomStreams
+
+    def body(runtime):
+        cluster = testbed_small(runtime, workers=2, streams=RandomStreams(1))
+        framework = AdaptiveClusterFramework(
+            runtime, cluster, TenantSquares(base=0, n=4, task_cost=50.0),
+            FrameworkConfig(monitoring=False, compute_real=True,
+                            tenant="victim", priority=2,
+                            tenant_shares={"victim": 2.0},
+                            admission=True, preemption=True))
+        framework.start()
+        framework.start_all_workers()
+        framework.master.run()
+        table = cluster_table(framework)
+        framework.shutdown()
+        return table
+
+    table = run_simulation(body)
+    assert "admission: checked=" in table
+    assert "tenants: victim=" in table
+    assert "preemption: preemptions=" in table
+
+
+def test_cluster_table_silent_without_tenancy():
+    _, framework = run_traced(n=4, workers=2)
+    table = cluster_table(framework)
+    assert "admission:" not in table
+    assert "preemption:" not in table
+
+
 def test_top_command(capsys):
     assert main(["top", "ray-tracing", "--workers", "2", "--follow"]) == 0
     out = capsys.readouterr().out

@@ -63,3 +63,30 @@ def test_chaos_parser_accepts_repeated_and_comma_faults():
         ["chaos", "--fault", "partition:space,kill-shard:1",
          "--fault", "pause"])
     assert args.faults == ["partition:space", "kill-shard:1", "pause"]
+
+
+def test_chaos_tenant_count_parses_valid_values():
+    from repro.cli import _tenant_count
+    assert _tenant_count("2") == 2
+    assert _tenant_count("128") == 128
+
+
+def test_chaos_tenant_count_rejects_malformed_values():
+    import argparse
+    from repro.cli import _tenant_count
+    for bogus in ("0", "1", "-3", "x", "", "2.5"):
+        with pytest.raises(argparse.ArgumentTypeError):
+            _tenant_count(bogus)
+
+
+def test_chaos_parser_accepts_tenants():
+    parser = build_parser()
+    args = parser.parse_args(["chaos", "--tenants", "8", "--isolation"])
+    assert args.tenants == 8
+    assert args.isolation
+    assert parser.parse_args(["chaos"]).tenants is None
+
+
+def test_chaos_tenants_and_faults_are_exclusive(capsys):
+    assert main(["chaos", "--tenants", "4", "--fault", "pause"]) == 2
+    assert "separate campaigns" in capsys.readouterr().out

@@ -53,3 +53,26 @@ def test_check_enforces_shard_speedup_floor():
     current["e2e_sharded_tasks_per_s"] = \
         100.0 * run_micro.SHARD_SPEEDUP_FLOOR
     assert run_micro.check_against(committed, current) == []
+
+
+def test_check_enforces_jain_fairness_floor():
+    current = {"contention_jain_index": run_micro.JAIN_FAIRNESS_FLOOR - 0.01}
+    failures = run_micro.check_against({}, current)
+    assert len(failures) == 1 and "contention_jain_index" in failures[0]
+    current["contention_jain_index"] = run_micro.JAIN_FAIRNESS_FLOOR
+    assert run_micro.check_against({}, current) == []
+
+
+def test_check_enforces_victim_p99_ceiling():
+    committed = {"contention_victim_p99_gap_ms": 100.0}
+    current = {"contention_victim_p99_gap_ms":
+                   100.0 * run_micro.CONTENTION_P99_CEIL + 1.0}
+    failures = run_micro.check_against(committed, current)
+    assert len(failures) == 1 and "p99" in failures[0]
+    # Lower is better: shrinking gaps never fail, and a p99 of 0 in the
+    # committed file (tiny smoke runs) disables the ceiling rather than
+    # dividing by zero.
+    current["contention_victim_p99_gap_ms"] = 50.0
+    assert run_micro.check_against(committed, current) == []
+    assert run_micro.check_against(
+        {"contention_victim_p99_gap_ms": 0.0}, current) == []
