@@ -32,7 +32,11 @@ Usage::
 
 ``--quick`` is the CI smoke mode: one round, nothing written, and the
 run fails if any throughput metric drops below ``CHECK_FLOOR`` (0.8×) of
-the committed ``current`` values (same as ``--check``).
+the committed ``current`` values, below ``BASELINE_FLOOR`` (0.75×) of
+the preserved ``baseline`` values, or below an ``ABS_FLOORS`` absolute
+floor (same as ``--check``).  The baseline-relative floor exists because
+the committed-relative one can be ratcheted down: a PR that regresses a
+cell and regenerates the JSON ships its own lowered reference.
 """
 
 from __future__ import annotations
@@ -44,7 +48,7 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.runtime import SimulatedRuntime
 from repro.sim import SimKernel
@@ -55,6 +59,46 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_micro.json"
 
 #: --check/--quick fail when current/committed drops below this.
 CHECK_FLOOR = 0.8
+
+#: --check also fails when current/baseline drops below this.  The
+#: committed-relative floor alone has a ratchet-down loophole: a PR that
+#: regresses a cell *and* regenerates BENCH_micro.json ships its own
+#: lowered reference, so the next run passes trivially (that is exactly
+#: how an 0.677x e2e_pipelined cell got past the 0.8x gate).  The
+#: ``baseline`` section is preserved across runs — only ``--rebaseline``
+#: may move it — so this floor cannot be ratcheted down silently.
+BASELINE_FLOOR = 0.75
+
+#: Absolute ops/s floors for the codec-path headline cells (measured
+#: with ``codec="compact"``); chosen ~0.6x of the recorded numbers so a
+#: noisy CI box does not flake, while a real hot-path regression (say,
+#: the codec silently falling back to pickle) still trips them.
+ABS_FLOORS = {
+    "space_write_take_ops_per_s": 120_000.0,
+    "durable_commits_group_per_s": 60_000.0,
+}
+
+#: Per-metric overrides for BASELINE_FLOOR.  The e2e wall-clock cells
+#: carry the cumulative per-task cost of features landed since the
+#: baseline was recorded (epoch fencing on every take, admission/fair
+#: share accounting, checkpointing) on top of 1-core CI jitter, so they
+#: sit structurally below 0.75x of the original figure.  0.6x stays as
+#: a hard backstop; the *structural* regression these cells used to be
+#: the only guard for — payload inflation — is now gated exactly by the
+#: deterministic wire-cost ceilings below.
+BASELINE_FLOOR_OVERRIDES = {
+    "e2e_pipelined_tasks_per_s": 0.6,
+    "e2e_unpipelined_tasks_per_s": 0.6,
+}
+
+#: --check fails when a deterministic wire-cost cell (messages/KB the
+#: simulated network carries for one warm pipelined job) grows beyond
+#: this multiple of the committed value.  These counts are exact and
+#: replayable — no wall-clock noise — so the ceiling is tight; they are
+#: the gate that would have caught the entry-frame inflation behind the
+#: 0.677x e2e drop the throughput floors missed.
+WIRE_CEIL = 1.25
+WIRE_CELLS = ("e2e_pipelined_job_messages", "e2e_pipelined_job_kb")
 
 #: --check also fails when the 16-shard e2e throughput falls below this
 #: multiple of the 1-shard number (both deterministic virtual-time
@@ -86,10 +130,10 @@ def _time(fn: Callable[[], int], rounds: int) -> float:
 
 # ---------------------------------------------------------------- workloads --
 
-def space_write_take(n: int = 2000) -> int:
+def space_write_take(n: int = 2000, codec: str = "pickle") -> int:
     """Write+take cycles through the space (in-process, no network)."""
     runtime = SimulatedRuntime()
-    space = JavaSpace(runtime)
+    space = JavaSpace(runtime, codec=codec)
 
     def body():
         for i in range(n):
@@ -211,29 +255,12 @@ def contention_wakeups_per_write(writes: int = 200, takers: int = 16) -> float:
     return wakeups / writes
 
 
-def e2e_job_rate(prefetch: int = 1, seed_batch: int = 1,
-                 drain_batch: int = 1, workers: int = 4,
-                 strips: int = 24, rounds: int = 1,
-                 trace: bool = False) -> float:
-    """Best-of-``rounds`` tasks/second for one full master–worker job.
-
-    Raytrace-shaped (paper §5.1.2): a 600×600 image plane split into
-    ``strips`` full-width scanline strips; each task carries its region's
-    four coordinates and returns a synthetic per-row rendering.  Compute
-    cost is modelled virtual time, so the wall clock measures exactly
-    what the pipeline changes: round trips, messages, and handoffs.
-    The timer brackets the *second* ``master.run()`` on a standing
-    framework — seed through final aggregation, the paper's
-    job-completion measure, with one-time costs (worker class loading,
-    connection setup) amortized by the warm-up job — not runtime
-    construction or thread teardown, which are identical in both
-    configurations.  Poll budgets are generous because blocking takes
-    wake on arrival in virtual time; short budgets would just add poll
-    traffic both configurations share.
-    """
+def _strip_job_framework(runtime, workers: int, strips: int,
+                         prefetch: int, seed_batch: int, drain_batch: int,
+                         trace: bool, codec: str):
+    """The raytrace-shaped 600x600 strip job on a small testbed."""
     from repro.core.application import Application, ClassLoadProfile, Task
     from repro.core.framework import AdaptiveClusterFramework, FrameworkConfig
-    from repro.experiments.harness import run_simulation
     from repro.node.cluster import testbed_small
     from repro.sim.rng import RandomStreams
 
@@ -269,23 +296,89 @@ def e2e_job_rate(prefetch: int = 1, seed_batch: int = 1,
             return ClassLoadProfile(work_ref_ms=100.0, demand_percent=80.0,
                                     bundle_bytes=50_000)
 
+    cluster = testbed_small(runtime, workers=workers,
+                            streams=RandomStreams(7))
+    framework = AdaptiveClusterFramework(
+        runtime, cluster, StripJob(),
+        FrameworkConfig(
+            monitoring=False,
+            compute_real=True,
+            transactional_takes=True,
+            worker_poll_ms=10_000.0,
+            dead_letter_poll_ms=10_000.0,
+            worker_prefetch=prefetch,
+            master_seed_batch=seed_batch,
+            master_drain_batch=drain_batch,
+            trace=trace,
+            codec=codec,
+        ),
+    )
+    return cluster, framework
+
+
+def e2e_job_wire_cost(codec: str = "compact", strips: int = 24,
+                      workers: int = 4) -> dict[str, float]:
+    """Simulated-network traffic of one warm pipelined job: deterministic.
+
+    Counts RPC messages and payload bytes between the warm-up job and
+    the measured job on the modelled network — exact, replayable
+    figures, immune to wall-clock noise.  These are the cells that catch
+    a payload-inflation regression (the 0.677x e2e drop came from entry
+    frames growing field by field across PRs, which wall-clock gates on
+    a noisy box cannot separate from scheduler jitter).
+    """
+    from repro.experiments.harness import run_simulation
+
     def body(runtime):
-        cluster = testbed_small(runtime, workers=workers,
-                                streams=RandomStreams(7))
-        framework = AdaptiveClusterFramework(
-            runtime, cluster, StripJob(),
-            FrameworkConfig(
-                monitoring=False,
-                compute_real=True,
-                transactional_takes=True,
-                worker_poll_ms=10_000.0,
-                dead_letter_poll_ms=10_000.0,
-                worker_prefetch=prefetch,
-                master_seed_batch=seed_batch,
-                master_drain_batch=drain_batch,
-                trace=trace,
-            ),
-        )
+        cluster, framework = _strip_job_framework(
+            runtime, workers=workers, strips=strips, prefetch=6,
+            seed_batch=strips, drain_batch=strips, trace=False, codec=codec)
+        framework.start()
+        framework.start_all_workers()
+        warmup = framework.master.run()
+        stats = cluster.network.stats
+        before = (stats["messages"], stats["message_bytes"])
+        report = framework.master.run()
+        after = (stats["messages"], stats["message_bytes"])
+        framework.shutdown()
+        assert warmup.complete and report.complete, \
+            "benchmark job did not complete"
+        return after[0] - before[0], after[1] - before[1]
+
+    messages, payload_bytes = run_simulation(body)
+    return {
+        "e2e_pipelined_job_messages": float(messages),
+        "e2e_pipelined_job_kb": payload_bytes / 1024.0,
+    }
+
+
+def e2e_job_rate(prefetch: int = 1, seed_batch: int = 1,
+                 drain_batch: int = 1, workers: int = 4,
+                 strips: int = 24, rounds: int = 1,
+                 trace: bool = False, codec: str = "pickle") -> float:
+    """Best-of-``rounds`` tasks/second for one full master–worker job.
+
+    Raytrace-shaped (paper §5.1.2): a 600×600 image plane split into
+    ``strips`` full-width scanline strips; each task carries its region's
+    four coordinates and returns a synthetic per-row rendering.  Compute
+    cost is modelled virtual time, so the wall clock measures exactly
+    what the pipeline changes: round trips, messages, and handoffs.
+    The timer brackets the *second* ``master.run()`` on a standing
+    framework — seed through final aggregation, the paper's
+    job-completion measure, with one-time costs (worker class loading,
+    connection setup) amortized by the warm-up job — not runtime
+    construction or thread teardown, which are identical in both
+    configurations.  Poll budgets are generous because blocking takes
+    wake on arrival in virtual time; short budgets would just add poll
+    traffic both configurations share.
+    """
+    from repro.experiments.harness import run_simulation
+
+    def body(runtime):
+        cluster, framework = _strip_job_framework(
+            runtime, workers=workers, strips=strips, prefetch=prefetch,
+            seed_batch=seed_batch, drain_batch=drain_batch, trace=trace,
+            codec=codec)
         framework.start()
         framework.start_all_workers()
         warmup = framework.master.run()
@@ -383,7 +476,8 @@ def contention_overload(smoke: bool = False) -> dict[str, float]:
 
 
 def durable_commit_rate(fsync_policy: str, n: int = 400,
-                        group_size: int = 64) -> int:
+                        group_size: int = 64,
+                        codec: str = "pickle") -> int:
     """Commit records through a file-backed WAL under one fsync policy.
 
     ``always`` pays one fsync per commit; ``group`` amortizes one fsync
@@ -395,7 +489,8 @@ def durable_commit_rate(fsync_policy: str, n: int = 400,
     with tempfile.TemporaryDirectory() as tmp:
         store = FileWalStore(os.path.join(tmp, "wal"),
                              fsync_policy=fsync_policy,
-                             group_size=group_size)
+                             group_size=group_size,
+                             codec=codec)
         wal = WriteAheadLog(store)
         payload = b"x" * 100
         for i in range(n):
@@ -410,8 +505,13 @@ def durable_commit_rate(fsync_policy: str, n: int = 400,
 def run(rounds: int, smoke: bool) -> dict[str, float]:
     scale = 10 if smoke else 1
     results = {
+        # Headline space/durable cells run the compact codec (the
+        # configuration the perf work targets); the _pickle cells keep
+        # the reference codec honest and measurable side by side.
         "space_write_take_ops_per_s": _time(
-            lambda: space_write_take(2000 // scale), rounds),
+            lambda: space_write_take(2000 // scale, codec="compact"), rounds),
+        "space_write_take_pickle_ops_per_s": _time(
+            lambda: space_write_take(2000 // scale, codec="pickle"), rounds),
         "space_selectivity_ops_per_s": _time(
             lambda: space_selectivity(1000 // scale, 100 // scale), rounds),
         "kernel_events_per_s": _time(
@@ -431,7 +531,11 @@ def run(rounds: int, smoke: bool) -> dict[str, float]:
         "durable_commits_always_per_s": _time(
             lambda: durable_commit_rate("always", 400 // scale), rounds),
         "durable_commits_group_per_s": _time(
-            lambda: durable_commit_rate("group", 400 // scale), rounds),
+            lambda: durable_commit_rate("group", 400 // scale,
+                                        codec="compact"), rounds),
+        "durable_commits_group_pickle_per_s": _time(
+            lambda: durable_commit_rate("group", 400 // scale,
+                                        codec="pickle"), rounds),
         # Deterministic virtual-time numbers: one run regardless of
         # --rounds (re-running replays the identical simulation).
         "e2e_sharded_1shard_tasks_per_s": e2e_sharded_rate(1, smoke),
@@ -440,16 +544,28 @@ def run(rounds: int, smoke: bool) -> dict[str, float]:
             tenants=4 if smoke else 8),
     }
     results.update(contention_overload(smoke))
+    if not smoke:
+        results.update(e2e_job_wire_cost())
     return results
 
 
 def check_against(committed: dict[str, Any],
-                  current: dict[str, float]) -> list[str]:
+                  current: dict[str, float],
+                  baseline: Optional[dict[str, Any]] = None) -> list[str]:
     """CI floor: every committed throughput must stay >= CHECK_FLOOR×.
 
     A committed metric the current run did not produce is itself a
     failure — silently skipping it would let a renamed or dropped
     workload retire its own regression gate.
+
+    Three independent floors per ``*_per_s`` cell: committed-relative
+    (CHECK_FLOOR, catches a regression landing now), baseline-relative
+    (BASELINE_FLOOR, catches a regression that already shipped its own
+    lowered committed reference — the ratchet-down loophole), and the
+    absolute ABS_FLOORS for the codec headline cells.  The deterministic
+    wire-cost cells are gated by a *ceiling* (WIRE_CEIL): lower is
+    better and the numbers are exact, so growth means a structural
+    payload regression, never noise.
     """
     failures = []
     for key, reference in committed.items():
@@ -466,6 +582,34 @@ def check_against(committed: dict[str, Any],
             failures.append(
                 f"{key}: {measured:.1f} is {ratio:.2f}x of committed "
                 f"{reference:.1f} (floor {CHECK_FLOOR}x)")
+    for key, reference in (baseline or {}).items():
+        if not key.endswith("_per_s") or not reference:
+            continue
+        measured = current.get(key)
+        if measured is None:
+            continue  # already reported against committed above
+        floor = BASELINE_FLOOR_OVERRIDES.get(key, BASELINE_FLOOR)
+        ratio = measured / reference
+        if ratio < floor:
+            failures.append(
+                f"{key}: {measured:.1f} is {ratio:.2f}x of the recorded "
+                f"baseline {reference:.1f} (floor {floor}x; "
+                f"a committed regression cannot ratchet this one down)")
+    for key, floor in ABS_FLOORS.items():
+        measured = current.get(key)
+        if measured is not None and measured < floor:
+            failures.append(
+                f"{key}: {measured:.1f} below the absolute floor "
+                f"{floor:.0f} ops/s (compact-codec hot path)")
+    for key in WIRE_CELLS:
+        reference = committed.get(key)
+        measured = current.get(key)
+        if reference and measured is not None and \
+                measured > reference * WIRE_CEIL:
+            failures.append(
+                f"{key}: {measured:.1f} is {measured / reference:.2f}x of "
+                f"committed {reference:.1f} (ceiling {WIRE_CEIL}x; "
+                f"deterministic wire cost — payload inflation, not noise)")
     base = current.get("e2e_sharded_1shard_tasks_per_s")
     many = current.get("e2e_sharded_tasks_per_s")
     if base and many and many / base < SHARD_SPEEDUP_FLOOR:
@@ -549,7 +693,7 @@ def main() -> None:
         print(f"wrote {args.output}")
 
     if args.check:
-        failures = check_against(committed, current)
+        failures = check_against(committed, current, baseline)
         if failures:
             for line in failures:
                 print(f"REGRESSION {line}", file=sys.stderr)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.tuplespace.entry import Entry
+from repro.util.codec import register_entry
 
 __all__ = ["TaskEntry", "ResultEntry", "DeadLetterEntry", "MasterCheckpointEntry"]
 
@@ -141,3 +142,13 @@ class DeadLetterEntry(Entry):
         self.attempts = attempts
         self.trace = trace
         self.tenant = tenant
+
+
+# Compact-codec schemas: one registration per class, fields in
+# constructor order (the canonical encoding order).  Registration is a
+# pure declaration — instances still pickle fine, and unregistered
+# subclasses simply stay on the pickle path.
+register_entry(TaskEntry)
+register_entry(ResultEntry)
+register_entry(MasterCheckpointEntry)
+register_entry(DeadLetterEntry)

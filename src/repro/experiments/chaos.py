@@ -178,6 +178,7 @@ def chaos_experiment(
     prefetch: int = 1,
     trace: bool = False,
     shards: int = 1,
+    codec: str = "pickle",
 ) -> ChaosResult:
     """Run the acceptance scenario; fully replayable from ``seed``.
 
@@ -217,6 +218,7 @@ def chaos_experiment(
                 trace=trace,
                 shards=max(1, shards),
                 record_history=True,
+                codec=codec,
             ),
         )
         framework.start()
@@ -403,6 +405,7 @@ def coordination_chaos_experiment(
     prefetch: int = 1,
     trace: bool = False,
     shards: int = 1,
+    codec: str = "pickle",
 ) -> CoordinationChaosResult:
     """Kill the space primary and/or the master mid-run; the job must
     still complete every task exactly-once.  Replayable from ``seed``.
@@ -448,6 +451,7 @@ def coordination_chaos_experiment(
                 # fencing has nothing to bite on.
                 shard_placement="spread" if shards > 1 else "master",
                 record_history=True,
+                codec=codec,
             ),
         )
         framework.start()
@@ -660,6 +664,7 @@ def contention_chaos_experiment(
     shards: int = 1,
     preemption_poll_ms: float = 500.0,
     fault_plan: Optional[FaultPlan] = None,
+    codec: str = "pickle",
 ) -> ContentionResult:
     """``tenants`` masters share one deployment; one floods 10x its quota.
 
@@ -720,6 +725,7 @@ def contention_chaos_experiment(
                 preemption=True,
                 preemption_poll_ms=preemption_poll_ms,
                 preemption_priority_cutoff=1,
+                codec=codec,
             ),
         )
         framework.start()

@@ -38,12 +38,17 @@ class SimLock:
         return proc if proc is not None else _KERNEL_THREAD
 
     def acquire(self) -> bool:
-        proc = self._caller()
-        if self._owner is not None and self._owner is not proc:
+        # Space operations enter/leave a lock per call, so this is hot:
+        # _caller() is inlined and the error path kept out of line.
+        proc = self._kernel._current
+        if proc is None:
+            proc = _KERNEL_THREAD
+        owner = self._owner
+        if owner is not None and owner is not proc:
             # Cannot happen under cooperative scheduling unless a process
             # blocked while holding the lock, which the monitor pattern
             # (wait releases the lock) prevents.
-            owner_name = getattr(self._owner, "name", "<kernel>")
+            owner_name = getattr(owner, "name", "<kernel>")
             proc_name = getattr(proc, "name", "<kernel>")
             raise SimulationError(
                 f"lock owned by {owner_name} acquired by {proc_name}"
@@ -53,15 +58,16 @@ class SimLock:
         return True
 
     def release(self) -> None:
-        if self._depth <= 0:
+        depth = self._depth - 1
+        if depth < 0:
             raise SimulationError("release of unacquired lock")
-        self._depth -= 1
-        if self._depth == 0:
+        self._depth = depth
+        if depth == 0:
             self._owner = None
 
-    def __enter__(self) -> "SimLock":
-        self.acquire()
-        return self
+    # ``with lock:`` never binds the target, so acquire's ``True`` return
+    # is fine — aliasing skips one frame per entry.
+    __enter__ = acquire
 
     def __exit__(self, *exc: object) -> None:
         self.release()

@@ -15,9 +15,8 @@ template's non-``None`` fields out of the candidate loop entirely.
 
 from __future__ import annotations
 
+import sys
 from typing import Any
-
-import numpy as np
 
 __all__ = [
     "Entry",
@@ -78,8 +77,15 @@ def entry_fields(entry: Entry) -> dict[str, Any]:
 
 
 def values_equal(a: Any, b: Any) -> bool:
-    """Field equality that is safe for numpy arrays and containers."""
-    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+    """Field equality that is safe for numpy arrays and containers.
+
+    The tuple-space core has no hard numpy dependency: an ndarray can
+    only reach a field if *something* already imported numpy, so the
+    array check consults ``sys.modules`` instead of importing — a plain
+    dict lookup on the hot path, and no import when numpy is absent.
+    """
+    np = sys.modules.get("numpy")
+    if np is not None and (isinstance(a, np.ndarray) or isinstance(b, np.ndarray)):
         try:
             return bool(np.array_equal(a, b))
         except Exception:

@@ -37,9 +37,10 @@ class Lease:
             raise LeaseError(f"negative lease duration: {duration_ms}")
         self._runtime = runtime
         self._on_cancel = on_cancel
-        self.granted_at = runtime.now()
+        now = runtime.now()
+        self.granted_at = now
         self.expiration_ms = (
-            FOREVER if duration_ms == FOREVER else runtime.now() + duration_ms
+            FOREVER if duration_ms == FOREVER else now + duration_ms
         )
         self.cancelled = False
 

@@ -30,8 +30,9 @@ from repro.runtime.base import Runtime
 from repro.tuplespace.entry import Entry
 from repro.tuplespace.events import RemoteEvent
 from repro.tuplespace.lease import FOREVER
-from repro.tuplespace.space import JavaSpace
+from repro.tuplespace.space import CODECS, JavaSpace
 from repro.tuplespace.transaction import Transaction, TransactionManager
+from repro.util.codec import decode_any, encode_entry
 
 __all__ = ["SpaceServer", "SpaceProxy", "ProxyBatch", "RemoteTransaction",
            "RecoveryPolicy", "AdmissionConfig", "AdmissionController"]
@@ -167,10 +168,17 @@ class AdmissionController:
         The whole operation is judged before any of it executes, so a
         mixed ``write_all`` is all-or-nothing.
         """
+        # Pre-encoded writes (codec="compact" proxies) ship frames, not
+        # instances; admission decodes them — the controlled-class check
+        # needs the tenant field, and compact decode is cheap.
         if op == "write":
-            entries = [args["entry"]]
+            data = args.get("entry_data")
+            entries = ([decode_any(data)] if data is not None
+                       else [args["entry"]])
         elif op == "write_all":
-            entries = args["entries"]
+            datas = args.get("entries_data")
+            entries = ([decode_any(d) for d in datas] if datas is not None
+                       else args["entries"])
         else:
             return
         if args.get("requeue"):
@@ -640,13 +648,28 @@ class SpaceServer:
     # -- per-op handlers, bound through the _DISPATCH table ---------------------
 
     def _op_write(self, args, txn, transactions, conn) -> Any:
-        lease = self.space.write(args["entry"], txn=txn, lease_ms=args["lease_ms"])
+        data = args.get("entry_data")
+        if data is not None:
+            # Zero-copy path: the client already encoded the entry; the
+            # space stores those bytes verbatim.
+            lease = self.space.write_encoded(data, txn=txn,
+                                             lease_ms=args["lease_ms"])
+        else:
+            lease = self.space.write(args["entry"], txn=txn,
+                                     lease_ms=args["lease_ms"])
         return {"remaining_ms": lease.remaining_ms()}
 
     def _op_read(self, args, txn, transactions, conn) -> Any:
+        if args.get("raw"):
+            return self.space.read_encoded(args["template"], txn=txn,
+                                           timeout_ms=args["timeout_ms"])
         return self.space.read(args["template"], txn=txn, timeout_ms=args["timeout_ms"])
 
     def _op_take(self, args, txn, transactions, conn) -> Any:
+        if args.get("raw"):
+            # The stored frame ships as-is; the client decodes once.
+            return self.space.take_encoded(args["template"], txn=txn,
+                                           timeout_ms=args["timeout_ms"])
         return self.space.take(args["template"], txn=txn, timeout_ms=args["timeout_ms"])
 
     def _op_count(self, args, txn, transactions, conn) -> Any:
@@ -660,11 +683,21 @@ class SpaceServer:
                                timeout_ms=args["timeout_ms"]) is not None
 
     def _op_write_all(self, args, txn, transactions, conn) -> Any:
-        leases = self.space.write_all(args["entries"], txn=txn,
-                                      lease_ms=args["lease_ms"])
+        datas = args.get("entries_data")
+        if datas is not None:
+            leases = self.space.write_all_encoded(datas, txn=txn,
+                                                  lease_ms=args["lease_ms"])
+        else:
+            leases = self.space.write_all(args["entries"], txn=txn,
+                                          lease_ms=args["lease_ms"])
         return {"count": len(leases)}
 
     def _op_take_multiple(self, args, txn, transactions, conn) -> Any:
+        if args.get("raw"):
+            return self.space.take_multiple_encoded(
+                args["template"], args["max_entries"], txn=txn,
+                timeout_ms=args["timeout_ms"],
+            )
         return self.space.take_multiple(
             args["template"], args["max_entries"], txn=txn,
             timeout_ms=args["timeout_ms"],
@@ -973,6 +1006,9 @@ class ProxyBatch:
         self._proxy = proxy
         self._ops: list[tuple[str, dict[str, Any]]] = []
         self._post: list[tuple[int, Callable[[Any], None]]] = []
+        #: Sub-op index → reply shape on the zero-copy wire path:
+        #: "one" (a single raw frame or None) or "many" (a frame list).
+        self._decode: dict[int, str] = {}
 
     def __len__(self) -> int:
         return len(self._ops)
@@ -988,8 +1024,14 @@ class ProxyBatch:
 
     def write(self, entry: Entry, txn: Optional["RemoteTransaction"] = None,
               lease_ms: float = FOREVER, requeue: bool = False) -> int:
-        args = {"entry": entry, "lease_ms": lease_ms,
-                "txn_id": txn.txn_id if txn else None}
+        if self._proxy._compact:
+            if not isinstance(entry, Entry):
+                raise SpaceError(f"not an Entry: {type(entry).__name__}")
+            args = {"entry_data": encode_entry(entry), "lease_ms": lease_ms,
+                    "txn_id": txn.txn_id if txn else None}
+        else:
+            args = {"entry": entry, "lease_ms": lease_ms,
+                    "txn_id": txn.txn_id if txn else None}
         if requeue:
             args["requeue"] = True
         return self._add("write", args)
@@ -997,31 +1039,54 @@ class ProxyBatch:
     def write_all(self, entries: list[Entry],
                   txn: Optional["RemoteTransaction"] = None,
                   lease_ms: float = FOREVER, requeue: bool = False) -> int:
-        args = {"entries": entries, "lease_ms": lease_ms,
-                "txn_id": txn.txn_id if txn else None}
+        if self._proxy._compact:
+            for entry in entries:
+                if not isinstance(entry, Entry):
+                    raise SpaceError(f"not an Entry: {type(entry).__name__}")
+            args = {"entries_data": [encode_entry(e) for e in entries],
+                    "lease_ms": lease_ms,
+                    "txn_id": txn.txn_id if txn else None}
+        else:
+            args = {"entries": entries, "lease_ms": lease_ms,
+                    "txn_id": txn.txn_id if txn else None}
         if requeue:
             args["requeue"] = True
         return self._add("write_all", args)
 
     def read(self, template: Entry, txn: Optional["RemoteTransaction"] = None,
              timeout_ms: Optional[float] = 0.0) -> int:
-        return self._add("read", {"template": template,
-                                  "timeout_ms": timeout_ms,
-                                  "txn_id": txn.txn_id if txn else None})
+        args = {"template": template, "timeout_ms": timeout_ms,
+                "txn_id": txn.txn_id if txn else None}
+        if self._proxy._compact:
+            args["raw"] = True
+            index = self._add("read", args)
+            self._decode[index] = "one"
+            return index
+        return self._add("read", args)
 
     def take(self, template: Entry, txn: Optional["RemoteTransaction"] = None,
              timeout_ms: Optional[float] = 0.0) -> int:
-        return self._add("take", {"template": template,
-                                  "timeout_ms": timeout_ms,
-                                  "txn_id": txn.txn_id if txn else None})
+        args = {"template": template, "timeout_ms": timeout_ms,
+                "txn_id": txn.txn_id if txn else None}
+        if self._proxy._compact:
+            args["raw"] = True
+            index = self._add("take", args)
+            self._decode[index] = "one"
+            return index
+        return self._add("take", args)
 
     def take_multiple(self, template: Entry, max_entries: int,
                       txn: Optional["RemoteTransaction"] = None,
                       timeout_ms: Optional[float] = 0.0) -> int:
-        return self._add("take_multiple",
-                         {"template": template, "max_entries": max_entries,
-                          "timeout_ms": timeout_ms,
-                          "txn_id": txn.txn_id if txn else None})
+        args = {"template": template, "max_entries": max_entries,
+                "timeout_ms": timeout_ms,
+                "txn_id": txn.txn_id if txn else None}
+        if self._proxy._compact:
+            args["raw"] = True
+            index = self._add("take_multiple", args)
+            self._decode[index] = "many"
+            return index
+        return self._add("take_multiple", args)
 
     def count(self, template: Entry) -> int:
         return self._add("count", {"template": template, "txn_id": None})
@@ -1056,6 +1121,7 @@ class ProxyBatch:
             return []
         ops, self._ops = self._ops, []
         post, self._post = self._post, []
+        decode, self._decode = self._decode, {}
         replies = self._proxy._call_batch(ops)
         for index, hook in post:
             if index < len(replies) and replies[index].get("ok"):
@@ -1068,7 +1134,13 @@ class ProxyBatch:
             reply = replies[i]
             if not reply.get("ok"):
                 _raise_remote(reply, op)
-            results.append(reply.get("value"))
+            value = reply.get("value")
+            shape = decode.get(i)
+            if shape == "one":
+                value = decode_any(value) if value is not None else None
+            elif shape == "many":
+                value = [decode_any(v) for v in value]
+            results.append(value)
         return results
 
 
@@ -1096,10 +1168,21 @@ class SpaceProxy:
         metrics: Any = None,
         locator: Optional[Callable[[], Optional[Address]]] = None,
         tracer: Any = None,
+        codec: str = "pickle",
     ) -> None:
+        if codec not in CODECS:
+            raise SpaceError(f"unknown codec {codec!r}; expected one of {CODECS}")
         self.network = network
         self.host = host
         self.server_address = server_address
+        #: ``"compact"`` turns on the zero-copy wire path: entries are
+        #: encoded once client-side (``entry_data``/``entries_data``
+        #: request fields), and take/read replies ship the server's
+        #: stored frames (``raw`` flag) for a single decode here.
+        #: Templates always travel as live objects — the server matches
+        #: on their fields.
+        self.codec = codec
+        self._compact = codec == "compact"
         self.recovery = recovery
         self._rng = rng
         self._metrics = metrics
@@ -1359,8 +1442,14 @@ class SpaceProxy:
     def write(self, entry: Entry, txn: Optional[RemoteTransaction] = None,
               lease_ms: float = FOREVER,
               requeue: bool = False) -> dict[str, Any]:
-        args = {"entry": entry, "lease_ms": lease_ms,
-                "txn_id": txn.txn_id if txn else None}
+        if self._compact:
+            if not isinstance(entry, Entry):
+                raise SpaceError(f"not an Entry: {type(entry).__name__}")
+            args = {"entry_data": encode_entry(entry), "lease_ms": lease_ms,
+                    "txn_id": txn.txn_id if txn else None}
+        else:
+            args = {"entry": entry, "lease_ms": lease_ms,
+                    "txn_id": txn.txn_id if txn else None}
         if requeue:
             # Worker re-queue of already-admitted tasks: exempt from
             # admission control (shedding it would break exactly-once).
@@ -1369,19 +1458,23 @@ class SpaceProxy:
 
     def read(self, template: Entry, txn: Optional[RemoteTransaction] = None,
              timeout_ms: Optional[float] = None) -> Optional[Entry]:
-        return self._call(
-            "read",
-            {"template": template, "timeout_ms": timeout_ms,
-             "txn_id": txn.txn_id if txn else None},
-        )
+        args = {"template": template, "timeout_ms": timeout_ms,
+                "txn_id": txn.txn_id if txn else None}
+        if self._compact:
+            args["raw"] = True
+            value = self._call("read", args)
+            return decode_any(value) if value is not None else None
+        return self._call("read", args)
 
     def take(self, template: Entry, txn: Optional[RemoteTransaction] = None,
              timeout_ms: Optional[float] = None) -> Optional[Entry]:
-        return self._call(
-            "take",
-            {"template": template, "timeout_ms": timeout_ms,
-             "txn_id": txn.txn_id if txn else None},
-        )
+        args = {"template": template, "timeout_ms": timeout_ms,
+                "txn_id": txn.txn_id if txn else None}
+        if self._compact:
+            args["raw"] = True
+            value = self._call("take", args)
+            return decode_any(value) if value is not None else None
+        return self._call("take", args)
 
     def read_if_exists(self, template: Entry, txn: Optional[RemoteTransaction] = None):
         return self.read(template, txn, timeout_ms=0.0)
@@ -1404,8 +1497,16 @@ class SpaceProxy:
     def write_all(self, entries: list[Entry],
                   txn: Optional[RemoteTransaction] = None,
                   lease_ms: float = FOREVER, requeue: bool = False) -> int:
-        args = {"entries": entries, "lease_ms": lease_ms,
-                "txn_id": txn.txn_id if txn else None}
+        if self._compact:
+            for entry in entries:
+                if not isinstance(entry, Entry):
+                    raise SpaceError(f"not an Entry: {type(entry).__name__}")
+            args = {"entries_data": [encode_entry(e) for e in entries],
+                    "lease_ms": lease_ms,
+                    "txn_id": txn.txn_id if txn else None}
+        else:
+            args = {"entries": entries, "lease_ms": lease_ms,
+                    "txn_id": txn.txn_id if txn else None}
         if requeue:
             args["requeue"] = True
         reply = self._call("write_all", args)
@@ -1414,11 +1515,13 @@ class SpaceProxy:
     def take_multiple(self, template: Entry, max_entries: int,
                       txn: Optional[RemoteTransaction] = None,
                       timeout_ms: Optional[float] = None) -> list[Entry]:
-        return self._call(
-            "take_multiple",
-            {"template": template, "max_entries": max_entries,
-             "timeout_ms": timeout_ms, "txn_id": txn.txn_id if txn else None},
-        )
+        args = {"template": template, "max_entries": max_entries,
+                "timeout_ms": timeout_ms,
+                "txn_id": txn.txn_id if txn else None}
+        if self._compact:
+            args["raw"] = True
+            return [decode_any(v) for v in self._call("take_multiple", args)]
+        return self._call("take_multiple", args)
 
     def contents(self, template: Entry,
                  txn: Optional[RemoteTransaction] = None) -> list[Entry]:

@@ -469,6 +469,7 @@ class ShardRouter:
         locators: Optional[list[Optional[Callable[[], Optional[Address]]]]] = None,
         tracer: Any = None,
         scatter_block_ms: float = 250.0,
+        codec: str = "pickle",
     ) -> None:
         if not addresses:
             raise ValueError("ShardRouter needs at least one shard address")
@@ -481,11 +482,12 @@ class ShardRouter:
         self.host = host
         self.runtime = network.runtime
         self.scatter_block_ms = scatter_block_ms
+        self.codec = codec
         self._proxies = [
             SpaceProxy(network, host, address, recovery=recovery, rng=rng,
                        metrics=metrics,
                        locator=locators[i] if locators else None,
-                       tracer=tracer)
+                       tracer=tracer, codec=codec)
             for i, address in enumerate(addresses)
         ]
         #: Dedicated camp connections (lazily built): a camp is a blocking
@@ -494,7 +496,8 @@ class ShardRouter:
         #: socket with the fan-out RPCs (or with a lingering camper from
         #: an earlier round — hence the busy mask).
         self._camp_proxy_args = dict(recovery=recovery, rng=rng,
-                                     metrics=metrics, tracer=tracer)
+                                     metrics=metrics, tracer=tracer,
+                                     codec=codec)
         self._camp_addresses = list(addresses)
         self._camp_locators = locators
         self._camp_proxies: Optional[list[SpaceProxy]] = None

@@ -36,9 +36,16 @@ from repro.tuplespace.entry import Entry, match_items, matches_fields
 from repro.tuplespace.events import EventRegistration, RemoteEvent
 from repro.tuplespace.lease import FOREVER, Lease
 from repro.tuplespace.transaction import Transaction
-from repro.util.serialization import deserialize, serialize
+from repro.util.codec import decode_any, encode_entry, peek_class
+from repro.util.serialization import serialize
 
-__all__ = ["JavaSpace"]
+__all__ = ["JavaSpace", "CODECS"]
+
+#: Supported entry codecs.  ``pickle`` is the determinism reference;
+#: ``compact`` is the fast positional codec (see ``repro.util.codec``).
+#: Decoding always accepts both frame kinds, so the knob only picks what
+#: *new* bytes look like.
+CODECS = ("pickle", "compact")
 
 
 #: Stat keys, in exposition order.  Each maps to a plain ``_stat_<key>``
@@ -101,8 +108,10 @@ class _Stored:
         self.lease = lease
         self.state = _AVAILABLE
         self.owner_txn: Optional[Transaction] = None
-        self.read_lockers: set[int] = set()  # txn ids holding shared locks
-        self.index_keys: list[tuple[str, Any]] = []
+        # Lazily-allocated (None ≡ empty): most entries are never read
+        # under a transaction nor indexed, and the write path is hot.
+        self.read_lockers: Optional[set[int]] = None  # txn ids, shared locks
+        self.index_keys: Optional[list[tuple[str, Any]]] = None
         self._snapshot: Optional[Entry] = None
 
     @property
@@ -110,8 +119,28 @@ class _Stored:
         """Private matching snapshot, materialized on first field match."""
         snapshot = self._snapshot
         if snapshot is None:
-            snapshot = self._snapshot = deserialize(self.data)
+            snapshot = self._snapshot = decode_any(self.data)
         return snapshot
+
+
+class _ScanList:
+    """Insertion-order scan index for one class bucket.
+
+    CPython dicts never shrink and their iteration walks the dead slots
+    that ``pop`` leaves behind, so a FIFO drain of a large bucket would
+    make every subsequent scan start with a tombstone march.  Scans
+    therefore walk this id list instead: ``head`` lazily retires the
+    leading removed ids (O(1) amortized for FIFO removal, the dominant
+    pattern), and ``stale`` counts mid-list removals so the list is
+    rebuilt — live ids only — once they outnumber the remainder.
+    """
+
+    __slots__ = ("ids", "head", "stale")
+
+    def __init__(self) -> None:
+        self.ids: list[int] = []
+        self.head = 0
+        self.stale = 0
 
 
 class _Waiter:
@@ -154,15 +183,29 @@ class JavaSpace:
     #: base space never pays for the hook.
     journaling = False
 
-    def __init__(self, runtime: Runtime, name: str = "JavaSpaces") -> None:
-        self._serialize = serialize
-        self._deserialize = deserialize
+    def __init__(self, runtime: Runtime, name: str = "JavaSpaces",
+                 codec: str = "pickle") -> None:
+        if codec not in CODECS:
+            raise SpaceError(f"unknown codec {codec!r}; expected one of {CODECS}")
+        self.codec = codec
+        self._serialize = encode_entry if codec == "compact" else serialize
+        # Decoding dispatches on the frame's first byte, so a space always
+        # reads bytes written under either codec (WAL replay across a
+        # codec switch, mixed-codec clients).
+        self._deserialize = decode_any
         self.runtime = runtime
         self.name = name
         self._lock = runtime.lock()
         self._buckets: dict[type, dict[int, _Stored]] = {}
+        self._scan_lists: dict[type, _ScanList] = {}  # FIFO scan order
         self._by_id: dict[int, _Stored] = {}  # O(1) entry_id lookup
         # Per-class field-value index: cls → field → value → {entry ids}.
+        # Built *lazily*: a (class, field) index materializes the first
+        # time a template selects on that field (one bucket scan), and
+        # only those activated fields are maintained on later writes.
+        # The write hot path therefore pays nothing for indexing until a
+        # selective reader proves the field is worth it — eager all-field
+        # indexing was the single largest cost in the write/take profile.
         # Only hashable field values are indexed; templates fall back to a
         # scan for the rest.  Cuts selective matching from O(bucket) to
         # O(candidates) — measured by bench_micro_space_template_selectivity.
@@ -227,7 +270,7 @@ class JavaSpace:
             raise SpaceError(f"not an Entry: {type(entry).__name__}")
         data = self._serialize(entry)           # enforces serializability
         with self._lock:
-            stored = self._store(entry, data, lease_ms)
+            stored = self._store(type(entry), data, lease_ms, entry)
             if txn is not None:
                 txn._enlist(self)
                 stored.state = _PENDING_WRITE
@@ -241,8 +284,52 @@ class JavaSpace:
                     ])
             return stored.lease
 
-    def _store(self, entry: Entry, data: bytes, lease_ms: float) -> _Stored:
-        """Insert one serialized entry (store, id map, index, lease heap)."""
+    def write_encoded(
+        self,
+        data: bytes,
+        txn: Optional[Transaction] = None,
+        lease_ms: float = FOREVER,
+    ) -> Lease:
+        """Store an already-encoded entry without re-serializing it.
+
+        The zero-copy server path: a proxy client encoded the entry once,
+        the bytes travelled the wire, and the space stores them verbatim
+        (compact frames don't even decode — the class comes from the
+        frame header; pickle frames decode once for the class and keep
+        the instance as the matching snapshot).
+        """
+        entry: Optional[Entry] = None
+        cls = peek_class(data)
+        if cls is None:
+            entry = decode_any(data)
+            cls = type(entry)
+        if not (isinstance(cls, type) and issubclass(cls, Entry)):
+            raise SpaceError(f"not an Entry: {cls.__name__}")
+        with self._lock:
+            stored = self._store(cls, data, lease_ms, entry)
+            if entry is not None:
+                stored._snapshot = entry
+            if txn is not None:
+                txn._enlist(self)
+                stored.state = _PENDING_WRITE
+                stored.owner_txn = txn
+                self._ops(txn).writes.append(stored.entry_id)
+            else:
+                self._entry_became_visible(stored)
+                if self.journaling:
+                    self._journal_ops([
+                        ("write", stored.entry_id, data, stored.lease.expiration_ms)
+                    ])
+            return stored.lease
+
+    def _store(self, cls: type, data: bytes, lease_ms: float,
+               entry: Optional[Entry] = None) -> _Stored:
+        """Insert one serialized entry (store, id map, index, lease heap).
+
+        ``entry`` is the writer's live instance when available — it spares
+        the index maintenance path a snapshot decode; pre-encoded writes
+        pass None and the (rarely needed) snapshot stays lazy.
+        """
         entry_id = next(self._ids)
         self._last_id = entry_id
         cancelled = self._lease_cancelled
@@ -250,10 +337,16 @@ class JavaSpace:
             self.runtime, lease_ms,
             on_cancel=lambda eid=entry_id: cancelled.append(eid),
         )
-        stored = _Stored(entry_id, type(entry), data, lease)
-        self._buckets.setdefault(stored.cls, {})[entry_id] = stored
+        stored = _Stored(entry_id, cls, data, lease)
+        bucket = self._buckets.get(cls)
+        if bucket is None:
+            bucket = self._buckets[cls] = {}
+            self._scan_lists[cls] = _ScanList()
+        bucket[entry_id] = stored
+        self._scan_lists[cls].ids.append(entry_id)
         self._by_id[entry_id] = stored
-        self._index_entry(stored, entry)
+        if self._indexes.get(cls):
+            self._index_entry(stored, entry)
         if lease.expiration_ms != FOREVER:
             heappush(self._lease_heap, (lease.expiration_ms, entry_id))
         self._stat_writes += 1
@@ -298,6 +391,43 @@ class JavaSpace:
     def take_if_exists(self, template: Entry, txn: Optional[Transaction] = None) -> Optional[Entry]:
         return self.take(template, txn, timeout_ms=0.0)
 
+    # -- encoded (zero-copy) variants: results are the stored frames ----------
+
+    def read_encoded(
+        self,
+        template: Entry,
+        txn: Optional[Transaction] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> Optional[bytes]:
+        """Like :meth:`read`, but returns the stored frame bytes."""
+        got = self._acquire_batch(template, txn, timeout_ms, take=False,
+                                  max_entries=1, raw=True)
+        return got[0] if got else None
+
+    def take_encoded(
+        self,
+        template: Entry,
+        txn: Optional[Transaction] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> Optional[bytes]:
+        """Like :meth:`take`, but returns the stored frame bytes."""
+        got = self._acquire_batch(template, txn, timeout_ms, take=True,
+                                  max_entries=1, raw=True)
+        return got[0] if got else None
+
+    def take_multiple_encoded(
+        self,
+        template: Entry,
+        max_entries: int,
+        txn: Optional[Transaction] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> list[bytes]:
+        """Like :meth:`take_multiple`, but returns stored frame bytes."""
+        if max_entries < 1:
+            raise SpaceError(f"max_entries must be >= 1: {max_entries}")
+        return self._acquire_batch(template, txn, timeout_ms, take=True,
+                                   max_entries=max_entries, raw=True)
+
     def snapshot(self, template: Entry) -> Entry:
         """Pre-serialized template (here: an isolated copy)."""
         return self._deserialize(self._serialize(template))
@@ -331,7 +461,51 @@ class JavaSpace:
             leases: list[Lease] = []
             journal: list[tuple] = []
             for entry, data in zip(entries, serialized):
-                stored = self._store(entry, data, lease_ms)
+                stored = self._store(type(entry), data, lease_ms, entry)
+                leases.append(stored.lease)
+                if ops is not None:
+                    stored.state = _PENDING_WRITE
+                    stored.owner_txn = txn
+                    ops.writes.append(stored.entry_id)
+                else:
+                    self._entry_became_visible(stored)
+                    if self.journaling:
+                        journal.append(
+                            ("write", stored.entry_id, data,
+                             stored.lease.expiration_ms)
+                        )
+            if journal:
+                self._journal_ops(journal)
+            return leases
+
+    def write_all_encoded(
+        self,
+        datas: list[bytes],
+        txn: Optional[Transaction] = None,
+        lease_ms: float = FOREVER,
+    ) -> list[Lease]:
+        """Batch form of :meth:`write_encoded` (one monitor pass)."""
+        resolved: list[tuple[type, bytes, Optional[Entry]]] = []
+        for data in datas:
+            entry: Optional[Entry] = None
+            cls = peek_class(data)
+            if cls is None:
+                entry = decode_any(data)
+                cls = type(entry)
+            if not (isinstance(cls, type) and issubclass(cls, Entry)):
+                raise SpaceError(f"not an Entry: {cls.__name__}")
+            resolved.append((cls, data, entry))
+        with self._lock:
+            ops = None
+            if txn is not None:
+                txn._enlist(self)
+                ops = self._ops(txn)
+            leases: list[Lease] = []
+            journal: list[tuple] = []
+            for cls, data, entry in resolved:
+                stored = self._store(cls, data, lease_ms, entry)
+                if entry is not None:
+                    stored._snapshot = entry
                 leases.append(stored.lease)
                 if ops is not None:
                     stored.state = _PENDING_WRITE
@@ -385,7 +559,8 @@ class JavaSpace:
         timeout_ms: Optional[float],
         take: bool,
         max_entries: int,
-    ) -> list[Entry]:
+        raw: bool = False,
+    ) -> list:
         if not isinstance(template, Entry):
             raise SpaceError(f"template is not an Entry: {type(template).__name__}")
         if txn is not None:
@@ -396,13 +571,28 @@ class JavaSpace:
         waiter: Optional[_Waiter] = None
         with self._lock:
             while True:
-                self._reap_expired()
-                out: list[Entry] = []
-                while len(out) < max_entries:
+                if self._lease_cancelled or self._lease_heap:
+                    self._reap_expired()
+                out: list = []
+                if max_entries == 1:
                     stored = self._find(template_cls, items, txn, take)
-                    if stored is None:
-                        break
-                    out.append(self._claim(stored, txn, take))
+                    if stored is not None:
+                        out.append(self._claim(stored, txn, take, raw))
+                elif self._fair_applies(template_cls, items, take):
+                    # DRR selection depends on what each claim consumes,
+                    # so the fair path claims as it goes.
+                    while len(out) < max_entries:
+                        stored = self._find(template_cls, items, txn, take)
+                        if stored is None:
+                            break
+                        out.append(self._claim(stored, txn, take, raw))
+                else:
+                    # Drain in one pass: the candidate sets (index buckets
+                    # or the class bucket) are walked once for the whole
+                    # batch instead of once per taken entry.
+                    for stored in self._find_many(template_cls, items, txn,
+                                                  take, max_entries):
+                        out.append(self._claim(stored, txn, take, raw))
                 if out:
                     return out
                 remaining: Optional[float] = None
@@ -430,7 +620,8 @@ class JavaSpace:
                 if txn is not None:
                     txn.ensure_active()
 
-    def _claim(self, stored: _Stored, txn: Optional[Transaction], take: bool) -> Entry:
+    def _claim(self, stored: _Stored, txn: Optional[Transaction], take: bool,
+               raw: bool = False):
         if take:
             self._stat_takes += 1
             if txn is None:
@@ -446,9 +637,16 @@ class JavaSpace:
             self._stat_reads += 1
             if txn is not None:
                 txn._enlist(self)
-                if txn.txn_id not in stored.read_lockers:
-                    stored.read_lockers.add(txn.txn_id)
+                lockers = stored.read_lockers
+                if lockers is None:
+                    lockers = stored.read_lockers = set()
+                if txn.txn_id not in lockers:
+                    lockers.add(txn.txn_id)
                     self._ops(txn).reads.append(stored.entry_id)
+        if raw:
+            # Zero-copy reply path: the stored bytes ship as-is and the
+            # far side decodes once.  Isolation holds — bytes are immutable.
+            return stored.data
         return self._deserialize(stored.data)
 
     # ----------------------------------------------------------------- notify --
@@ -542,7 +740,8 @@ class JavaSpace:
                 stored = by_id.get(entry_id)
                 if stored is None:
                     continue
-                stored.read_lockers.discard(txn.txn_id)
+                if stored.read_lockers is not None:
+                    stored.read_lockers.discard(txn.txn_id)
                 # Releasing the last shared lock can unblock a taker.
                 if (not stored.read_lockers and stored.state == _AVAILABLE
                         and not stored.lease.is_expired()):
@@ -573,12 +772,24 @@ class JavaSpace:
             else max(0.0, expiration_ms - self.runtime.now()),
             on_cancel=lambda eid=entry_id: cancelled.append(eid),
         )
-        entry = self._deserialize(data)
-        stored = _Stored(entry_id, type(entry), data, lease)
+        entry: Optional[Entry] = None
+        cls = peek_class(data)
+        if cls is None:
+            # Pickle frame: decoding is the only way to learn the class,
+            # so keep the instance as the matching snapshot.
+            entry = decode_any(data)
+            cls = type(entry)
+        stored = _Stored(entry_id, cls, data, lease)
         stored._snapshot = entry
-        self._buckets.setdefault(stored.cls, {})[entry_id] = stored
+        bucket = self._buckets.get(cls)
+        if bucket is None:
+            bucket = self._buckets[cls] = {}
+            self._scan_lists[cls] = _ScanList()
+        bucket[entry_id] = stored
+        self._scan_lists[cls].ids.append(entry_id)
         self._by_id[entry_id] = stored
-        self._index_entry(stored, entry)
+        if self._indexes.get(cls):
+            self._index_entry(stored, entry)
         if lease.expiration_ms != FOREVER:
             heappush(self._lease_heap, (lease.expiration_ms, entry_id))
         if entry_id > self._last_id:
@@ -595,6 +806,7 @@ class JavaSpace:
         """Drop every stored entry and index (snapshot install on a
         standby); waiters, registrations and stats are left alone."""
         self._buckets.clear()
+        self._scan_lists.clear()
         self._by_id.clear()
         self._indexes.clear()
         self._unindexable.clear()
@@ -626,26 +838,86 @@ class JavaSpace:
         except TypeError:
             return False
 
-    def _index_entry(self, stored: _Stored, entry: Entry) -> None:
-        """Index the caller's entry at write time (no snapshot needed).
+    def _index_entry(self, stored: _Stored, entry: Optional[Entry]) -> None:
+        """Maintain the *activated* field indexes for one inserted entry.
 
-        The indexed ``(field, value)`` pairs are recorded on ``stored`` so
-        removal never recomputes them.  Index correctness relies on values
-        whose hash/equality survive pickling — true of every sane key type,
-        and the index is only ever a pre-filter: ``matches`` still confirms
+        Called from ``_store``/``_restore`` only when the class already
+        has at least one activated index (``_build_index`` activated it
+        on behalf of a selective reader) — the common write never gets
+        here.  ``entry`` is the writer's live instance when available;
+        pre-encoded inserts fall back to the lazy snapshot.  The indexed
+        ``(field, value)`` pairs are recorded on ``stored`` so removal
+        never recomputes them.  Index correctness relies on values whose
+        hash/equality survive recoding — true of every sane key type, and
+        the index is only ever a pre-filter: ``matches`` still confirms
         against the isolated snapshot.
         """
         cls = stored.cls
-        index = self._indexes.setdefault(cls, {})
+        index = self._indexes.get(cls)
+        if not index:
+            return
+        if entry is None:
+            entry = stored.entry
+        attrs = entry.__dict__
         keys = stored.index_keys
-        for name, value in match_items(entry):
-            if self._hashable(value):
-                index.setdefault(name, {}).setdefault(value, set()).add(
-                    stored.entry_id
-                )
-                keys.append((name, value))
-            else:
+        if keys is None:
+            keys = stored.index_keys = []
+        dropped: list[str] = []
+        for name, by_value in index.items():
+            value = attrs.get(name)
+            if value is None:
+                continue
+            try:
+                ids = by_value.get(value)
+            except TypeError:
+                # Unhashable value: poison the field and stop maintaining
+                # its index — _candidate_ids falls back to scanning.
                 self._unindexable.setdefault(cls, set()).add(name)
+                dropped.append(name)
+                continue
+            if ids is None:
+                by_value[value] = ids = set()
+            ids.add(stored.entry_id)
+            keys.append((name, value))
+        for name in dropped:
+            del index[name]
+
+    def _build_index(
+        self, cls: type, name: str
+    ) -> Optional[dict[Any, set[int]]]:
+        """Activate the ``(cls, name)`` index: one scan over the bucket.
+
+        Lazy-index activation point — the first template that selects on
+        ``name`` pays one O(bucket) build (forcing matching snapshots),
+        and every later write maintains the index incrementally.  Returns
+        None (and poisons the field) if any current value is unhashable.
+        """
+        by_value: dict[Any, set[int]] = {}
+        indexed: list[tuple[_Stored, Any]] = []
+        bucket = self._buckets.get(cls)
+        if bucket:
+            for stored in bucket.values():
+                value = stored.entry.__dict__.get(name)
+                if value is None:
+                    continue
+                try:
+                    ids = by_value.get(value)
+                except TypeError:
+                    self._unindexable.setdefault(cls, set()).add(name)
+                    return None
+                if ids is None:
+                    by_value[value] = ids = set()
+                ids.add(stored.entry_id)
+                indexed.append((stored, value))
+        for stored, value in indexed:
+            if stored.index_keys is None:
+                stored.index_keys = []
+            stored.index_keys.append((name, value))
+        index = self._indexes.get(cls)
+        if index is None:
+            index = self._indexes[cls] = {}
+        index[name] = by_value
+        return by_value
 
     def _unindex_entry(self, stored: _Stored) -> None:
         if not stored.index_keys:
@@ -666,16 +938,27 @@ class JavaSpace:
     ) -> Optional[list[int]]:
         """Entry ids pre-filtered by the indexed template fields.
 
-        Returns None when no indexed field narrows the search (scan the
-        bucket); an empty list means a definite miss.
+        Selecting on a field that has no index yet *activates* it (one
+        bucket scan via ``_build_index``); after that the lookup is a
+        pair of dict probes.  Returns None when no indexed field narrows
+        the search (scan the bucket); an empty list means a definite miss.
         """
-        index = self._indexes.get(cls, {})
         poisoned = self._unindexable.get(cls)
         ids: Optional[set[int]] = None
+        index = self._indexes.get(cls)
         for name, value in items:
             if (poisoned is not None and name in poisoned) or not self._hashable(value):
                 continue
-            matching = index.get(name, {}).get(value, set())
+            by_value = index.get(name) if index is not None else None
+            if by_value is None:
+                by_value = self._build_index(cls, name)
+                if by_value is None:
+                    poisoned = self._unindexable.get(cls)
+                    continue
+                index = self._indexes.get(cls)
+            matching = by_value.get(value)
+            if not matching:
+                return []
             ids = set(matching) if ids is None else ids & matching
             if not ids:
                 return []
@@ -732,7 +1015,7 @@ class JavaSpace:
         for cls, bucket in self._buckets.items():
             if not bucket or not issubclass(cls, template_cls):
                 continue
-            for stored in bucket.values():
+            for stored in self._scan_bucket(cls, bucket):
                 if not self._visible(stored, txn):
                     continue
                 if stored.read_lockers and not self._takeable(stored, txn):
@@ -776,6 +1059,33 @@ class JavaSpace:
                 deficit[tenant] = (deficit.get(tenant, 0.0)
                                    + self._share_of(tenant) * quantum)
 
+    def _fair_applies(
+        self, template_cls: type, items: list[tuple[str, Any]], take: bool
+    ) -> bool:
+        return (take and self._fair_shares is not None
+                and template_cls.__name__ in self._fair_class_names
+                and not any(name == "tenant" for name, _ in items))
+
+    def _scan_bucket(self, cls: type, bucket: dict[int, _Stored]) -> Iterator[_Stored]:
+        """Live entries of ``bucket`` in insertion order (scan-list walk);
+        leading dead ids are retired as a side effect."""
+        sl = self._scan_lists[cls]
+        ids = sl.ids
+        get = bucket.get
+        i = sl.head
+        n = len(ids)
+        at_head = True
+        while i < n:
+            stored = get(ids[i])
+            i += 1
+            if stored is None:
+                if at_head:
+                    sl.head = i
+                    sl.stale -= 1
+                continue
+            at_head = False
+            yield stored
+
     def _find(
         self,
         template_cls: type,
@@ -783,24 +1093,54 @@ class JavaSpace:
         txn: Optional[Transaction],
         take: bool,
     ) -> Optional[_Stored]:
-        if (take and self._fair_shares is not None
-                and template_cls.__name__ in self._fair_class_names
-                and not any(name == "tenant" for name, _ in items)):
+        if self._fair_shares is not None and self._fair_applies(
+                template_cls, items, take):
             return self._find_fair(template_cls, items, txn)
         for cls, bucket in self._buckets.items():
             if not bucket or not issubclass(cls, template_cls):
                 continue
             if items:
                 candidates = self._candidate_ids(cls, items)
-                stored_iter: Any = (
-                    bucket.values()
-                    if candidates is None
-                    else (bucket[i] for i in candidates if i in bucket)
-                )
-            else:
-                stored_iter = bucket.values()
-            for stored in stored_iter:
-                if not self._visible(stored, txn):
+                if candidates is not None:
+                    for entry_id in candidates:
+                        stored = bucket.get(entry_id)
+                        if stored is None:
+                            continue
+                        state = stored.state
+                        if state != _AVAILABLE:
+                            if state == _TAKEN or txn is None or stored.owner_txn is not txn:
+                                continue
+                        if stored.lease.is_expired():
+                            continue
+                        if take and stored.read_lockers and not self._takeable(stored, txn):
+                            continue
+                        if matches_fields(items, stored.entry):
+                            return stored
+                    continue
+            # Insertion-order walk over the scan list, inlined rather than
+            # through _scan_bucket: this loop is the per-op hot path and
+            # in the common case returns its very first live entry.
+            sl = self._scan_lists[cls]
+            ids = sl.ids
+            get = bucket.get
+            i = sl.head
+            n = len(ids)
+            at_head = True
+            while i < n:
+                stored = get(ids[i])
+                i += 1
+                if stored is None:
+                    if at_head:
+                        sl.head = i
+                        sl.stale -= 1
+                    continue
+                at_head = False
+                # _visible, inlined.
+                state = stored.state
+                if state != _AVAILABLE:
+                    if state == _TAKEN or txn is None or stored.owner_txn is not txn:
+                        continue
+                if stored.lease.is_expired():
                     continue
                 if take and stored.read_lockers and not self._takeable(stored, txn):
                     continue
@@ -808,6 +1148,45 @@ class JavaSpace:
                 if not items or matches_fields(items, stored.entry):
                     return stored
         return None
+
+    def _find_many(
+        self,
+        template_cls: type,
+        items: list[tuple[str, Any]],
+        txn: Optional[Transaction],
+        take: bool,
+        limit: int,
+    ) -> list[_Stored]:
+        """Up to ``limit`` matches in one walk (``take_multiple`` drain).
+
+        Same candidate machinery as :meth:`_find`, but the index buckets
+        (or class buckets) are traversed once for the whole batch —
+        claims happen after collection, which is equivalent because a
+        claim never changes another collected entry's visibility.
+        """
+        out: list[_Stored] = []
+        for cls, bucket in self._buckets.items():
+            if not bucket or not issubclass(cls, template_cls):
+                continue
+            if items:
+                candidates = self._candidate_ids(cls, items)
+                stored_iter: Any = (
+                    self._scan_bucket(cls, bucket)
+                    if candidates is None
+                    else (bucket[i] for i in candidates if i in bucket)
+                )
+            else:
+                stored_iter = self._scan_bucket(cls, bucket)
+            for stored in stored_iter:
+                if not self._visible(stored, txn):
+                    continue
+                if take and stored.read_lockers and not self._takeable(stored, txn):
+                    continue
+                if not items or matches_fields(items, stored.entry):
+                    out.append(stored)
+                    if len(out) >= limit:
+                        return out
+        return out
 
     def _iter_matching(
         self, template: Entry, txn: Optional[Transaction]
@@ -821,7 +1200,7 @@ class JavaSpace:
                 continue
             candidates = self._candidate_ids(cls, items) if items else None
             stored_iter: Any = (
-                bucket.values()
+                self._scan_bucket(cls, bucket)
                 if candidates is None
                 else (bucket[i] for i in candidates if i in bucket)
             )
@@ -921,10 +1300,21 @@ class JavaSpace:
     # ------------------------------------------------------------------ expiry --
 
     def _remove(self, stored: _Stored) -> None:
-        bucket = self._buckets.get(stored.cls)
+        cls = stored.cls
+        bucket = self._buckets.get(cls)
         if bucket is not None and bucket.pop(stored.entry_id, None) is not None:
             self._by_id.pop(stored.entry_id, None)
             self._unindex_entry(stored)
+            sl = self._scan_lists.get(cls)
+            if sl is not None:
+                sl.stale += 1
+                # Mid-list staleness (selective takes): rebuild once the
+                # dead outnumber what is left to scan.  Head retirement
+                # decrements ``stale``, so pure FIFO drains never rebuild.
+                if sl.stale >= 64 and sl.stale * 2 >= len(sl.ids) - sl.head:
+                    sl.ids = [i for i in sl.ids[sl.head:] if i in bucket]
+                    sl.head = 0
+                    sl.stale = 0
 
     def _reap_expired(self) -> None:
         """Collect expired and cancelled entries.

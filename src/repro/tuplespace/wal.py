@@ -50,21 +50,32 @@ fsync policy — records ship as they commit, not as they hit the disk.
 
 from __future__ import annotations
 
+import io
 import os
 import pickle
+import struct
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import SpaceError
 
 __all__ = ["CommitRecord", "WalStore", "FileWalStore", "WriteAheadLog",
-           "OP_WRITE", "OP_TAKE", "FSYNC_POLICIES"]
+           "record_frame", "decode_log", "WAL_MAGIC",
+           "OP_WRITE", "OP_TAKE", "FSYNC_POLICIES", "WAL_CODECS"]
 
 OP_WRITE = "write"
 OP_TAKE = "take"
 
 #: Valid values for the ``fsync_policy`` knob, strongest first.
 FSYNC_POLICIES = ("always", "group", "os")
+
+#: Frame encodings a store can write.  ``pickle`` frames the whole
+#: record through ``pickle.dumps``; ``compact`` uses the length-prefixed
+#: binary layout below, which embeds entry payloads as opaque byte
+#: ranges — no re-serialization of bytes that already crossed the entry
+#: codec.  Reading is always mixed-mode (first-byte dispatch), so a log
+#: may interleave frames from both codecs.
+WAL_CODECS = ("pickle", "compact")
 
 
 @dataclass(frozen=True)
@@ -86,6 +97,200 @@ class CommitRecord:
     epoch: int = 0
 
 
+# -------------------------------------------------------------- WAL frames --
+#
+# Compact frame layout (little-endian)::
+#
+#     +------+------------+------------------------------------------+
+#     | 0xC4 | u32 length | i64 lsn  i64 epoch  u32 nops  op_0..op_n |
+#     +------+------------+------------------------------------------+
+#
+#     op_write:  'W'  i64 entry_id  f64 exp  u32 data_len  data
+#                'w'  i64 entry_id  i64 exp  u32 data_len  data
+#     op_take:   't'  i64 entry_id
+#
+# The two write tags keep integer expirations round-tripping as ints
+# (replay must not turn them into floats) while the common float case
+# — absolute virtual time, ``math.inf`` for FOREVER — packs in one
+# struct call.  The entry ``data`` bytes are spliced in verbatim:
+# whatever the entry codec produced is what hits the disk, with no
+# intermediate pickling of the containing record.  ``length`` covers
+# the body only, which is what lets ``decode_log`` treat a short read
+# as a torn tail frame.
+
+#: First byte of a compact WAL frame.  Distinct from the entry codec's
+#: ``0xC3`` (frames of both kinds can sit in one buffer during replay)
+#: and from pickle's PROTO opcode ``0x80``.
+WAL_MAGIC = 0xC4
+
+_pack_u32 = struct.Struct("<I").pack
+_pack_i64 = struct.Struct("<q").pack
+_unpack_u32 = struct.Struct("<I").unpack_from
+_unpack_i64 = struct.Struct("<q").unpack_from
+_HDR = struct.Struct("<BIqqI")           # magic, body_len, lsn, epoch, nops
+_W_FLOAT = struct.Struct("<qdI")         # entry_id, exp, data_len
+_W_INT = struct.Struct("<qqI")
+_unpack_w_float = _W_FLOAT.unpack_from
+_unpack_w_int = _W_INT.unpack_from
+#: Whole frame head for the dominant record shape — one float-expiry
+#: write op — packed in a single struct call.
+_ONE_WRITE = struct.Struct("<BIqqIcqdI")
+_ONE_WRITE_BODY = 20 + 21                # qqI header body + 'W' op head
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def _encode_compact(record: CommitRecord) -> Optional[bytes]:
+    """The compact frame for ``record``, or None if any op does not fit
+    the fixed layout (unknown op kind, non-bytes payload, oversized id).
+    The caller falls back to a pickle frame in that case, so exotic
+    records are never lost — just slower."""
+    ops = record.ops
+    if len(ops) == 1:
+        op = ops[0]
+        if op[0] == OP_WRITE and len(op) == 4:
+            _, entry_id, data, exp = op
+            if (data.__class__ is bytes and exp.__class__ is float
+                    and _I64_MIN <= entry_id <= _I64_MAX):
+                n = len(data)
+                return _ONE_WRITE.pack(
+                    WAL_MAGIC, _ONE_WRITE_BODY + n, record.lsn,
+                    record.epoch, 1, b"W", entry_id, exp, n) + data
+    # The header is packed last (its length field needs the body size),
+    # so slot 0 is reserved and back-filled.
+    parts: list = [b""]
+    append = parts.append
+    size = 0
+    for op in record.ops:
+        kind = op[0]
+        if kind == OP_WRITE and len(op) == 4:
+            _, entry_id, data, exp = op
+            if data.__class__ is not bytes or not (
+                    _I64_MIN <= entry_id <= _I64_MAX):
+                return None
+            if exp.__class__ is float:
+                head = b"W" + _W_FLOAT.pack(entry_id, exp, len(data))
+            elif exp.__class__ is int and _I64_MIN <= exp <= _I64_MAX:
+                head = b"w" + _W_INT.pack(entry_id, exp, len(data))
+            else:
+                return None
+            append(head)
+            append(data)
+            size += len(head) + len(data)
+        elif kind == OP_TAKE and len(op) == 2:
+            entry_id = op[1]
+            if not (_I64_MIN <= entry_id <= _I64_MAX):
+                return None
+            append(b"t" + _pack_i64(entry_id))
+            size += 9
+        else:
+            return None
+    parts[0] = _HDR.pack(WAL_MAGIC, size + 20, record.lsn, record.epoch,
+                         len(record.ops))
+    return b"".join(parts)
+
+
+def record_frame(record: CommitRecord, codec: str = "pickle") -> bytes:
+    """The on-disk frame for ``record``, encoded once and cached.
+
+    Group commit concatenates cached frames instead of re-serializing
+    the batch; a record replicated between stores with different codecs
+    re-encodes (the cache keeps one frame, keyed by its first byte).
+    """
+    frame = record.__dict__.get("_frame")
+    if frame is not None:
+        is_compact = frame[0] == WAL_MAGIC
+        if is_compact == (codec == "compact"):
+            return frame
+    if codec == "compact":
+        frame = _encode_compact(record)
+        if frame is None:
+            frame = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        frame = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    # Frozen dataclass: the cache slot is set through the back door and
+    # excluded from equality/hash (it never reaches __eq__ — instances
+    # compare by declared fields only).
+    object.__setattr__(record, "_frame", frame)
+    return frame
+
+
+def _decode_compact_body(view, start: int, end: int) -> Optional[CommitRecord]:
+    """Parse one compact frame body; None means a torn/corrupt frame."""
+    try:
+        pos = start
+        lsn, = _unpack_i64(view, pos)
+        epoch, = _unpack_i64(view, pos + 8)
+        nops, = _unpack_u32(view, pos + 16)
+        pos += 20
+        ops = []
+        for _ in range(nops):
+            kind = view[pos]
+            pos += 1
+            if kind == 0x57 or kind == 0x77:  # W (float exp) / w (int exp)
+                if kind == 0x57:
+                    entry_id, exp, n = _unpack_w_float(view, pos)
+                else:
+                    entry_id, exp, n = _unpack_w_int(view, pos)
+                pos += 20
+                if pos + n > end:
+                    return None
+                ops.append((OP_WRITE, entry_id, bytes(view[pos:pos + n]), exp))
+                pos += n
+            elif kind == 0x74:  # t
+                entry_id, = _unpack_i64(view, pos)
+                pos += 8
+                ops.append((OP_TAKE, entry_id))
+            else:
+                return None
+        if pos != end:
+            return None
+        return CommitRecord(lsn, tuple(ops), epoch)
+    except (struct.error, IndexError):
+        return None
+
+
+def decode_log(raw: bytes) -> list[CommitRecord]:
+    """Decode a log buffer of mixed pickle/compact frames.
+
+    Stops at the first torn or unrecognizable frame — the same
+    torn-tail tolerance the pickle-only loader had (a mid-write crash
+    may leave a partial final frame; everything before it is intact
+    because frames are appended sequentially).
+    """
+    records: list[CommitRecord] = []
+    view = memoryview(raw)
+    pos, size = 0, len(raw)
+    while pos < size:
+        first = raw[pos]
+        if first == WAL_MAGIC:
+            if pos + 5 > size:
+                break  # torn header
+            length, = _unpack_u32(view, pos + 1)
+            start = pos + 5
+            end = start + length
+            if end > size:
+                break  # torn body
+            record = _decode_compact_body(view, start, end)
+            if record is None:
+                break
+            records.append(record)
+            pos = end
+        else:
+            fh = io.BytesIO(raw)
+            fh.seek(pos)
+            try:
+                record = pickle.load(fh)
+            except Exception:
+                # EOFError / UnpicklingError / attribute lookups on
+                # garbage bytes — all mean a torn tail frame.
+                break
+            records.append(record)
+            pos = fh.tell()
+    return records
+
+
 class WalStore:
     """In-memory durable medium: a snapshot slot plus the record tail.
 
@@ -100,7 +305,7 @@ class WalStore:
     """
 
     def __init__(self, fsync_policy: str = "always",
-                 group_size: int = 64) -> None:
+                 group_size: int = 64, codec: str = "pickle") -> None:
         if fsync_policy not in FSYNC_POLICIES:
             raise SpaceError(
                 f"unknown fsync_policy {fsync_policy!r}; "
@@ -108,8 +313,16 @@ class WalStore:
             )
         if group_size < 1:
             raise SpaceError(f"group_size must be >= 1: {group_size}")
+        if codec not in WAL_CODECS:
+            raise SpaceError(
+                f"unknown codec {codec!r}; expected one of {WAL_CODECS}"
+            )
         self.fsync_policy = fsync_policy
         self.group_size = group_size
+        #: Frame encoding for *new* bytes this store persists.  Reading
+        #: is always mixed-mode, so flipping the codec on an existing
+        #: log is safe — old frames replay, new frames append.
+        self.codec = codec
         self.snapshot: Optional[tuple[int, bytes]] = None  # (lsn, state)
         #: Highest primary epoch this store has durably observed.  It is
         #: replayed on recovery so a restarted primary knows whether it
@@ -121,6 +334,9 @@ class WalStore:
         self._synced = 0
         #: Durability barriers issued (fsyncs, for the file store).
         self.syncs = 0
+        #: Cached :meth:`last_lsn` — read on every append (LSN
+        #: assignment), so it must not scan.
+        self._last_lsn = 0
 
     # -- appending ----------------------------------------------------------
 
@@ -137,8 +353,10 @@ class WalStore:
         if record.epoch > self.epoch:
             self.set_epoch(record.epoch)
         self.records.append(record)
+        if record.lsn > self._last_lsn:
+            self._last_lsn = record.lsn
         if self.fsync_policy == "group":
-            if self.pending() >= self.group_size:
+            if len(self.records) - self._synced >= self.group_size:
                 self.sync()
         else:
             self._persist([record])
@@ -178,7 +396,16 @@ class WalStore:
         """
         lost = len(self.records) - self._synced
         del self.records[self._synced:]
+        self._refresh_last_lsn()
         return lost
+
+    def _refresh_last_lsn(self) -> None:
+        if self.records:
+            self._last_lsn = self.records[-1].lsn
+        elif self.snapshot is not None:
+            self._last_lsn = self.snapshot[0]
+        else:
+            self._last_lsn = 0
 
     # -- snapshotting ---------------------------------------------------------
 
@@ -190,13 +417,10 @@ class WalStore:
         self.snapshot = (lsn, state)
         self.records = [r for r in self.records if r.lsn > lsn]
         self._synced = len(self.records)
+        self._refresh_last_lsn()
 
     def last_lsn(self) -> int:
-        if self.records:
-            return self.records[-1].lsn
-        if self.snapshot is not None:
-            return self.snapshot[0]
-        return 0
+        return self._last_lsn
 
 
 class FileWalStore(WalStore):
@@ -211,8 +435,9 @@ class FileWalStore(WalStore):
     """
 
     def __init__(self, path, fsync_policy: str = "always",
-                 group_size: int = 64) -> None:
-        super().__init__(fsync_policy=fsync_policy, group_size=group_size)
+                 group_size: int = 64, codec: str = "pickle") -> None:
+        super().__init__(fsync_policy=fsync_policy, group_size=group_size,
+                         codec=codec)
         path = os.fspath(path)
         self._snap_path = path + ".snap"
         self._log_path = path + ".log"
@@ -238,14 +463,7 @@ class FileWalStore(WalStore):
                 self.snapshot = pickle.load(fh)
         if os.path.exists(self._log_path):
             with open(self._log_path, "rb") as fh:
-                while True:
-                    try:
-                        record = pickle.load(fh)
-                    except EOFError:
-                        break
-                    except pickle.UnpicklingError:
-                        break  # torn tail frame from a mid-write crash
-                    self.records.append(record)
+                self.records.extend(decode_log(fh.read()))
         if self.snapshot is not None:
             lsn = self.snapshot[0]
             self.records = [r for r in self.records if r.lsn > lsn]
@@ -255,12 +473,19 @@ class FileWalStore(WalStore):
             if getattr(record, "epoch", 0) > self.epoch:
                 self.epoch = record.epoch
         self._synced = len(self.records)
+        self._refresh_last_lsn()
 
     def _persist(self, records: list[CommitRecord]) -> None:
-        fh = self._log_fh
-        for record in records:
-            fh.write(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
-        fh.flush()
+        # One write per group: frames were (or are now) encoded exactly
+        # once each, so a group commit is a concatenation, not a
+        # re-serialization of the batch.
+        codec = self.codec
+        if len(records) == 1:
+            payload = record_frame(records[0], codec)
+        else:
+            payload = b"".join(record_frame(r, codec) for r in records)
+        self._log_fh.write(payload)
+        self._log_fh.flush()
 
     def _fsync(self) -> None:
         super()._fsync()
@@ -294,8 +519,7 @@ class FileWalStore(WalStore):
 
         def write_tail(fh) -> None:
             for record in self.records:
-                fh.write(pickle.dumps(record,
-                                      protocol=pickle.HIGHEST_PROTOCOL))
+                fh.write(record_frame(record, self.codec))
 
         self._write_atomic(self._log_path, write_tail)
         self._log_fh = open(self._log_path, "ab")
@@ -341,15 +565,17 @@ class WriteAheadLog:
     # -- writing ------------------------------------------------------------
 
     def append(self, ops: tuple[tuple, ...]) -> CommitRecord:
-        record = CommitRecord(self.store.last_lsn() + 1, tuple(ops),
-                              self.store.epoch)
-        self.store.append(record)
+        store = self.store
+        record = CommitRecord(store._last_lsn + 1, tuple(ops), store.epoch)
+        store.append(record)
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.instant("wal.commit", trace_id="wal", proc="wal",
                            lsn=record.lsn, ops=len(record.ops))
-        self._notify(record)
-        self._arm_flush()
+        if self._subscribers:
+            self._notify(record)
+        if self.group_ms is not None:
+            self._arm_flush()
         return record
 
     def import_record(self, record: CommitRecord) -> None:

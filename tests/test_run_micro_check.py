@@ -76,3 +76,50 @@ def test_check_enforces_victim_p99_ceiling():
     assert run_micro.check_against(committed, current) == []
     assert run_micro.check_against(
         {"contention_victim_p99_gap_ms": 0.0}, current) == []
+
+
+def test_check_enforces_baseline_floor_against_ratcheting():
+    """A regression that ships its own lowered committed reference must
+    still trip the frozen-baseline floor (the ratchet-down loophole)."""
+    baseline = {"a_per_s": 100.0}
+    committed = {"a_per_s": 70.0}  # the regressing PR re-recorded this
+    current = {"a_per_s": 70.0}    # 1.0x of committed, 0.7x of baseline
+    failures = run_micro.check_against(committed, current, baseline)
+    assert len(failures) == 1
+    assert "baseline" in failures[0] and "ratchet" in failures[0]
+    current = {"a_per_s": 100.0 * run_micro.BASELINE_FLOOR}
+    committed = dict(current)
+    assert run_micro.check_against(committed, current, baseline) == []
+
+
+def test_baseline_floor_overrides_apply_per_metric():
+    key = "e2e_pipelined_tasks_per_s"
+    floor = run_micro.BASELINE_FLOOR_OVERRIDES[key]
+    assert floor < run_micro.BASELINE_FLOOR
+    baseline = {key: 100.0}
+    current = {key: 100.0 * floor}
+    assert run_micro.check_against(dict(current), current, baseline) == []
+    current = {key: 100.0 * floor - 1.0}
+    failures = run_micro.check_against(dict(current), current, baseline)
+    assert len(failures) == 1 and key in failures[0]
+
+
+def test_check_enforces_absolute_floors():
+    key, floor = next(iter(run_micro.ABS_FLOORS.items()))
+    current = {key: floor - 1.0}
+    # Committed at the same value: relative floors pass, absolute trips.
+    failures = run_micro.check_against(dict(current), current)
+    assert len(failures) == 1 and "absolute floor" in failures[0]
+    current = {key: floor}
+    assert run_micro.check_against(dict(current), current) == []
+
+
+def test_check_enforces_wire_cost_ceilings():
+    key = run_micro.WIRE_CELLS[0]
+    committed = {key: 8.0}
+    current = {key: 8.0 * run_micro.WIRE_CEIL + 0.1}
+    failures = run_micro.check_against(committed, current)
+    assert len(failures) == 1 and "wire" in failures[0]
+    # Lower is better; shrinking traffic never fails.
+    current = {key: 6.0}
+    assert run_micro.check_against(committed, current) == []

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.tuplespace import Entry
+from repro.util.codec import register_entry
 
 
 class TaskEntry(Entry):
@@ -30,3 +31,9 @@ class PriorityTask(TaskEntry):
                  payload: Any = None, priority: Optional[int] = None) -> None:
         super().__init__(app, task_id, payload)
         self.priority = priority
+
+
+# Compact-codec schemas (constructor order = canonical field order).
+register_entry(TaskEntry)
+register_entry(ResultEntry)
+register_entry(PriorityTask)
