@@ -7,6 +7,12 @@ RPC, compute, and aggregate opens a span), so this is the honest worst
 case for observability cost; the CI telemetry job fails the build when
 the traced median drops below ``FLOOR`` (0.9×) of the untraced one.
 
+A third cell times the traced run *plus* the doctor's critical-path
+sweep (:func:`repro.telemetry.doctor.analyze_job`) over the recorded
+spans, gated by the same floor against the plain traced run — the
+attribution report must stay cheap enough to run on every ``--check``
+failure.
+
 Usage::
 
     PYTHONPATH=src:. python benchmarks/bench_trace_overhead.py [--rounds N]
@@ -43,21 +49,32 @@ def main() -> int:
     # sample must not decide a ratio gate.
     kwargs = dict(prefetch=6, seed_batch=24, drain_batch=24,
                   strips=args.strips, rounds=1)
-    untraced_runs, traced_runs = [], []
+    untraced_runs, traced_runs, doctored_runs = [], [], []
     for _ in range(args.rounds):
         untraced_runs.append(e2e_job_rate(trace=False, **kwargs))
         traced_runs.append(e2e_job_rate(trace=True, **kwargs))
+        doctored_runs.append(e2e_job_rate(trace=True, analyze=True, **kwargs))
     untraced = statistics.median(untraced_runs)
     traced = statistics.median(traced_runs)
+    doctored = statistics.median(doctored_runs)
     ratio = traced / untraced if untraced else 0.0
+    doctor_ratio = doctored / traced if traced else 0.0
     print(f"untraced: {untraced:>10.1f} tasks/s")
     print(f"traced  : {traced:>10.1f} tasks/s")
+    print(f"doctored: {doctored:>10.1f} tasks/s (traced + analyze_job)")
     print(f"ratio   : {ratio:.3f}x (floor {args.floor}x)")
+    print(f"doctor  : {doctor_ratio:.3f}x of traced (floor {args.floor}x)")
+    failed = False
     if ratio < args.floor:
         print(f"OVERHEAD: tracing costs {(1 - ratio):.1%} "
               f"(> {(1 - args.floor):.0%} budget)", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if doctor_ratio < args.floor:
+        print(f"OVERHEAD: doctor analysis costs {(1 - doctor_ratio):.1%} "
+              f"on top of tracing (> {(1 - args.floor):.0%} budget)",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

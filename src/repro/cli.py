@@ -221,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Chrome trace_event output path (with --trace)")
     p.add_argument("--metrics-out", default=None,
                    help="write the final Prometheus metrics dump here")
+    p.add_argument("--postmortem-dir", default="postmortems",
+                   help="write flight-recorder postmortem bundles here "
+                        "(standby promotions, checker/gate failures); "
+                        "empty string disables")
 
     p = sub.add_parser(
         "trace",
@@ -249,6 +253,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="frame interval in virtual ms")
     p.add_argument("--follow", action="store_true",
                    help="print every frame, not just the final snapshot")
+    p.add_argument("--json", action="store_true",
+                   help="print one machine-readable final snapshot "
+                        "instead of the console table")
+    p.add_argument("--real", action="store_true",
+                   help="run the real kernels (default: cost model only)")
+
+    p = sub.add_parser(
+        "doctor",
+        help="critical-path attribution: where one job's wall time went",
+    )
+    p.add_argument("job", choices=sorted(APP_FACTORIES))
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the space over N shards (scatter "
+                        "fan-outs then show up as a phase)")
+    p.add_argument("--prefetch", type=int, default=1,
+                   help="worker pipeline depth (also batches master "
+                        "seed/drain)")
+    p.add_argument("--json", action="store_true",
+                   help="print the attribution report as JSON")
+    p.add_argument("--out", default=None,
+                   help="also write the report JSON here")
     p.add_argument("--real", action="store_true",
                    help="run the real kernels (default: cost model only)")
 
@@ -289,6 +316,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _trace_cmd(args)
     elif command == "top":
         return _top(args)
+    elif command == "doctor":
+        return _doctor(args)
     elif command == "render":
         _render(args)
     return 0
@@ -347,6 +376,27 @@ def _write_telemetry(result, trace_out, metrics_out) -> None:
         print(f"metrics: → {metrics_out}")
 
 
+def _write_postmortems(result, directory: str, label: str) -> None:
+    """Persist the flight recorder's postmortem bundles, if any fired.
+
+    Called on every exit path — a passing kill-primary-space campaign
+    still dumps the standby-promotion bundle, and a failing gate adds
+    its own.  Re-invocation after a late dump (determinism divergence)
+    rewrites the same filenames deterministically and adds the new one.
+    """
+    import os
+
+    if not directory:
+        return
+    for i, bundle in enumerate(result.postmortems):
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(
+            directory,
+            f"postmortem-{label}-{i}-{bundle.reason}-t{int(bundle.t_ms)}.json")
+        bundle.write(path)
+        print(f"postmortem: {bundle.reason} → {path}")
+
+
 def _chaos(args) -> int:
     from repro.experiments.chaos import chaos_experiment, verify_chaos_determinism
 
@@ -365,6 +415,7 @@ def _chaos(args) -> int:
     print(result.format_summary())
     _write_telemetry(result, args.trace_out if args.trace else None,
                      args.metrics_out)
+    _write_postmortems(result, args.postmortem_dir, "chaos")
     if not result.correct:
         print("FAIL: solution does not match the expected partial sum")
         return 1
@@ -381,6 +432,9 @@ def _chaos(args) -> int:
                                       codec=args.codec)
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:
+            if result.flight is not None:
+                result.flight.dump("determinism-diverged")
+                _write_postmortems(result, args.postmortem_dir, "chaos")
             return 1
     return 0
 
@@ -399,6 +453,7 @@ def _coordination_chaos(args) -> int:
     print(result.format_summary())
     _write_telemetry(result, args.trace_out if args.trace else None,
                      args.metrics_out)
+    _write_postmortems(result, args.postmortem_dir, "coordination")
     if not result.exactly_once:
         print("FAIL: job did not complete every task exactly-once")
         return 1
@@ -413,6 +468,9 @@ def _coordination_chaos(args) -> int:
         )
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:
+            if result.flight is not None:
+                result.flight.dump("determinism-diverged")
+                _write_postmortems(result, args.postmortem_dir, "coordination")
             return 1
     return 0
 
@@ -432,6 +490,7 @@ def _contention_chaos(args) -> int:
     print(result.format_summary())
     _write_telemetry(result, args.trace_out if args.trace else None,
                      args.metrics_out)
+    _write_postmortems(result, args.postmortem_dir, "contention")
     if not result.correct:
         print("FAIL: a non-aggressor tenant lost tasks or got a wrong sum")
         return 1
@@ -457,13 +516,16 @@ def _contention_chaos(args) -> int:
         )
         print(f"determinism: {'identical traces' if ok else 'TRACES DIVERGED'}")
         if not ok:
+            if result.flight is not None:
+                result.flight.dump("determinism-diverged")
+                _write_postmortems(result, args.postmortem_dir, "contention")
             return 1
     return 0
 
 
 def _traced_run(app_id: str, workers: Optional[int], seed: int, real: bool,
                 trace: bool, monitor=None, snapshot_ms: Optional[float] = 500.0,
-                shards: int = 1):
+                shards: int = 1, prefetch: int = 1):
     """Run one job on a fresh simulated cluster; return (report, framework).
 
     ``monitor`` is an optional ``fn(runtime, framework, done)`` spawned as
@@ -477,7 +539,10 @@ def _traced_run(app_id: str, workers: Optional[int], seed: int, real: bool,
 
     config = FrameworkConfig(compute_real=real, trace=trace,
                              metrics_snapshot_ms=snapshot_ms,
-                             shards=max(1, shards))
+                             shards=max(1, shards),
+                             worker_prefetch=max(1, prefetch),
+                             master_seed_batch=max(1, prefetch),
+                             master_drain_batch=max(1, prefetch))
 
     def body(runtime):
         cluster = CLUSTER_FACTORIES[app_id](
@@ -520,7 +585,9 @@ def _trace_cmd(args) -> int:
 
 
 def _top(args) -> int:
-    from repro.telemetry import cluster_table
+    import json
+
+    from repro.telemetry import cluster_snapshot, cluster_table
 
     frames: list[str] = []
 
@@ -531,14 +598,43 @@ def _top(args) -> int:
                 return
             frames.append(cluster_table(framework))
 
+    # Snapshot at the frame interval so the SLO watchdog evaluates its
+    # rules while the job runs — the alerts pane is live, not post-hoc.
     report, framework = _traced_run(args.job, args.workers, args.seed,
                                     args.real, trace=False, monitor=monitor,
-                                    snapshot_ms=None, shards=args.shards)
+                                    snapshot_ms=args.interval,
+                                    shards=args.shards)
+    if args.json:
+        print(json.dumps(cluster_snapshot(framework, report=report),
+                         indent=2, sort_keys=True))
+        return 0
     if args.follow:
         for frame in frames:
             print(frame)
             print()
     print(cluster_table(framework, report=report))
+    return 0
+
+
+def _doctor(args) -> int:
+    from repro.telemetry import analyze_job
+
+    report, framework = _traced_run(args.job, args.workers, args.seed,
+                                    args.real, trace=True,
+                                    shards=args.shards,
+                                    prefetch=args.prefetch)
+    doc = analyze_job(framework.tracer)
+    if args.json:
+        print(doc.to_json())
+    else:
+        print(doc.format())
+        print(f"\njob wall time: {report.parallel_ms:,.0f} virtual ms "
+              f"(attributed {doc.attributed_fraction():.1%})")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(doc.to_json() + "\n")
+        if not args.json:   # keep --json stdout parseable as one document
+            print(f"report: → {args.out}")
     return 0
 
 

@@ -138,6 +138,17 @@ class FrameworkConfig:
     #: Period for mirroring registry instruments into the ``Metrics``
     #: series via the kernel's ``on_advance`` hook (``None`` = off).
     metrics_snapshot_ms: Optional[float] = None
+    #: SLO watchdog rules (strings in the :class:`repro.telemetry.slo`
+    #: grammar or :class:`SloRule` objects).  ``None`` = the default rule
+    #: pack; ``()`` disables the watchdog.  Rules only evaluate when
+    #: ``metrics_snapshot_ms`` is set (they ride snapshot frames).
+    slo_rules: Optional[tuple] = None
+    #: Always-on black-box flight recorder: bounded rings of recent
+    #: spans/events that freeze into postmortem bundles on promotion or
+    #: checker failure.  O(1) per record; disable only for microbenches.
+    flight_recorder: bool = True
+    flight_span_capacity: int = 256         # recent spans kept per process
+    flight_event_capacity: int = 512        # recent metrics events kept
 
     # -- consistency checking (see DESIGN.md §11) ----------------------------
     #: Record a per-entry operation history (writes/takes/reads with
@@ -305,6 +316,11 @@ class AdaptiveClusterFramework:
             # Registry naming scheme: the space's counters surface as
             # ``space.<key>`` (read-through — no per-op registry cost).
             self.registry.expose_dict("space", self.space.stats)
+            self.registry.expose(
+                "space.queue_depth",
+                lambda: max(
+                    self.space.stats["writes"] - self.space.stats["takes"]
+                    - self.space.stats["expired"], 0))
             if isinstance(self.space, DurableSpace):
                 self.space.wal.tracer = self.tracer
                 self.registry.expose("wal.commits",
@@ -347,6 +363,26 @@ class AdaptiveClusterFramework:
             from repro.verify import HistoryRecorder
 
             self.history = HistoryRecorder(runtime)
+        #: End-to-end task latency (seed → aggregated), the watchdog's
+        #: ``task.latency_ms.p99`` feed.  Deterministic log-bucketed
+        #: quantiles — no reservoir sampling to perturb.
+        self.task_latency = self.registry.histogram("task.latency_ms")
+        #: SLO watchdog (built in :meth:`start` when snapshots are on).
+        self.watchdog: Optional[Any] = None
+        #: Black-box flight recorder: observes metrics events and (when
+        #: tracing) spans through passive hooks, dumps postmortem
+        #: bundles on standby promotion or checker failure.
+        self.flight: Optional[Any] = None
+        if self.config.flight_recorder:
+            from repro.telemetry import FlightRecorder
+
+            self.flight = FlightRecorder(
+                runtime,
+                span_capacity=self.config.flight_span_capacity,
+                event_capacity=self.config.flight_event_capacity,
+            )
+            self.flight.attach(metrics=self.metrics, tracer=self.tracer,
+                               registry=self.registry, history=self.history)
         self.master = self._build_master()
         self.worker_hosts: list[WorkerHost] = []
         self._started = False
@@ -471,6 +507,7 @@ class AdaptiveClusterFramework:
             tracer=self.tracer,
             tenant=config.tenant,
             priority=config.priority,
+            latency_hist=self.task_latency,
         )
 
     def attach_tenant_master(
@@ -534,6 +571,7 @@ class AdaptiveClusterFramework:
             tracer=self.tracer,
             tenant=tenant,
             priority=priority,
+            latency_hist=self.task_latency,
         )
         self.tenant_masters.append(master)
         return master
@@ -740,6 +778,17 @@ class AdaptiveClusterFramework:
                 self.supervisors.append(supervisor)
             self.standby = self.standbys[0]
             self.supervisor = self.supervisors[0]
+            # Standby replication lag in WAL frames (primary LSN minus
+            # the standby's applied LSN) — the watchdog's
+            # ``space.replication_lag`` feed.  Read-through: sampled at
+            # snapshot time, free on the commit path.
+            for i, standby in enumerate(self.standbys):
+                labels = {"shard": str(i)} if self.sharded else {}
+                self.registry.expose(
+                    "space.replication_lag",
+                    lambda s=self.spaces[i], r=standby: max(
+                        0, s.wal.last_lsn - r.applied_lsn),
+                    **labels)
 
         # Network management module on the master host.
         if config.monitoring:
@@ -763,6 +812,21 @@ class AdaptiveClusterFramework:
         if config.metrics_snapshot_ms is not None:
             self.telemetry.enable_snapshots(
                 self.metrics, interval_ms=config.metrics_snapshot_ms)
+            # SLO watchdog rides the snapshot frames: same on_advance
+            # hook, zero scheduled events, deterministic firing times.
+            rules = (config.slo_rules if config.slo_rules is not None
+                     else None)
+            if rules is None:
+                from repro.telemetry import DEFAULT_RULES as rules
+            if rules and self.telemetry.snapshotter is not None:
+                from repro.telemetry import SloWatchdog
+
+                self.watchdog = SloWatchdog(
+                    self.registry, rules=rules, metrics=self.metrics,
+                    tracer=self.tracer)
+                self.watchdog.attach(self.telemetry.snapshotter)
+                if self.flight is not None:
+                    self.flight.watchdog = self.watchdog
 
         # Worker hosts on every worker node.
         netmgmt_address = self.netmgmt.address if self.netmgmt else None

@@ -102,6 +102,7 @@ class Master:
         tracer: Any = None,
         tenant: Optional[str] = None,
         priority: Optional[int] = None,
+        latency_hist: Any = None,
     ) -> None:
         self.runtime = runtime
         self.node = node
@@ -116,6 +117,10 @@ class Master:
         self.tracer = tracer
         self._task_spans: dict[int, Any] = {}
         self._job_span: Any = None
+        #: End-to-end task latency histogram (seed → aggregated), fed by
+        #: the drain loop when the framework wires one in.
+        self.latency_hist = latency_hist
+        self._task_seeded: dict[int, float] = {}
         self.eager_scheduling = eager_scheduling
         self.straggler_timeout_ms = straggler_timeout_ms
         self.max_replicas = max_replicas
@@ -218,7 +223,22 @@ class Master:
                 self.metrics.event("master-admission-retry",
                                    app=self.app.app_id, attempt=attempt,
                                    tenant=exc.tenant, reason=exc.reason)
-                self.runtime.sleep(max(exc.retry_after_ms, self.space_retry_ms))
+                pause_ms = max(exc.retry_after_ms, self.space_retry_ms)
+                if self.tracer is not None and self.tracer.enabled:
+                    # Attribution: the doctor charges this wait to the
+                    # "admission" phase.  The sleep itself is identical
+                    # traced or not (span recording reads the clock, it
+                    # never advances it).
+                    with self.tracer.start(
+                            "admission.backoff", f"job/{self.app.app_id}",
+                            parent_id=(self._job_span.span_id
+                                       if self._job_span is not None
+                                       else None),
+                            proc="master", tenant=exc.tenant,
+                            reason=exc.reason):
+                        self.runtime.sleep(pause_ms)
+                else:
+                    self.runtime.sleep(pause_ms)
 
     def _write(self, entry, lease_ms: float = FOREVER):
         return self._guard(lambda: self.space.write(entry, lease_ms=lease_ms))
@@ -288,6 +308,7 @@ class Master:
         """Execute the full master lifecycle; blocks until aggregation ends."""
         app = self.app
         started = self.runtime.now()
+        self._task_seeded = {}
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
         plan_span = None
@@ -327,6 +348,9 @@ class Master:
                     self._open_task_span(t.task_id)
                 self._write_all([self._task_entry(t.task_id, t.payload)
                                  for t in group])
+                seeded_at = self.runtime.now()
+                for t in group:
+                    self._task_seeded[t.task_id] = seeded_at
                 max_overhead = max(max_overhead, self.runtime.now() - t0)
         else:
             for task in tasks:
@@ -336,6 +360,7 @@ class Master:
                     self.node.cpu.execute(cost)
                 self._open_task_span(task.task_id)
                 self._write(self._task_entry(task.task_id, task.payload))
+                self._task_seeded[task.task_id] = self.runtime.now()
                 max_overhead = max(max_overhead, self.runtime.now() - t0)
         planning_ms = self.runtime.now() - started
         self.metrics.scalar(f"master/{app.app_id}/planning_ms", planning_ms)
@@ -418,6 +443,13 @@ class Master:
                     continue  # a straggler and its replica both finished
                 t0 = self.runtime.now()
                 results[entry.task_id] = entry.payload
+                if self.latency_hist is not None:
+                    # Seed → aggregated, on the virtual clock.  Tasks
+                    # adopted from a checkpoint have no seed timestamp;
+                    # fall back to this master's aggregation start.
+                    self.latency_hist.observe(
+                        t0 - self._task_seeded.get(entry.task_id,
+                                                   aggregation_started))
                 # A replica's late success trumps an earlier dead letter.
                 dead.pop(entry.task_id, None)
                 if entry.worker:

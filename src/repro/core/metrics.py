@@ -39,13 +39,20 @@ class Metrics:
                 lambda: deque(maxlen=max_points))
             self.events = deque(maxlen=max_points)
         self.scalars: dict[str, float] = {}
+        #: Optional observer ``fn(now, name, payload)`` called after each
+        #: event is appended (flight recorder / alert triggers).  Pure
+        #: observation — it must not record further events.
+        self.on_event: Optional[Any] = None
 
     def record(self, name: str, value: float) -> None:
         """Append ``(now, value)`` to the named series."""
         self.series[name].append((self._runtime.now(), float(value)))
 
     def event(self, name: str, **payload: Any) -> None:
-        self.events.append((self._runtime.now(), name, payload))
+        now = self._runtime.now()
+        self.events.append((now, name, payload))
+        if self.on_event is not None:
+            self.on_event(now, name, payload)
 
     def scalar(self, name: str, value: float) -> None:
         self.scalars[name] = float(value)

@@ -120,6 +120,14 @@ class ChaosResult:
     history_report: Optional[HistoryReport] = None
     #: RPCs the epoch fence rejected across every server incarnation.
     fenced_rpcs: int = 0
+    #: The framework's black-box flight recorder — its ``bundles`` hold
+    #: any postmortems dumped during the campaign (promotions, gate
+    #: failures); the CLI writes them to disk for CI to upload.
+    flight: Any = None
+
+    @property
+    def postmortems(self) -> list:
+        return list(self.flight.bundles) if self.flight is not None else []
 
     @property
     def correct(self) -> bool:
@@ -229,6 +237,8 @@ def chaos_experiment(
             campaign = (FaultPlan.generate(streams.stream("fault-plan"),
                                            hostnames)
                         if random_plan else default_chaos_plan(hostnames))
+        if framework.flight is not None:
+            framework.flight.fault_plan = campaign.to_dict()
         injector = FaultInjector.for_framework(
             framework, campaign, rng=streams.stream("chaos-net"))
         injector.arm()
@@ -239,6 +249,14 @@ def chaos_experiment(
         if framework.history is not None:
             history_report = check_history(framework.history,
                                            framework.final_contents())
+        if framework.flight is not None:
+            # Gate failures freeze the black box: the bundle names the
+            # campaign and holds the trace/metrics/history tail around
+            # the violation, so a red CI cell ships its own evidence.
+            if history_report is not None and not history_report.ok:
+                framework.flight.dump("checker-violation")
+            if report.solution != app.expected_solution():
+                framework.flight.dump("wrong-solution")
         events = [
             (t, name, tuple(sorted(payload.items())))
             for t, name, payload in framework.metrics.events
@@ -255,6 +273,7 @@ def chaos_experiment(
             prometheus=framework.telemetry.prometheus_text(),
             history_report=history_report,
             fenced_rpcs=framework.total_fenced_rpcs(),
+            flight=framework.flight,
         )
 
     return run_simulation(body)
@@ -291,6 +310,12 @@ class CoordinationChaosResult:
     history_report: Optional[HistoryReport] = None
     #: RPCs the epoch fence rejected across every server incarnation.
     fenced_rpcs: int = 0
+    #: Black-box flight recorder (see :class:`ChaosResult.flight`).
+    flight: Any = None
+
+    @property
+    def postmortems(self) -> list:
+        return list(self.flight.bundles) if self.flight is not None else []
 
     @property
     def correct(self) -> bool:
@@ -456,9 +481,11 @@ def coordination_chaos_experiment(
         )
         framework.start()
         framework.start_all_workers()
+        campaign = coordination_chaos_plan(faults)
+        if framework.flight is not None:
+            framework.flight.fault_plan = campaign.to_dict()
         injector = FaultInjector.for_framework(
-            framework, coordination_chaos_plan(faults),
-            rng=streams.stream("chaos-net"))
+            framework, campaign, rng=streams.stream("chaos-net"))
         injector.arm()
         report = framework.run_with_recovery()
         injector.disarm()
@@ -467,6 +494,12 @@ def coordination_chaos_experiment(
         if framework.history is not None:
             history_report = check_history(framework.history,
                                            framework.final_contents())
+        if framework.flight is not None:
+            if history_report is not None and not history_report.ok:
+                framework.flight.dump("checker-violation")
+            if not (report.complete
+                    and report.solution == app.expected_solution()):
+                framework.flight.dump("wrong-solution")
         events = [
             (t, name, tuple(sorted(payload.items())))
             for t, name, payload in framework.metrics.events
@@ -490,6 +523,7 @@ def coordination_chaos_experiment(
             prometheus=framework.telemetry.prometheus_text(),
             history_report=history_report,
             fenced_rpcs=framework.total_fenced_rpcs(),
+            flight=framework.flight,
         )
 
     return run_simulation(body)
@@ -569,6 +603,12 @@ class ContentionResult:
     tracer: Any = None
     prometheus: str = ""
     history_report: Optional[HistoryReport] = None
+    #: Black-box flight recorder (see :class:`ChaosResult.flight`).
+    flight: Any = None
+
+    @property
+    def postmortems(self) -> list:
+        return list(self.flight.bundles) if self.flight is not None else []
 
     @property
     def victim_report(self) -> Optional[MasterReport]:
@@ -735,6 +775,8 @@ def contention_chaos_experiment(
             # Nemesis faults (worker crash / pause) compose with the
             # tenancy layer: preemption's release-and-requeue must stay
             # exactly-once even while victims of the plan lose leases.
+            if framework.flight is not None:
+                framework.flight.fault_plan = fault_plan.to_dict()
             injector = FaultInjector.for_framework(
                 framework, fault_plan, rng=streams.stream("chaos-net"))
             injector.arm()
@@ -786,6 +828,16 @@ def contention_chaos_experiment(
         if framework.history is not None:
             history_report = check_history(framework.history,
                                            framework.final_contents())
+        if framework.flight is not None:
+            if history_report is not None and not history_report.ok:
+                framework.flight.dump("checker-violation")
+            for name, want in expected.items():
+                if name == AGGRESSOR:
+                    continue
+                rep = reports.get(name)
+                if rep is None or not rep.complete or rep.solution != want:
+                    framework.flight.dump("wrong-solution")
+                    break
         events = [
             (t, name, tuple(sorted(payload.items())))
             for t, name, payload in framework.metrics.events
@@ -821,6 +873,7 @@ def contention_chaos_experiment(
             tracer=framework.tracer,
             prometheus=framework.telemetry.prometheus_text(),
             history_report=history_report,
+            flight=framework.flight,
         )
 
     return run_simulation(body)

@@ -75,6 +75,18 @@ class FaultEvent:
             parts.append(f"for {self.duration_ms:.0f}ms")
         return " ".join(parts)
 
+    def to_dict(self) -> dict:
+        out: dict = {"at_ms": self.at_ms, "kind": self.kind}
+        if self.target is not None:
+            out["target"] = self.target
+        if self.duration_ms is not None:
+            out["duration_ms"] = self.duration_ms
+        if self.kind == FaultKind.GRAY_SLOW:
+            out["factor"] = self.factor
+        if self.profile is not None:
+            out["profile"] = repr(self.profile)
+        return out
+
 
 @dataclass
 class FaultPlan:
@@ -100,6 +112,11 @@ class FaultPlan:
         if not self.events:
             return "(empty fault plan)"
         return "\n".join(e.describe() for e in self.events)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form — stored in postmortem bundles so a dump
+        names the exact campaign that was running when it fired."""
+        return {"events": [e.to_dict() for e in self.events]}
 
     @classmethod
     def generate(

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.telemetry.console import cluster_table
+from repro.telemetry.blackbox import FlightRecorder, PostmortemBundle
+from repro.telemetry.console import cluster_snapshot, cluster_table
+from repro.telemetry.doctor import DoctorReport, analyze_job
 from repro.telemetry.registry import (
     Counter,
     Gauge,
@@ -19,18 +21,28 @@ from repro.telemetry.registry import (
     MetricsSnapshotter,
     Registry,
 )
+from repro.telemetry.slo import DEFAULT_RULES, SloAlert, SloRule, SloWatchdog
 from repro.telemetry.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_RULES",
+    "DoctorReport",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsSnapshotter",
     "NULL_SPAN",
+    "PostmortemBundle",
     "Registry",
+    "SloAlert",
+    "SloRule",
+    "SloWatchdog",
     "Span",
     "Telemetry",
     "Tracer",
+    "analyze_job",
+    "cluster_snapshot",
     "cluster_table",
 ]
 

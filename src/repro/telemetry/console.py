@@ -1,17 +1,19 @@
 """Cluster console: render the framework's live state as a text table.
 
 ``repro top`` drives this — one row per worker (state, tasks completed,
-throughput, RPC health, signal reaction latency) plus space and job
-summary lines.  The renderer only *reads* framework state, so it can be
-called from a monitor process mid-run (live frames) or once after
-``framework.run()`` returns (final snapshot).
+throughput, RPC health, signal reaction latency) plus space, failover,
+admission and SLO-alert summary lines.  The renderer only *reads*
+framework state, so it can be called from a monitor process mid-run
+(live frames) or once after ``framework.run()`` returns (final
+snapshot).  :func:`cluster_snapshot` yields the same state as one plain
+dict for ``repro top --json`` and CI scripts.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional
 
-__all__ = ["cluster_table"]
+__all__ = ["cluster_snapshot", "cluster_table"]
 
 
 def _fmt_ms(value: Optional[float]) -> str:
@@ -122,6 +124,22 @@ def cluster_table(framework: Any, report: Any = None) -> str:
             f"released={governor.stats['tasks_released']} "
             f"polls={governor.stats['polls']}")
 
+    watchdog = getattr(framework, "watchdog", None)
+    if watchdog is not None and watchdog.alerts:
+        # SLO pane: active alerts first (worst news on top), then the
+        # resolved history so a post-run frame still tells the story.
+        active = [a for a in watchdog.alerts if a.active]
+        lines.append(f"alerts: {len(active)} active / "
+                     f"{len(watchdog.alerts)} total")
+        for alert in watchdog.alerts:
+            state = "ACTIVE" if alert.active else \
+                f"resolved t={alert.resolved_ms:,.0f}"
+            lines.append(
+                f"  [{state}] {alert.rule.name}: "
+                f"{alert.rule.metric} {alert.rule.op} "
+                f"{alert.rule.threshold:g} (value {alert.value:g} "
+                f"at t={alert.fired_ms:,.0f})")
+
     if report is not None:
         lines.append(
             f"job:   parallel={report.parallel_ms:,.0f} ms "
@@ -129,3 +147,99 @@ def cluster_table(framework: Any, report: Any = None) -> str:
             f"aggregation={report.aggregation_ms:,.0f} ms "
             f"(complete={report.complete})")
     return "\n".join(lines)
+
+
+def cluster_snapshot(framework: Any, report: Any = None) -> dict:
+    """The console's state as one JSON-ready dict (``repro top --json``).
+
+    Mirrors :func:`cluster_table` section by section so scripts and CI
+    never have to scrape the table renderer.
+    """
+    runtime = framework.runtime
+    metrics = framework.metrics
+    snapshot: dict[str, Any] = {
+        "app": framework.app.app_id,
+        "t_ms": runtime.now(),
+    }
+
+    workers = []
+    for host in framework.worker_hosts:
+        hostname = host.node.hostname
+        busy_ms = host.worker_time_ms()
+        proxy = host._proxy
+        latencies = sorted(_signal_latencies(metrics, hostname))
+        workers.append({
+            "host": hostname,
+            "state": str(host.state),
+            "tasks": host.tasks_done,
+            "tasks_per_s": (host.tasks_done / (busy_ms / 1000.0)
+                            if busy_ms else 0.0),
+            "busy_ms": busy_ms,
+            "reconnects": proxy.reconnects if proxy is not None else 0,
+            "retries": proxy.retries if proxy is not None else 0,
+            "signal_p50_ms": (latencies[len(latencies) // 2]
+                              if latencies else None),
+            "signal_max_ms": latencies[-1] if latencies else None,
+        })
+    snapshot["workers"] = workers
+
+    spaces = getattr(framework, "spaces", None) or [framework.space]
+    shard_stats = []
+    for space in spaces:
+        stats = space.stats
+        queued = stats["writes"] - stats["takes"] - stats["expired"]
+        shard_stats.append({
+            "writes": stats["writes"], "takes": stats["takes"],
+            "reads": stats["reads"], "queue": max(queued, 0),
+            "wakeups": stats["wakeups"],
+            "bytes_written": stats["bytes_written"],
+        })
+    snapshot["shards"] = shard_stats
+    snapshot["space"] = {
+        key: sum(shard[key] for shard in shard_stats)
+        for key in ("writes", "takes", "reads", "queue",
+                    "wakeups", "bytes_written")
+    }
+
+    supervisors = getattr(framework, "supervisors", None) or []
+    if supervisors:
+        snapshot["failover"] = {
+            "epochs": [s.epoch for s in supervisors],
+            "failovers": sum(s.failovers for s in supervisors),
+            "fenced_rpcs": (framework.total_fenced_rpcs()
+                            if hasattr(framework, "total_fenced_rpcs")
+                            else 0),
+            "repl_stalls": sum(
+                getattr(server, "repl_stalls", 0)
+                for server in getattr(framework, "space_servers", [])),
+        }
+
+    admissions = [server.admission
+                  for server in getattr(framework, "space_servers", [])
+                  if getattr(server, "admission", None) is not None]
+    if admissions:
+        totals_a: dict[str, int] = {}
+        for admission in admissions:
+            for key, value in admission.stats.items():
+                totals_a[key] = totals_a.get(key, 0) + value
+        snapshot["admission"] = totals_a
+        grants = (framework.tenant_grants()
+                  if hasattr(framework, "tenant_grants") else {})
+        if grants:
+            snapshot["tenants"] = dict(sorted(grants.items()))
+    governor = getattr(framework, "governor", None)
+    if governor is not None:
+        snapshot["preemption"] = dict(governor.stats)
+
+    watchdog = getattr(framework, "watchdog", None)
+    if watchdog is not None:
+        snapshot["alerts"] = [a.to_dict() for a in watchdog.alerts]
+
+    if report is not None:
+        snapshot["job"] = {
+            "parallel_ms": report.parallel_ms,
+            "planning_ms": report.planning_ms,
+            "aggregation_ms": report.aggregation_ms,
+            "complete": report.complete,
+        }
+    return snapshot

@@ -305,6 +305,11 @@ class MetricsSnapshotter:
         self.metrics = metrics
         self.interval_ms = float(interval_ms)
         self.prefix = prefix
+        #: Extra per-frame observers ``fn(now_ms)`` run after each
+        #: snapshot (the SLO watchdog evaluates its rules here).  They
+        #: ride the same on_advance hook, so they schedule nothing and
+        #: cannot perturb deterministic event order.
+        self.on_frame: list = []
         self._last_ms: Optional[float] = None
         self._kernel = None
         self._hook = None
@@ -340,3 +345,5 @@ class MetricsSnapshotter:
             return
         self._last_ms = now_ms
         self.registry.snapshot_into(self.metrics, self.prefix)
+        for observer in self.on_frame:
+            observer(now_ms)

@@ -161,6 +161,10 @@ class Tracer:
         self.runtime = runtime
         self.enabled = enabled
         self.spans: list[Span] = []
+        #: Optional observer invoked with each span as it is recorded
+        #: (the flight recorder rings recent spans through this).  Only
+        #: fires when tracing is enabled, so it cannot affect timelines.
+        self.sink: Optional[Callable[[Span], None]] = None
         self._next_id = 0
         self._tls = threading.local()
 
@@ -203,6 +207,8 @@ class Tracer:
         span = Span(self._now, name, trace_id, span_id, parent_id, proc,
                     self._now(), attrs)
         self.spans.append(span)
+        if self.sink is not None:
+            self.sink(span)
         return span
 
     def record(self, name: str, trace_id: str, start_ms: float, end_ms: float,
@@ -219,6 +225,8 @@ class Tracer:
                     start_ms, attrs)
         span.end_ms = end_ms
         self.spans.append(span)
+        if self.sink is not None:
+            self.sink(span)
         return span
 
     def instant(self, name: str, trace_id: str, parent_id: Optional[str] = None,

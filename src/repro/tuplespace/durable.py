@@ -252,6 +252,12 @@ class HotStandby:
         self._running = False
         self._conn: Optional[StreamSocket] = None
 
+    @property
+    def applied_lsn(self) -> int:
+        """Highest WAL frame applied to the replica — the primary's
+        ``last_lsn`` minus this is the replication lag in frames."""
+        return self.space.wal.last_lsn
+
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:

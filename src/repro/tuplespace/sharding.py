@@ -40,6 +40,7 @@ reproduces the unsharded wire behaviour.
 from __future__ import annotations
 
 from bisect import bisect_right
+from contextlib import contextmanager
 from hashlib import blake2b
 from typing import Any, Callable, Optional
 
@@ -483,6 +484,9 @@ class ShardRouter:
         self.runtime = network.runtime
         self.scatter_block_ms = scatter_block_ms
         self.codec = codec
+        #: For "scatter" envelope spans around wildcard fan-outs (the
+        #: doctor intersects them with rpc.* spans to cost fan-out time).
+        self.tracer = tracer
         self._proxies = [
             SpaceProxy(network, host, address, recovery=recovery, rng=rng,
                        metrics=metrics,
@@ -852,8 +856,40 @@ class ShardRouter:
                 return shard
             return None
 
+    @contextmanager
+    def _traced_scatter(self, op: str):
+        """Envelope span around one wildcard scatter-gather call.
+
+        The span covers the whole call — fan-out RPCs *and* camped
+        waits — so the doctor intersects it with the rpc.* spans inside
+        to attribute only the in-flight portion to the scatter phase.
+        Purely observational: the disabled path yields immediately.
+        """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            yield
+            return
+        parent = tracer.current
+        span = tracer.start(
+            "scatter",
+            trace_id=(parent.trace_id if parent is not None
+                      else f"worker/{self.host}"),
+            parent_id=parent.span_id if parent is not None else None,
+            proc=self.host, op=op, shards=len(self._proxies))
+        try:
+            with tracer.activate(span):
+                yield
+        finally:
+            span.end()
+
     def _scatter_single(self, template: Entry, txn: Any,
-                        timeout_ms: Optional[float], take: bool) -> Optional[Entry]:
+                        timeout_ms: Optional[float],
+                        take: bool) -> Optional[Entry]:
+        with self._traced_scatter("take" if take else "read"):
+            return self._scatter_single_impl(template, txn, timeout_ms, take)
+
+    def _scatter_single_impl(self, template: Entry, txn: Any,
+                             timeout_ms: Optional[float], take: bool) -> Optional[Entry]:
         """Wildcard read/take without a sharded transaction: first match
         wins, scanning non-blockingly from the sticky cursor."""
         deadline = self._deadline(timeout_ms)
@@ -874,6 +910,13 @@ class ShardRouter:
 
     def _scatter_multiple(self, template: Entry, max_entries: int, txn: Any,
                           timeout_ms: Optional[float]) -> list[Entry]:
+        with self._traced_scatter("take_multiple"):
+            return self._scatter_multiple_impl(template, max_entries, txn,
+                                               timeout_ms)
+
+    def _scatter_multiple_impl(self, template: Entry, max_entries: int,
+                               txn: Any,
+                               timeout_ms: Optional[float]) -> list[Entry]:
         """Wildcard take_multiple: gather from all shards per scan round.
 
         Each round is two parallel fan-outs: ``count`` to size per-shard

@@ -90,3 +90,47 @@ def test_chaos_parser_accepts_tenants():
 def test_chaos_tenants_and_faults_are_exclusive(capsys):
     assert main(["chaos", "--tenants", "4", "--fault", "pause"]) == 2
     assert "separate campaigns" in capsys.readouterr().out
+
+
+def test_doctor_prints_attribution_summary(capsys):
+    assert main(["doctor", "option-pricing", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "job wall time:" in out
+    assert "attributed" in out
+    assert "compute" in out
+
+
+def test_doctor_json_and_out_are_machine_readable(tmp_path, capsys):
+    import json
+    out_path = tmp_path / "doctor.json"
+    assert main(["doctor", "option-pricing", "--workers", "2",
+                 "--json", "--out", str(out_path)]) == 0
+    printed = json.loads(capsys.readouterr().out)
+    written = json.loads(out_path.read_text())
+    assert printed == written
+    wall_ms = printed["window"]["wall_ms"]
+    assert abs(sum(p["ms"] for p in printed["phases"]) - wall_ms) <= \
+        0.01 * wall_ms
+
+
+def test_doctor_parser_defaults():
+    args = build_parser().parse_args(["doctor", "ray-tracing"])
+    assert args.command == "doctor"
+    assert args.prefetch == 1 and args.shards == 1 and not args.json
+
+
+def test_top_json_prints_cluster_snapshot(capsys):
+    import json
+    assert main(["top", "option-pricing", "--workers", "2", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["workers"], "snapshot should list worker rows"
+    assert "alerts" in doc and "shards" in doc
+    assert doc["job"]["complete"] is True
+
+
+def test_chaos_parser_accepts_postmortem_dir():
+    args = build_parser().parse_args(
+        ["chaos", "--postmortem-dir", "bundles"])
+    assert args.postmortem_dir == "bundles"
+    assert build_parser().parse_args(["chaos"]).postmortem_dir == \
+        "postmortems"
